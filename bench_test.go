@@ -1,0 +1,299 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (reduced sweep-scale problems so a full -bench=. run stays tractable),
+// plus the ablation benches called out in DESIGN.md. Each benchmark
+// reports domain-specific metrics alongside ns/op — miss rates, traffic
+// per operation, speedups — so `go test -bench=.` reproduces the shape of
+// the paper's results.
+package splash2_test
+
+import (
+	"io"
+	"testing"
+
+	"splash2"
+	"splash2/internal/memsys"
+)
+
+// benchApps is a representative cross-section used by the per-figure
+// benches: two kernels, a grid application, and an irregular application.
+var benchApps = []string{"fft", "lu", "ocean", "barnes"}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := splash2.Table1(benchApps, 8, splash2.SweepScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[0].Instr), "fft-instrs")
+		}
+	}
+}
+
+func BenchmarkFigure1Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, err := splash2.Speedups(benchApps, []int{1, 4, 16}, splash2.SweepScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range curves {
+				b.ReportMetric(c.Speedup[len(c.Speedup)-1], c.App+"-speedup@16")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure2Sync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		profs, err := splash2.SyncProfiles(benchApps, 8, splash2.SweepScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(profs[1].AvgPct, "lu-sync-pct")
+		}
+	}
+}
+
+func BenchmarkFigure3WorkingSets(b *testing.B) {
+	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	for i := 0; i < b.N; i++ {
+		curves, err := splash2.WorkingSets(benchApps, 8, sizes, []int{4}, splash2.SweepScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			knee, _ := curves[0].Knee()
+			b.ReportMetric(float64(knee)/1024, "fft-knee-KB")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	sizes := []int{4 << 10, 64 << 10, 1 << 20}
+	curves, err := splash2.WorkingSets(benchApps, 8, sizes, []int{4}, splash2.SweepScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := splash2.Table2(curves)
+		if len(rows) == 0 {
+			b.Fatal("no table 2 rows")
+		}
+	}
+}
+
+func BenchmarkFigure4Traffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := splash2.Traffic("fft", []int{1, 4, 8}, 1<<20, splash2.SweepScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(pts[2].Remote(), "B-per-flop@8")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := splash2.Table3([]string{"ocean", "fft"}, 2, 8, splash2.SweepScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].MeasuredGrow, "ocean-commcomp-growth")
+		}
+	}
+}
+
+func BenchmarkFigure5Ocean(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small, err := splash2.Traffic("ocean", []int{8}, 1<<20, splash2.SweepScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		big, err := splash2.Traffic("ocean", []int{8}, 1<<20, splash2.SweepScale, map[string]int{"n": 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(small[0].TrueSharing, "small-trueshare")
+			b.ReportMetric(big[0].TrueSharing, "big-trueshare")
+		}
+	}
+}
+
+func BenchmarkFigure6SmallCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := splash2.Traffic("ocean", []int{8}, 16<<10, splash2.SweepScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(pts[0].LocalData+pts[0].Remote(), "total-B-per-flop")
+		}
+	}
+}
+
+func BenchmarkFigure7LineSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := splash2.LineSizeSweep("radix", 8, 1<<20, []int{16, 64, 256}, splash2.SweepScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(pts[2].FalsePct, "false-pct@256B")
+		}
+	}
+}
+
+func BenchmarkFigure8LineTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := splash2.LineSizeSweep("lu", 8, 1<<20, []int{16, 64, 256}, splash2.SweepScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(pts[0].RemoteData+pts[0].LocalData, "data-B-per-flop@16B")
+		}
+	}
+}
+
+// BenchmarkMemsysThroughput tracks raw reference throughput of the memory
+// system (the global-lock design decision in DESIGN.md).
+func BenchmarkMemsysThroughput(b *testing.B) {
+	sys, err := memsys.New(memsys.Config{Procs: 8, CacheSize: 64 << 10, Assoc: 4, LineSize: 64, OverheadBytes: 8},
+		func(line uint64) int { return int(line % 8) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Access(i%8, memsys.Addr((i*8)%(1<<16)), i%4 == 0)
+	}
+}
+
+// BenchmarkAblationNoHints measures the invalidation-overhead inflation
+// when replacement hints are disabled (stale directory sharer lists).
+// Both configurations replay one recorded trace, so the comparison is
+// exact rather than scheduling-dependent.
+func BenchmarkAblationNoHints(b *testing.B) {
+	tr, _, err := splash2.RecordTrace("ocean", 8, map[string]int{"n": 32, "steps": 2, "vcycles": 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(noHints bool) float64 {
+		st, err := splash2.ReplayTrace(tr, splash2.MemConfig{
+			Procs: 8, CacheSize: 16 << 10, Assoc: 2, LineSize: 64, NoReplacementHints: noHints,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(st.Traffic.RemoteOverhead)
+	}
+	b.ResetTimer()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(false)
+		without = run(true)
+	}
+	b.ReportMetric(without/with, "overhead-inflation")
+}
+
+// BenchmarkAblationLULayout contrasts the §3 block-contiguous layout
+// against a global row-major matrix: the latter interleaves blocks on
+// cache lines (false sharing + extra misses).
+func BenchmarkAblationLULayout(b *testing.B) {
+	run := func(layout int) float64 {
+		cfg := splash2.Config{Procs: 8, CacheSize: 1 << 20, Assoc: 4, LineSize: 64}
+		// b=4 so a block row (32 B) is half a cache line: the row-major
+		// layout interleaves different blocks on every line.
+		res, err := splash2.RunProgram("lu", cfg, map[string]int{"n": 64, "b": 4, "layout": layout})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return 100 * res.Stats.Mem.MissRate()
+	}
+	var blocked, rowmajor float64
+	for i := 0; i < b.N; i++ {
+		blocked = run(0)
+		rowmajor = run(1)
+	}
+	b.ReportMetric(blocked, "miss-pct-blocked")
+	b.ReportMetric(rowmajor, "miss-pct-rowmajor")
+}
+
+// BenchmarkAblationOceanPartition contrasts square-like subgrids against
+// SPLASH-1-style column strips (§3: perimeter-to-area communication).
+func BenchmarkAblationOceanPartition(b *testing.B) {
+	run := func(columns int) float64 {
+		cfg := splash2.Config{Procs: 8, CacheSize: 1 << 20, Assoc: 4, LineSize: 64}
+		res, err := splash2.RunProgram("ocean", cfg, map[string]int{"n": 32, "steps": 1, "vcycles": 2, "columns": columns})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(res.Stats.Mem.Traffic.TrueSharingData)
+	}
+	var square, columns float64
+	for i := 0; i < b.N; i++ {
+		square = run(0)
+		columns = run(1)
+	}
+	b.ReportMetric(columns/square, "comm-inflation-columns")
+}
+
+// BenchmarkAblationWaterLocking contrasts the §3 improved locking strategy
+// (private accumulation) against SPLASH-1 per-pair locking.
+func BenchmarkAblationWaterLocking(b *testing.B) {
+	run := func(oldlock int) float64 {
+		cfg := splash2.Config{Procs: 8, CacheSize: 1 << 20, Assoc: 4, LineSize: 64}
+		res, err := splash2.RunProgram("water-nsq", cfg, map[string]int{"n": 64, "steps": 1, "oldlock": oldlock})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(splash2.AggregateCounters(res.Stats.Procs).Locks)
+	}
+	var newLocks, oldLocks float64
+	for i := 0; i < b.N; i++ {
+		newLocks = run(0)
+		oldLocks = run(1)
+	}
+	b.ReportMetric(oldLocks/newLocks, "lock-inflation-oldstyle")
+}
+
+// BenchmarkTraceReplay measures trace-replay throughput (the sweep
+// acceleration path used by Figures 3, 7 and 8).
+func BenchmarkTraceReplay(b *testing.B) {
+	tr, _, err := splash2.RecordTrace("fft", 8, map[string]int{"n": 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := splash2.ReplayTrace(tr, splash2.MemConfig{Procs: 8, CacheSize: 64 << 10, Assoc: 4, LineSize: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "refs-per-replay")
+}
+
+// BenchmarkFullReport exercises the complete characterization pipeline on
+// a two-program subset (the end-to-end cost of cmd/characterize).
+func BenchmarkFullReport(b *testing.B) {
+	o := splash2.ReportOptions{
+		Apps:       []string{"fft", "lu"},
+		Procs:      4,
+		ProcList:   []int{1, 4},
+		Scale:      splash2.SweepScale,
+		CacheSizes: []int{16 << 10, 1 << 20},
+		LineSizes:  []int{64},
+	}
+	for i := 0; i < b.N; i++ {
+		if err := splash2.Characterize(io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command characterize regenerates the paper's evaluation — Table 1,
+// Figures 1–8, Tables 2–3 — on the simulated multiprocessor and prints
+// them as text tables (the same rows/series the paper reports).
+//
+// Usage:
+//
+//	characterize                      # full suite, sweep-scale problems, 32 procs
+//	characterize -scale default       # default (larger) problem sizes
+//	characterize -apps fft,lu -p 16
+//	characterize -all-assocs          # Figure 3 with 1/2/4-way and full
+//	characterize -plot                # ASCII charts alongside the tables
+//	characterize -format json|csv     # machine-readable results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"splash2"
+)
+
+func main() {
+	var (
+		appsFlag  = flag.String("apps", "", "comma-separated subset (default: full suite)")
+		procs     = flag.Int("p", 32, "processors for fixed-count experiments")
+		procList  = flag.String("plist", "1,2,4,8,16,32", "processor counts for scaling sweeps")
+		scaleName = flag.String("scale", "sweep", `problem sizes: "sweep" or "default"`)
+		allAssocs = flag.Bool("all-assocs", false, "Figure 3 with all associativities")
+		plot      = flag.Bool("plot", false, "render ASCII charts alongside the tables")
+		format    = flag.String("format", "text", `output format: "text", "json" or "csv"`)
+	)
+	flag.Parse()
+
+	o := splash2.ReportOptions{Procs: *procs, AllAssocs: *allAssocs, Plot: *plot}
+	if *appsFlag != "" {
+		o.Apps = strings.Split(*appsFlag, ",")
+	}
+	for _, f := range strings.Split(*procList, ",") {
+		var p int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &p); err != nil || p < 1 {
+			fmt.Fprintf(os.Stderr, "characterize: bad -plist entry %q\n", f)
+			os.Exit(2)
+		}
+		o.ProcList = append(o.ProcList, p)
+	}
+	switch *scaleName {
+	case "sweep":
+		o.Scale = splash2.SweepScale
+	case "default":
+		o.Scale = splash2.DefaultScale
+	default:
+		fmt.Fprintf(os.Stderr, "characterize: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	switch *format {
+	case "text":
+		if err := splash2.Characterize(os.Stdout, o); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+	case "json", "csv":
+		res, err := splash2.CollectResults(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+		if *format == "json" {
+			err = res.WriteJSON(os.Stdout)
+		} else {
+			err = res.WriteCSV(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "characterize: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,111 @@
+// Command splash2 runs one SPLASH-2 program on a simulated multiprocessor
+// and prints its characterization: instruction breakdown, PRAM time, miss
+// decomposition and traffic.
+//
+// Usage:
+//
+//	splash2 -app fft -p 32 -cache 1048576 -assoc 4 -line 64 [-opt n=4096 -opt seed=2] [-verify]
+//	splash2 -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"splash2"
+	"splash2/internal/memsys"
+)
+
+type optFlags map[string]int
+
+func (o optFlags) String() string { return fmt.Sprint(map[string]int(o)) }
+
+func (o optFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return err
+	}
+	o[k] = n
+	return nil
+}
+
+func main() {
+	var (
+		app    = flag.String("app", "", "program to run (see -list)")
+		list   = flag.Bool("list", false, "list programs and their options")
+		procs  = flag.Int("p", 32, "processors")
+		cache  = flag.Int("cache", 1<<20, "cache size in bytes")
+		assoc  = flag.Int("assoc", 4, "associativity (0 = fully associative)")
+		line   = flag.Int("line", 64, "cache line size in bytes")
+		verify = flag.Bool("verify", false, "run the program's correctness check")
+		opts   = optFlags{}
+	)
+	flag.Var(opts, "opt", "program option override key=value (repeatable)")
+	flag.Parse()
+
+	if *list {
+		for _, name := range splash2.Programs() {
+			a, _ := splash2.Program(name)
+			kind := "application"
+			if a.Kernel {
+				kind = "kernel"
+			}
+			fmt.Printf("%-10s %-11s %s\n           defaults: %v\n", name, kind, a.Doc, a.Defaults)
+		}
+		return
+	}
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "splash2: -app required (or -list)")
+		os.Exit(2)
+	}
+
+	cfg := splash2.Config{Procs: *procs, CacheSize: *cache, Assoc: *assoc, LineSize: *line}
+	run := splash2.RunProgram
+	if *verify {
+		run = splash2.RunProgramVerified
+	}
+	res, err := run(*app, cfg, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splash2:", err)
+		os.Exit(1)
+	}
+
+	st := res.Stats
+	a := splash2.AggregateCounters(st.Procs)
+	fmt.Printf("program        %s on %d processors\n", *app, *procs)
+	fmt.Printf("cache          %d B, %s, %d B lines\n", *cache, assocName(*assoc), *line)
+	fmt.Printf("PRAM time      %d cycles\n", st.Time)
+	fmt.Printf("instructions   %d (flops %d, reads %d, writes %d)\n", a.Instr, a.Flops, a.Reads, a.Writes)
+	fmt.Printf("shared refs    %d reads, %d writes\n", a.SharedReads, a.SharedWrites)
+	fmt.Printf("sync ops       %d barriers/proc, %d locks, %d pauses\n",
+		a.Barriers/uint64(*procs), a.Locks, a.Pauses)
+
+	mem := st.Mem.Aggregate()
+	if mem.Refs() > 0 {
+		fmt.Printf("miss rate      %.3f%%\n", 100*st.Mem.MissRate())
+		fmt.Printf("  cold         %d\n  capacity     %d\n  true sharing %d\n  false sharing %d\n  upgrades     %d\n",
+			mem.Misses[memsys.MissCold], mem.Misses[memsys.MissCapacity],
+			mem.Misses[memsys.MissTrue], mem.Misses[memsys.MissFalse], mem.Upgrades)
+		tr := st.Mem.Traffic
+		fmt.Printf("traffic (B)    local %d, remote data %d, remote overhead %d, writebacks %d\n",
+			tr.LocalData, tr.RemoteCold+tr.RemoteShared+tr.RemoteCapacity, tr.RemoteOverhead, tr.RemoteWriteback)
+		fmt.Printf("true sharing   %d B (≈ inherent communication)\n", tr.TrueSharingData)
+	}
+	if *verify {
+		fmt.Println("verify         OK")
+	}
+}
+
+func assocName(a int) string {
+	if a == splash2.FullyAssoc {
+		return "fully associative"
+	}
+	return fmt.Sprintf("%d-way", a)
+}

@@ -1,0 +1,149 @@
+// Command trace records a SPLASH-2 program's global reference stream to a
+// file, and replays stored traces through arbitrary cache configurations —
+// the execution-driven methodology (reference generator feeding a memory
+// system simulator) as a standalone workflow.
+//
+// Usage:
+//
+//	trace record -app fft -p 32 -o fft.trace [-opt n=4096]
+//	trace replay -i fft.trace -cache 65536 -assoc 2 -line 64
+//	trace replay -i fft.trace -sweep            # full Figure-3 cache sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"splash2"
+	"splash2/internal/memsys"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: trace record|replay [flags]")
+	os.Exit(2)
+}
+
+type optFlags map[string]int
+
+func (o optFlags) String() string { return fmt.Sprint(map[string]int(o)) }
+
+func (o optFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return err
+	}
+	o[k] = n
+	return nil
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	app := fs.String("app", "", "program to record")
+	procs := fs.Int("p", 32, "processors")
+	out := fs.String("o", "", "output trace file")
+	opts := optFlags{}
+	fs.Var(opts, "opt", "program option override key=value (repeatable)")
+	fs.Parse(args)
+	if *app == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "trace record: -app and -o required")
+		os.Exit(2)
+	}
+
+	tr, st, err := splash2.RecordTrace(*app, *procs, opts)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := tr.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	a := splash2.AggregateCounters(st.Procs)
+	fmt.Printf("recorded %s: %d references (%d instructions) → %s (%d bytes)\n",
+		*app, tr.Len(), a.Instr, *out, n)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	cache := fs.Int("cache", 1<<20, "cache size in bytes")
+	assoc := fs.Int("assoc", 4, "associativity (0 = fully associative)")
+	line := fs.Int("line", 64, "line size in bytes")
+	procs := fs.Int("p", 0, "replay processors (default: trace's max + 1)")
+	sweep := fs.Bool("sweep", false, "replay the full 1K-1M cache-size sweep")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "trace replay: -i required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := memsys.ReadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	p := *procs
+	if p == 0 {
+		p = tr.MaxProc() + 1
+	}
+
+	if *sweep {
+		fmt.Printf("%-10s %-10s\n", "cache", "miss rate")
+		for _, cs := range splash2.DefaultCacheSizes() {
+			st, err := splash2.ReplayTrace(tr, splash2.MemConfig{Procs: p, CacheSize: cs, Assoc: *assoc, LineSize: *line})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-10s %.3f%%\n", fmt.Sprintf("%dK", cs/1024), 100*st.MissRate())
+		}
+		return
+	}
+
+	st, err := splash2.ReplayTrace(tr, splash2.MemConfig{Procs: p, CacheSize: *cache, Assoc: *assoc, LineSize: *line})
+	if err != nil {
+		fatal(err)
+	}
+	agg := st.Aggregate()
+	fmt.Printf("replayed %d references on %d procs, %dB %d-way, %dB lines\n",
+		agg.Refs(), p, *cache, *assoc, *line)
+	fmt.Printf("miss rate  %.3f%% (cold %d, capacity %d, true %d, false %d)\n",
+		100*st.MissRate(),
+		agg.Misses[memsys.MissCold], agg.Misses[memsys.MissCapacity],
+		agg.Misses[memsys.MissTrue], agg.Misses[memsys.MissFalse])
+	fmt.Printf("traffic    local %d B, remote %d B (overhead %d B)\n",
+		st.Traffic.LocalData, st.Traffic.Remote(), st.Traffic.RemoteOverhead)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace:", err)
+	os.Exit(1)
+}

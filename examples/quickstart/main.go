@@ -1,0 +1,52 @@
+// Quickstart: run one SPLASH-2 kernel on a simulated 8-processor machine
+// and print the headline characterization numbers — the minimal use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"splash2"
+)
+
+func main() {
+	// A machine with the paper's default memory system (1 MB 4-way caches,
+	// 64-byte lines) but 8 processors.
+	m, err := splash2.NewMachine(splash2.Config{Procs: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the FFT kernel at its default problem size and run it.
+	r, err := splash2.Build("fft", m, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := m.Snapshot()
+	a := splash2.AggregateCounters(st.Procs)
+	fmt.Printf("FFT on 8 simulated processors\n")
+	fmt.Printf("  PRAM time       %d cycles\n", st.Time)
+	fmt.Printf("  instructions    %d (%d flops)\n", a.Instr, a.Flops)
+	fmt.Printf("  miss rate       %.2f%%\n", 100*st.Mem.MissRate())
+	fmt.Printf("  remote traffic  %d bytes (%d true-sharing data)\n",
+		st.Mem.Traffic.Remote(), st.Mem.Traffic.TrueSharingData)
+
+	// The same transform on one processor gives the PRAM speedup.
+	m1, err := splash2.NewMachine(splash2.Config{Procs: 1, MemModel: splash2.CountOnly})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r1, err := splash2.Build("fft", m1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r1.Run(m1)
+	fmt.Printf("  PRAM speedup    %.2f× over 1 processor\n",
+		float64(m1.Snapshot().Time)/float64(st.Time))
+}

@@ -1,0 +1,67 @@
+// Trace sweep: the execution-driven methodology as a workflow — record a
+// program's reference stream once, then replay it through many cache
+// configurations. Because every replay sees the identical stream, the
+// resulting curves are exactly comparable (the property §2.2 adopts PRAM
+// timing for), and replays skip re-executing the program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"splash2"
+)
+
+func main() {
+	app := flag.String("app", "radix", "program to record")
+	procs := flag.Int("p", 8, "processors")
+	flag.Parse()
+
+	start := time.Now()
+	tr, st, err := splash2.RecordTrace(*app, *procs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := time.Since(start)
+	a := splash2.AggregateCounters(st.Procs)
+	fmt.Printf("recorded %s: %d references, %d instructions (%.0f ms)\n\n",
+		*app, tr.Len(), a.Instr, rec.Seconds()*1000)
+
+	// One recorded execution, three independent sweeps.
+	fmt.Println("cache-size sweep (4-way, 64 B lines):")
+	for _, cs := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		stats, err := splash2.ReplayTrace(tr, splash2.MemConfig{Procs: *procs, CacheSize: cs, Assoc: 4, LineSize: 64})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %6dK  miss %6.3f%%  remote %8d B\n", cs/1024, 100*stats.MissRate(), stats.Traffic.Remote())
+	}
+
+	fmt.Println("\nassociativity sweep (64 KB caches):")
+	for _, assoc := range []int{1, 2, 4, splash2.FullyAssoc} {
+		stats, err := splash2.ReplayTrace(tr, splash2.MemConfig{Procs: *procs, CacheSize: 64 << 10, Assoc: assoc, LineSize: 64})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%d-way", assoc)
+		if assoc == splash2.FullyAssoc {
+			label = "full"
+		}
+		fmt.Printf("  %-6s  miss %6.3f%%\n", label, 100*stats.MissRate())
+	}
+
+	fmt.Println("\nline-size sweep (1 MB caches):")
+	for _, ls := range splash2.DefaultLineSizes() {
+		stats, err := splash2.ReplayTrace(tr, splash2.MemConfig{Procs: *procs, CacheSize: 1 << 20, Assoc: 4, LineSize: ls})
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg := stats.Aggregate()
+		fmt.Printf("  %4dB  miss %6.3f%%  false-sharing misses %d\n",
+			ls, 100*stats.MissRate(), agg.Misses[splash2.MissFalse])
+	}
+	fmt.Printf("\ntotal sweep time %.0f ms for 15 configurations of one execution\n",
+		time.Since(start).Seconds()*1000)
+}

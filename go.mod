@@ -1,0 +1,3 @@
+module splash2
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package all registers the complete SPLASH-2 suite: import it for side
+// effects to make every program available through the apps registry.
+package all
+
+import (
+	_ "splash2/internal/apps/barnes"
+	_ "splash2/internal/apps/cholesky"
+	_ "splash2/internal/apps/fft"
+	_ "splash2/internal/apps/fmm"
+	_ "splash2/internal/apps/lu"
+	_ "splash2/internal/apps/ocean"
+	_ "splash2/internal/apps/radiosity"
+	_ "splash2/internal/apps/radix"
+	_ "splash2/internal/apps/raytrace"
+	_ "splash2/internal/apps/volrend"
+	_ "splash2/internal/apps/water"
+)

@@ -1,0 +1,117 @@
+// Package apps defines the application registry for the twelve SPLASH-2
+// programs. Each program lives in its own subpackage and registers itself
+// at init time; importing splash2/internal/apps/all pulls in the full
+// suite.
+//
+// Programs are real parallel algorithms written against internal/mach:
+// every shared (and per-processor private) data reference is issued into
+// the simulated memory system, and computation is accounted under the PRAM
+// timing model, reproducing the paper's execution-driven methodology.
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"splash2/internal/mach"
+)
+
+// Runner is one configured application instance bound to a machine.
+type Runner interface {
+	// Run executes the program's parallel computation. Programs that
+	// execute many time-steps reset measurement after initialization and
+	// cold start, as the paper does (§2.2).
+	Run(m *mach.Machine)
+	// Verify checks the computed result for correctness (factorization
+	// residuals, sortedness, force accuracy against direct summation, …).
+	Verify() error
+}
+
+// App describes one registered SPLASH-2 program.
+type App struct {
+	// Name is the canonical lowercase program name ("fft", "water-nsq"…).
+	Name string
+	// Kernel distinguishes the four kernels from the eight applications.
+	Kernel bool
+	// FlopBased selects bytes/FLOP (vs bytes/instruction) traffic
+	// reporting, per the paper's convention (§6).
+	FlopBased bool
+	// Doc is a one-line description.
+	Doc string
+	// Defaults are the scaled-down default problem parameters; paper-scale
+	// values are documented per option in DESIGN.md.
+	Defaults map[string]int
+	// Build constructs a Runner for the machine with the given options
+	// (missing options take defaults).
+	Build func(m *mach.Machine, opt map[string]int) (Runner, error)
+}
+
+// Options merges overrides into the app's defaults.
+func (a *App) Options(over map[string]int) map[string]int {
+	o := make(map[string]int, len(a.Defaults))
+	for k, v := range a.Defaults {
+		o[k] = v
+	}
+	for k, v := range over {
+		if _, ok := a.Defaults[k]; !ok {
+			continue
+		}
+		o[k] = v
+	}
+	return o
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*App{}
+)
+
+// Register adds an app to the registry; duplicate names panic.
+func Register(a *App) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if a.Name == "" || a.Build == nil {
+		panic("apps: Register with empty name or nil Build")
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic("apps: duplicate registration of " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Get looks up a registered app by name.
+func Get(name string) (*App, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown program %q (have %v)", name, namesLocked())
+	}
+	return a, nil
+}
+
+// Names returns all registered program names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildWithDefaults is a convenience: look up, merge options, build.
+func BuildWithDefaults(name string, m *mach.Machine, over map[string]int) (Runner, error) {
+	a, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Build(m, a.Options(over))
+}

@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"testing"
+
+	"splash2/internal/mach"
+)
+
+func TestRegisterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty registration accepted")
+		}
+	}()
+	Register(&App{})
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(&App{Name: "test-dup", Build: func(m *mach.Machine, opt map[string]int) (Runner, error) { return nil, nil }})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	Register(&App{Name: "test-dup", Build: func(m *mach.Machine, opt map[string]int) (Runner, error) { return nil, nil }})
+}
+
+func TestOptionsMergeAndFilter(t *testing.T) {
+	a := &App{Name: "test-opts", Defaults: map[string]int{"n": 10, "seed": 1}}
+	got := a.Options(map[string]int{"n": 99, "bogus": 7})
+	if got["n"] != 99 {
+		t.Fatalf("override lost: %v", got)
+	}
+	if got["seed"] != 1 {
+		t.Fatalf("default lost: %v", got)
+	}
+	if _, ok := got["bogus"]; ok {
+		t.Fatalf("unknown option accepted: %v", got)
+	}
+	// Defaults themselves must not be mutated.
+	if a.Defaults["n"] != 10 {
+		t.Fatal("Options mutated Defaults")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-program"); err == nil {
+		t.Fatal("unknown program found")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted/unique: %v", names)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package barnes implements the SPLASH-2 Barnes application: gravitational
+// N-body simulation in three dimensions over a number of time-steps using
+// the Barnes-Hut hierarchical method. The computational domain is an
+// octree with leaves containing multiple bodies [HoS95]; most of the time
+// is spent in partial traversals of the octree (one per body) computing
+// forces. Communication is unstructured and dependent on the particle
+// distribution, and no attempt is made at intelligent distribution of body
+// data in main memory (§3).
+package barnes
+
+import (
+	"fmt"
+	"math"
+
+	"splash2/internal/apps"
+	"splash2/internal/apps/partition"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name:      "barnes",
+		FlopBased: true,
+		Doc:       "Barnes-Hut hierarchical 3-D N-body simulation",
+		Defaults: map[string]int{
+			"n":       512, // paper default: 16384
+			"steps":   2,
+			"leafcap": 8,
+			"theta10": 8, // opening criterion θ×10 (paper uses θ=1.0)
+			"seed":    1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return New(m, opt["n"], opt["steps"], opt["leafcap"], float64(opt["theta10"])/10, uint64(opt["seed"]))
+		},
+	})
+}
+
+const (
+	gravEps = 0.05 // Plummer softening
+	dtStep  = 0.01
+)
+
+// Barnes is one configured simulation instance.
+type Barnes struct {
+	mch   *mach.Machine
+	n     int
+	steps int
+	theta float64
+
+	pos  *mach.F64Array // 3n
+	vel  *mach.F64Array // 3n
+	acc  *mach.F64Array // 3n
+	mass *mach.F64Array // n
+
+	tr      *tree
+	root    int
+	minmax  *mach.F64Array // per-proc bounding-box slots (6 values, padded)
+	barrier *mach.Barrier
+
+	// posAtForce snapshots positions at the last force evaluation so
+	// Verify can compare tree forces against direct summation.
+	posAtForce []float64
+}
+
+// New builds the simulation over a Plummer-model particle distribution.
+func New(m *mach.Machine, n, steps, leafCap int, theta float64, seed uint64) (*Barnes, error) {
+	if n < 2 || leafCap < 1 {
+		return nil, fmt.Errorf("barnes: bad parameters n=%d leafcap=%d", n, leafCap)
+	}
+	if theta <= 0 {
+		return nil, fmt.Errorf("barnes: non-positive opening criterion %g", theta)
+	}
+	b := &Barnes{mch: m, n: n, steps: steps, theta: theta, barrier: m.NewBarrier()}
+	b.pos = m.NewF64(3*n, true, mach.Interleaved())
+	b.vel = m.NewF64(3*n, true, mach.Interleaved())
+	b.acc = m.NewF64(3*n, true, mach.Interleaved())
+	b.mass = m.NewF64(n, true, mach.Interleaved())
+	b.tr = newTree(m, n, leafCap)
+	pad := m.LineSize() / mach.WordBytes
+	b.minmax = m.NewF64(m.Procs()*6*pad, true, mach.Interleaved())
+
+	for i, body := range workload.Plummer3D(n, seed) {
+		b.pos.Init(3*i, body.X)
+		b.pos.Init(3*i+1, body.Y)
+		b.pos.Init(3*i+2, body.Z)
+		b.vel.Init(3*i, body.VX)
+		b.vel.Init(3*i+1, body.VY)
+		b.vel.Init(3*i+2, body.VZ)
+		b.mass.Init(i, body.Mass)
+	}
+	return b, nil
+}
+
+// Run executes the time-steps; measurement restarts after the first.
+func (b *Barnes) Run(m *mach.Machine) {
+	m.Run(func(p *mach.Proc) {
+		b.timestep(p, 0)
+		if b.steps > 1 {
+			m.Epoch(p, b.barrier)
+			for s := 1; s < b.steps; s++ {
+				b.timestep(p, s)
+			}
+		}
+	})
+}
+
+func (b *Barnes) timestep(p *mach.Proc, step int) {
+	lo, hi := partition.Range(p.ID, b.mch.Procs(), b.n)
+	pad := b.mch.LineSize() / mach.WordBytes
+
+	// Phase 1: bounding box by per-processor reduction.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 3; d++ {
+			v := b.pos.Get(p, 3*i+d)
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			p.Instr(2)
+		}
+	}
+	slot := p.ID * 6 * pad
+	b.minmax.Set(p, slot, minV)
+	b.minmax.Set(p, slot+1, maxV)
+	b.barrier.Wait(p)
+
+	gmin, gmax := math.Inf(1), math.Inf(-1)
+	for q := 0; q < b.mch.Procs(); q++ {
+		if v := b.minmax.Get(p, q*6*pad); v < gmin {
+			gmin = v
+		}
+		if v := b.minmax.Get(p, q*6*pad+1); v > gmax {
+			gmax = v
+		}
+		p.Instr(2)
+	}
+	center := (gmin + gmax) / 2
+	half := (gmax-gmin)/2*1.001 + 1e-9
+
+	// Phase 2: tree build — one processor resets the pool, then all
+	// processors insert their bodies concurrently with per-node locks.
+	if p.ID == 0 {
+		b.root = b.tr.reset(p, center, center, center, half)
+	}
+	b.barrier.Wait(p)
+	for i := lo; i < hi; i++ {
+		x := b.pos.Get(p, 3*i)
+		y := b.pos.Get(p, 3*i+1)
+		z := b.pos.Get(p, 3*i+2)
+		b.tr.insert(p, b.root, i, x, y, z, b.pos)
+	}
+	b.barrier.Wait(p)
+
+	// Phase 3: centers of mass — the depth-2 subtrees are divided among
+	// processors; the shallow top is combined afterwards.
+	deep, shallow := b.tr.depth2Nodes(p, b.root)
+	for k := p.ID; k < len(deep); k += b.mch.Procs() {
+		b.tr.computeCOM(p, deep[k], b.pos, b.mass)
+	}
+	b.barrier.Wait(p)
+	if p.ID == 0 {
+		for k := len(shallow) - 1; k >= 0; k-- {
+			b.tr.combineCOM(p, shallow[k])
+		}
+	}
+	b.barrier.Wait(p)
+
+	// Phase 4: force computation — one partial tree traversal per body.
+	for i := lo; i < hi; i++ {
+		ax, ay, az := b.force(p, i)
+		b.acc.Set(p, 3*i, ax)
+		b.acc.Set(p, 3*i+1, ay)
+		b.acc.Set(p, 3*i+2, az)
+	}
+	b.barrier.Wait(p)
+
+	if step == b.steps-1 && p.ID == 0 {
+		b.posAtForce = append([]float64(nil), b.pos.Raw()...)
+	}
+	b.barrier.Wait(p)
+
+	// Phase 5: leapfrog integration of owned bodies.
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 3; d++ {
+			v := b.vel.Get(p, 3*i+d) + dtStep*b.acc.Get(p, 3*i+d)
+			b.vel.Set(p, 3*i+d, v)
+			b.pos.Set(p, 3*i+d, b.pos.Get(p, 3*i+d)+dtStep*v)
+			p.Flop(4)
+		}
+	}
+	b.barrier.Wait(p)
+}
+
+// force traverses the octree for body i, applying the opening criterion
+// s/d < θ to internal cells and direct interaction within leaves.
+func (b *Barnes) force(p *mach.Proc, i int) (ax, ay, az float64) {
+	xi := b.pos.Get(p, 3*i)
+	yi := b.pos.Get(p, 3*i+1)
+	zi := b.pos.Get(p, 3*i+2)
+	stack := make([]int, 0, 64)
+	stack = append(stack, b.root)
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b.tr.kind.Get(p, node) == kindLeaf {
+			n := b.tr.lcount.Get(p, node)
+			for k := 0; k < n; k++ {
+				j := b.tr.lbodies.Get(p, node*b.tr.leafCap+k)
+				if j == i {
+					continue
+				}
+				gx, gy, gz := b.accel(p, xi, yi, zi,
+					b.pos.Get(p, 3*j), b.pos.Get(p, 3*j+1), b.pos.Get(p, 3*j+2),
+					b.mass.Get(p, j))
+				ax += gx
+				ay += gy
+				az += gz
+			}
+			continue
+		}
+		// Internal cell: opening criterion against its center of mass.
+		cx := b.tr.comX.Get(p, node)
+		cy := b.tr.comY.Get(p, node)
+		cz := b.tr.comZ.Get(p, node)
+		cm := b.tr.comM.Get(p, node)
+		if cm == 0 {
+			continue
+		}
+		dx, dy, dz := cx-xi, cy-yi, cz-zi
+		dist2 := dx*dx + dy*dy + dz*dz
+		size := 2 * b.tr.half.Get(p, node)
+		p.Flop(9)
+		if size*size < b.theta*b.theta*dist2 {
+			gx, gy, gz := b.accel(p, xi, yi, zi, cx, cy, cz, cm)
+			ax += gx
+			ay += gy
+			az += gz
+			continue
+		}
+		for o := 0; o < 8; o++ {
+			if c := b.tr.children.Get(p, 8*node+o); c != -1 {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return ax, ay, az
+}
+
+// accel returns the softened gravitational acceleration on (xi,yi,zi) from
+// mass m at (xj,yj,zj).
+func (b *Barnes) accel(p *mach.Proc, xi, yi, zi, xj, yj, zj, m float64) (ax, ay, az float64) {
+	dx, dy, dz := xj-xi, yj-yi, zj-zi
+	r2 := dx*dx + dy*dy + dz*dz + gravEps*gravEps
+	inv := m / (r2 * math.Sqrt(r2))
+	p.Flop(14)
+	return dx * inv, dy * inv, dz * inv
+}
+
+// directAccel computes the exact O(n) acceleration on body i at the
+// snapshot positions (verification only, unsimulated).
+func (b *Barnes) directAccel(i int) (ax, ay, az float64) {
+	xi, yi, zi := b.posAtForce[3*i], b.posAtForce[3*i+1], b.posAtForce[3*i+2]
+	for j := 0; j < b.n; j++ {
+		if j == i {
+			continue
+		}
+		dx := b.posAtForce[3*j] - xi
+		dy := b.posAtForce[3*j+1] - yi
+		dz := b.posAtForce[3*j+2] - zi
+		r2 := dx*dx + dy*dy + dz*dz + gravEps*gravEps
+		inv := b.mass.Peek(j) / (r2 * math.Sqrt(r2))
+		ax += dx * inv
+		ay += dy * inv
+		az += dz * inv
+	}
+	return
+}
+
+// Verify compares the tree-computed accelerations of sampled bodies
+// against direct summation at the same positions, and checks finiteness.
+func (b *Barnes) Verify() error {
+	if b.posAtForce == nil {
+		return fmt.Errorf("barnes: no force snapshot recorded")
+	}
+	for i := 0; i < 3*b.n; i++ {
+		if v := b.pos.Peek(i); math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("barnes: position diverged at %d", i/3)
+		}
+	}
+	rng := workload.NewRNG(123)
+	var worst float64
+	for s := 0; s < 24; s++ {
+		i := rng.Intn(b.n)
+		dx, dy, dz := b.directAccel(i)
+		tx := b.acc.Peek(3 * i)
+		ty := b.acc.Peek(3*i + 1)
+		tz := b.acc.Peek(3*i + 2)
+		mag := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		diff := math.Sqrt((tx-dx)*(tx-dx) + (ty-dy)*(ty-dy) + (tz-dz)*(tz-dz))
+		if mag == 0 {
+			continue
+		}
+		if rel := diff / mag; rel > worst {
+			worst = rel
+		}
+	}
+	// Monopole-only Barnes-Hut at θ≈0.8 is accurate to a few percent.
+	if worst > 0.15 {
+		return fmt.Errorf("barnes: tree force error %.1f%% vs direct summation", worst*100)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package barnes
+
+import (
+	"math"
+	"testing"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+)
+
+func machine(procs int) *mach.Machine {
+	return mach.MustNew(mach.Config{Procs: procs, CacheSize: 128 << 10, Assoc: 4, LineSize: 64})
+}
+
+func TestForcesMatchDirectSummation(t *testing.T) {
+	m := machine(4)
+	b, err := New(m, 256, 2, 8, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(m)
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	m := machine(1)
+	b, err := New(m, 128, 1, 4, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(m)
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallThetaIsExact(t *testing.T) {
+	// θ→0 forces full traversal to the leaves: tree result must equal
+	// direct summation almost exactly.
+	m := machine(2)
+	b, err := New(m, 64, 1, 2, 0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(m)
+	for i := 0; i < b.n; i++ {
+		dx, dy, dz := b.directAccel(i)
+		if math.Abs(b.acc.Peek(3*i)-dx)+math.Abs(b.acc.Peek(3*i+1)-dy)+math.Abs(b.acc.Peek(3*i+2)-dz) > 1e-9 {
+			t.Fatalf("body %d: tree force differs from direct at θ≈0", i)
+		}
+	}
+}
+
+func TestTreeContainsAllBodies(t *testing.T) {
+	m := machine(4)
+	b, err := New(m, 200, 1, 8, 0.8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(m)
+	// Walk the final tree (unsimulated) and count bodies in leaves.
+	seen := map[int]int{}
+	var walk func(node int)
+	walk = func(node int) {
+		if b.tr.kind.Peek(node) == kindLeaf {
+			n := b.tr.lcount.Peek(node)
+			for k := 0; k < n; k++ {
+				seen[b.tr.lbodies.Peek(node*b.tr.leafCap+k)]++
+			}
+			return
+		}
+		for o := 0; o < 8; o++ {
+			if c := b.tr.children.Peek(8*node + o); c != -1 {
+				walk(c)
+			}
+		}
+	}
+	walk(b.root)
+	if len(seen) != 200 {
+		t.Fatalf("tree holds %d distinct bodies, want 200", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("body %d appears %d times", i, c)
+		}
+	}
+}
+
+func TestLeafCapacityRespected(t *testing.T) {
+	m := machine(2)
+	b, err := New(m, 128, 1, 4, 0.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(m)
+	var walk func(node int)
+	var bad bool
+	walk = func(node int) {
+		if b.tr.kind.Peek(node) == kindLeaf {
+			if b.tr.lcount.Peek(node) > 4 {
+				bad = true
+			}
+			return
+		}
+		for o := 0; o < 8; o++ {
+			if c := b.tr.children.Peek(8*node + o); c != -1 {
+				walk(c)
+			}
+		}
+	}
+	walk(b.root)
+	if bad {
+		t.Fatal("leaf exceeds capacity")
+	}
+}
+
+func TestTotalMassConservedInCOM(t *testing.T) {
+	m := machine(2)
+	b, err := New(m, 100, 1, 8, 0.8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(m)
+	var total float64
+	for i := 0; i < 100; i++ {
+		total += b.mass.Peek(i)
+	}
+	if root := b.tr.comM.Peek(b.root); math.Abs(root-total) > 1e-9 {
+		t.Fatalf("root COM mass %g, bodies total %g", root, total)
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.Get("barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kernel {
+		t.Fatal("barnes is an application, not a kernel")
+	}
+	m := machine(2)
+	r, err := a.Build(m, a.Options(map[string]int{"n": 64, "steps": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	m := machine(1)
+	if _, err := New(m, 1, 1, 8, 0.8, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := New(m, 64, 1, 0, 0.8, 1); err == nil {
+		t.Error("leafcap=0 accepted")
+	}
+	if _, err := New(m, 64, 1, 8, 0, 1); err == nil {
+		t.Error("theta=0 accepted")
+	}
+}

@@ -1,0 +1,288 @@
+package barnes
+
+import (
+	"fmt"
+
+	"splash2/internal/mach"
+)
+
+// Node kinds in the shared octree pool.
+const (
+	kindInternal = 0
+	kindLeaf     = 1
+)
+
+// tree is the shared Barnes-Hut octree: a pool of nodes in simulated
+// shared memory, rebuilt every time-step by parallel insertion with
+// per-node locks. Leaves hold multiple bodies (leafCap), the improvement
+// over SPLASH noted in §3 [HoS95]. No attempt is made at intelligent
+// distribution of tree data (§3): the pool is allocated interleaved.
+type tree struct {
+	mch     *mach.Machine
+	cap     int // node pool capacity
+	leafCap int
+
+	kind     *mach.IntArray // node kind
+	children *mach.IntArray // 8 per node, -1 empty, else node id
+	lbodies  *mach.IntArray // leafCap body ids per node
+	lcount   *mach.IntArray // bodies per leaf
+	cx, cy   *mach.F64Array // geometric center
+	cz       *mach.F64Array
+	half     *mach.F64Array // half side length
+	comX     *mach.F64Array // center of mass + total mass
+	comY     *mach.F64Array
+	comZ     *mach.F64Array
+	comM     *mach.F64Array
+
+	locks []mach.Lock
+
+	allocLock mach.Lock
+	allocN    *mach.IntArray // pool bump pointer (slot 0)
+}
+
+func newTree(m *mach.Machine, nbodies, leafCap int) *tree {
+	t := &tree{mch: m, cap: 4*nbodies + 64, leafCap: leafCap}
+	t.kind = m.NewInt(t.cap, true, mach.Interleaved())
+	t.children = m.NewInt(8*t.cap, true, mach.Interleaved())
+	t.lbodies = m.NewInt(leafCap*t.cap, true, mach.Interleaved())
+	t.lcount = m.NewInt(t.cap, true, mach.Interleaved())
+	t.cx = m.NewF64(t.cap, true, mach.Interleaved())
+	t.cy = m.NewF64(t.cap, true, mach.Interleaved())
+	t.cz = m.NewF64(t.cap, true, mach.Interleaved())
+	t.half = m.NewF64(t.cap, true, mach.Interleaved())
+	t.comX = m.NewF64(t.cap, true, mach.Interleaved())
+	t.comY = m.NewF64(t.cap, true, mach.Interleaved())
+	t.comZ = m.NewF64(t.cap, true, mach.Interleaved())
+	t.comM = m.NewF64(t.cap, true, mach.Interleaved())
+	t.locks = make([]mach.Lock, t.cap)
+	t.allocN = m.NewInt(8, true, mach.Owner(0))
+	return t
+}
+
+// reset empties the pool and creates a fresh internal root covering the
+// cube [center±half]. Called by one processor between barriers.
+func (t *tree) reset(p *mach.Proc, cx, cy, cz, half float64) int {
+	t.allocN.Set(p, 0, 0)
+	root := t.alloc(p, kindInternal, cx, cy, cz, half)
+	return root
+}
+
+// alloc grabs a node from the pool and initializes its geometry.
+func (t *tree) alloc(p *mach.Proc, kind int, cx, cy, cz, half float64) int {
+	t.allocLock.Acquire(p)
+	id := t.allocN.Get(p, 0)
+	t.allocN.Set(p, 0, id+1)
+	t.allocLock.Release(p)
+	if id >= t.cap {
+		panic(fmt.Sprintf("barnes: node pool exhausted (%d)", t.cap))
+	}
+	t.kind.Set(p, id, kind)
+	t.lcount.Set(p, id, 0)
+	t.cx.Set(p, id, cx)
+	t.cy.Set(p, id, cy)
+	t.cz.Set(p, id, cz)
+	t.half.Set(p, id, half)
+	for o := 0; o < 8; o++ {
+		t.children.Set(p, 8*id+o, -1)
+	}
+	return id
+}
+
+// octant returns the child octant of (x,y,z) within node id, along with
+// the child cube geometry. Issues the geometry reads.
+func (t *tree) octant(p *mach.Proc, id int, x, y, z float64) (oct int, ccx, ccy, ccz, chalf float64) {
+	cx := t.cx.Get(p, id)
+	cy := t.cy.Get(p, id)
+	cz := t.cz.Get(p, id)
+	h := t.half.Get(p, id) / 2
+	ccx, ccy, ccz = cx-h, cy-h, cz-h
+	if x >= cx {
+		oct |= 1
+		ccx = cx + h
+	}
+	if y >= cy {
+		oct |= 2
+		ccy = cy + h
+	}
+	if z >= cz {
+		oct |= 4
+		ccz = cz + h
+	}
+	p.Instr(6)
+	return oct, ccx, ccy, ccz, h
+}
+
+// insert adds body b (position x,y,z) to the tree rooted at root, using
+// hand-over-hand per-node locking: a child slot and any leaf behind it are
+// only mutated while holding the parent's lock.
+func (t *tree) insert(p *mach.Proc, root, b int, x, y, z float64, pos *mach.F64Array) {
+	node := root
+	for {
+		oct, ccx, ccy, ccz, chalf := t.octant(p, node, x, y, z)
+		t.locks[node].Acquire(p)
+		child := t.children.Get(p, 8*node+oct)
+		switch {
+		case child == -1:
+			leaf := t.alloc(p, kindLeaf, ccx, ccy, ccz, chalf)
+			t.lbodies.Set(p, leaf*t.leafCap, b)
+			t.lcount.Set(p, leaf, 1)
+			t.children.Set(p, 8*node+oct, leaf)
+			t.locks[node].Release(p)
+			return
+		case t.kind.Get(p, child) == kindLeaf:
+			n := t.lcount.Get(p, child)
+			if n < t.leafCap {
+				t.lbodies.Set(p, child*t.leafCap+n, b)
+				t.lcount.Set(p, child, n+1)
+				t.locks[node].Release(p)
+				return
+			}
+			// Split: build a replacement internal subtree privately (it is
+			// unreachable until linked), then swap it into the slot.
+			repl := t.splitLeaf(p, child, ccx, ccy, ccz, chalf, pos)
+			t.children.Set(p, 8*node+oct, repl)
+			t.locks[node].Release(p)
+			node = repl
+		default:
+			t.locks[node].Release(p)
+			node = child
+		}
+	}
+}
+
+// splitLeaf converts a full leaf into an internal node, reinserting its
+// bodies. The new subtree is private to the caller until linked, so no
+// locks are needed inside.
+func (t *tree) splitLeaf(p *mach.Proc, leaf int, cx, cy, cz, half float64, pos *mach.F64Array) int {
+	internal := t.alloc(p, kindInternal, cx, cy, cz, half)
+	n := t.lcount.Get(p, leaf)
+	for k := 0; k < n; k++ {
+		b := t.lbodies.Get(p, leaf*t.leafCap+k)
+		bx := pos.Get(p, 3*b)
+		by := pos.Get(p, 3*b+1)
+		bz := pos.Get(p, 3*b+2)
+		t.insertPrivate(p, internal, b, bx, by, bz, pos)
+	}
+	return internal
+}
+
+// insertPrivate inserts into an unlinked subtree without locking.
+func (t *tree) insertPrivate(p *mach.Proc, root, b int, x, y, z float64, pos *mach.F64Array) {
+	node := root
+	for {
+		oct, ccx, ccy, ccz, chalf := t.octant(p, node, x, y, z)
+		child := t.children.Get(p, 8*node+oct)
+		switch {
+		case child == -1:
+			leaf := t.alloc(p, kindLeaf, ccx, ccy, ccz, chalf)
+			t.lbodies.Set(p, leaf*t.leafCap, b)
+			t.lcount.Set(p, leaf, 1)
+			t.children.Set(p, 8*node+oct, leaf)
+			return
+		case t.kind.Get(p, child) == kindLeaf:
+			n := t.lcount.Get(p, child)
+			if n < t.leafCap {
+				t.lbodies.Set(p, child*t.leafCap+n, b)
+				t.lcount.Set(p, child, n+1)
+				return
+			}
+			repl := t.splitLeaf(p, child, ccx, ccy, ccz, chalf, pos)
+			t.children.Set(p, 8*node+oct, repl)
+			node = repl
+		default:
+			node = child
+		}
+	}
+}
+
+// computeCOM runs a post-order pass computing center of mass and total
+// mass for the subtree at node; leaves aggregate their bodies.
+func (t *tree) computeCOM(p *mach.Proc, node int, pos, mass *mach.F64Array) {
+	if t.kind.Get(p, node) == kindLeaf {
+		var mx, my, mz, mm float64
+		n := t.lcount.Get(p, node)
+		for k := 0; k < n; k++ {
+			b := t.lbodies.Get(p, node*t.leafCap+k)
+			m := mass.Get(p, b)
+			mx += m * pos.Get(p, 3*b)
+			my += m * pos.Get(p, 3*b+1)
+			mz += m * pos.Get(p, 3*b+2)
+			mm += m
+			p.Flop(7)
+		}
+		t.storeCOM(p, node, mx, my, mz, mm)
+		return
+	}
+	var mx, my, mz, mm float64
+	for o := 0; o < 8; o++ {
+		c := t.children.Get(p, 8*node+o)
+		if c == -1 {
+			continue
+		}
+		t.computeCOM(p, c, pos, mass)
+		m := t.comM.Get(p, c)
+		mx += m * t.comX.Get(p, c)
+		my += m * t.comY.Get(p, c)
+		mz += m * t.comZ.Get(p, c)
+		mm += m
+		p.Flop(7)
+	}
+	t.storeCOM(p, node, mx, my, mz, mm)
+}
+
+// combineCOM recomputes COM for an internal node from its children's
+// already-computed COM values (used for the shallow top of the tree).
+func (t *tree) combineCOM(p *mach.Proc, node int) {
+	var mx, my, mz, mm float64
+	for o := 0; o < 8; o++ {
+		c := t.children.Get(p, 8*node+o)
+		if c == -1 {
+			continue
+		}
+		m := t.comM.Get(p, c)
+		mx += m * t.comX.Get(p, c)
+		my += m * t.comY.Get(p, c)
+		mz += m * t.comZ.Get(p, c)
+		mm += m
+		p.Flop(7)
+	}
+	t.storeCOM(p, node, mx, my, mz, mm)
+}
+
+func (t *tree) storeCOM(p *mach.Proc, node int, mx, my, mz, mm float64) {
+	if mm > 0 {
+		mx /= mm
+		my /= mm
+		mz /= mm
+		p.Flop(3)
+	}
+	t.comX.Set(p, node, mx)
+	t.comY.Set(p, node, my)
+	t.comZ.Set(p, node, mz)
+	t.comM.Set(p, node, mm)
+}
+
+// depth2Nodes lists the nodes exactly two levels below root (plus leaves
+// at depth ≤ 2 are excluded — they are handled by the shallow combine).
+// Every processor computes the same list deterministically.
+func (t *tree) depth2Nodes(p *mach.Proc, root int) (deep []int, shallowInternal []int) {
+	shallowInternal = append(shallowInternal, root)
+	for o := 0; o < 8; o++ {
+		c := t.children.Get(p, 8*root+o)
+		if c == -1 {
+			continue
+		}
+		if t.kind.Get(p, c) == kindLeaf {
+			deep = append(deep, c) // leaf at depth 1: compute directly
+			continue
+		}
+		shallowInternal = append(shallowInternal, c)
+		for o2 := 0; o2 < 8; o2++ {
+			g := t.children.Get(p, 8*c+o2)
+			if g != -1 {
+				deep = append(deep, g)
+			}
+		}
+	}
+	return deep, shallowInternal
+}

@@ -1,0 +1,276 @@
+// Package cholesky implements the SPLASH-2 blocked sparse Cholesky
+// factorization kernel: it factors a sparse SPD matrix into L·Lᵀ. It is
+// similar in structure and partitioning to LU but (i) operates on sparse
+// matrices, which have a larger communication-to-computation ratio for
+// comparable problem sizes, and (ii) is *not* globally synchronized
+// between steps (§3): block columns become ready dynamically as their
+// updates complete, and processors pull ready columns from distributed
+// task queues with stealing.
+//
+// The input is a synthetic block-sparse SPD matrix standing in for tk15.O
+// (see internal/workload); fill-in is computed by a block-level symbolic
+// factorization before the measured numeric phase.
+package cholesky
+
+import (
+	"fmt"
+	"math"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name:      "cholesky",
+		Kernel:    true,
+		FlopBased: true,
+		Doc:       "blocked sparse Cholesky factorization",
+		Defaults: map[string]int{
+			"nblocks": 32, // block columns; paper input: tk15.O
+			"b":       8,
+			"extra":   2, // random sub-diagonal blocks per column
+			"seed":    1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return New(m, opt["nblocks"], opt["b"], opt["extra"], uint64(opt["seed"]))
+		},
+	})
+}
+
+// Cholesky is one configured factorization instance.
+type Cholesky struct {
+	mch  *mach.Machine
+	n, b int // block dimension, block size
+
+	cols    [][]int // fill pattern: rows ≥ j per column, sorted, diag first
+	blocks  map[int]*mach.F64Array
+	orig    []float64      // dense A for verification
+	count   *mach.IntArray // remaining updates per column
+	colLock []mach.Lock
+	queue   *mach.TaskQueues
+}
+
+// New generates the matrix, runs the block symbolic factorization, and
+// allocates the fill pattern with block columns distributed round-robin.
+func New(m *mach.Machine, nblocks, bsize, extra int, seed uint64) (*Cholesky, error) {
+	if nblocks < 2 || bsize < 1 {
+		return nil, fmt.Errorf("cholesky: bad dimensions %d×%d blocks", nblocks, bsize)
+	}
+	a := workload.GenBlockSPD(nblocks, bsize, extra, seed)
+	c := &Cholesky{mch: m, n: nblocks, b: bsize, orig: a.Dense()}
+	c.cols = symbolic(a)
+
+	// Allocate every block of the fill pattern; initialize with A's values
+	// (zero where fill). Column j is homed at its owner.
+	c.blocks = make(map[int]*mach.F64Array)
+	for j := 0; j < nblocks; j++ {
+		for _, i := range c.cols[j] {
+			blk := m.NewF64(bsize*bsize, true, mach.Owner(j%m.Procs()))
+			if src := a.Block(i, j); src != nil {
+				for k, v := range src {
+					blk.Init(k, v)
+				}
+			}
+			c.blocks[i*nblocks+j] = blk
+		}
+	}
+
+	// Dependency counts: column k waits for one update batch from every
+	// earlier column whose structure contains k.
+	c.count = m.NewInt(nblocks, true, mach.Blocked())
+	c.colLock = make([]mach.Lock, nblocks)
+	for j := 0; j < nblocks; j++ {
+		for _, i := range c.cols[j][1:] {
+			c.count.Init(i, c.count.Peek(i)+1)
+		}
+	}
+	c.queue = m.NewTaskQueues(2*nblocks + 4)
+	return c, nil
+}
+
+// symbolic computes the block fill pattern via the elimination-tree pass:
+// each column's structure (minus its first sub-diagonal element) is merged
+// into its parent's.
+func symbolic(a *workload.BlockSparse) [][]int {
+	n := a.N
+	sets := make([]map[int]bool, n)
+	for j := 0; j < n; j++ {
+		sets[j] = map[int]bool{}
+		for _, i := range a.Cols[j] {
+			sets[j][i] = true
+		}
+	}
+	for j := 0; j < n; j++ {
+		parent := n
+		for i := range sets[j] {
+			if i > j && i < parent {
+				parent = i
+			}
+		}
+		if parent == n {
+			continue
+		}
+		for i := range sets[j] {
+			if i > j && i != parent {
+				sets[parent][i] = true
+			}
+		}
+	}
+	cols := make([][]int, n)
+	for j := 0; j < n; j++ {
+		for i := range sets[j] {
+			cols[j] = append(cols[j], i)
+		}
+		sortInts(cols[j])
+	}
+	return cols
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+func (c *Cholesky) block(i, j int) *mach.F64Array { return c.blocks[i*c.n+j] }
+
+// Run executes the numeric factorization with dynamic column scheduling.
+func (c *Cholesky) Run(m *mach.Machine) {
+	m.Run(func(p *mach.Proc) {
+		// Seed the queues: every processor pushes its own ready columns.
+		for j := p.ID; j < c.n; j += m.Procs() {
+			if c.count.Get(p, j) == 0 {
+				c.queue.Push(p, j)
+			}
+		}
+	})
+	m.Run(func(p *mach.Proc) {
+		for {
+			j, ok := c.queue.PopOrSteal(p)
+			if !ok {
+				return
+			}
+			c.factorColumn(p, j)
+			c.queue.Done(p)
+		}
+	})
+}
+
+// factorColumn factors block column j and applies its updates to the
+// trailing columns, releasing any that become ready.
+func (c *Cholesky) factorColumn(p *mach.Proc, j int) {
+	b := c.b
+	diag := c.block(j, j)
+
+	// Dense Cholesky of the diagonal block (lower triangle).
+	for t := 0; t < b; t++ {
+		d := diag.Get(p, t*b+t)
+		for k := 0; k < t; k++ {
+			v := diag.Get(p, t*b+k)
+			d -= v * v
+			p.Flop(2)
+		}
+		d = math.Sqrt(d)
+		p.Flop(1)
+		diag.Set(p, t*b+t, d)
+		for r := t + 1; r < b; r++ {
+			s := diag.Get(p, r*b+t)
+			for k := 0; k < t; k++ {
+				s -= diag.Get(p, r*b+k) * diag.Get(p, t*b+k)
+				p.Flop(2)
+			}
+			diag.Set(p, r*b+t, s/d)
+			p.Flop(1)
+		}
+	}
+
+	// Sub-diagonal blocks: L(i,j) = A(i,j)·L(j,j)⁻ᵀ (row-wise forward
+	// substitution against the diagonal block).
+	rows := c.cols[j][1:]
+	for _, i := range rows {
+		blk := c.block(i, j)
+		for r := 0; r < b; r++ {
+			for t := 0; t < b; t++ {
+				s := blk.Get(p, r*b+t)
+				for k := 0; k < t; k++ {
+					s -= blk.Get(p, r*b+k) * diag.Get(p, t*b+k)
+					p.Flop(2)
+				}
+				blk.Set(p, r*b+t, s/diag.Get(p, t*b+t))
+				p.Flop(1)
+			}
+		}
+	}
+
+	// Trailing updates: for every pair (i ≥ k) in struct(j),
+	// A(i,k) −= L(i,j)·L(k,j)ᵀ, serialized per destination column.
+	for ki, k := range rows {
+		c.colLock[k].Acquire(p)
+		for _, i := range rows[ki:] {
+			li, lk, dst := c.block(i, j), c.block(k, j), c.block(i, k)
+			if dst == nil {
+				panic(fmt.Sprintf("cholesky: fill pattern missing block (%d,%d)", i, k))
+			}
+			for r := 0; r < b; r++ {
+				for cc := 0; cc < b; cc++ {
+					s := dst.Get(p, r*b+cc)
+					for t := 0; t < b; t++ {
+						s -= li.Get(p, r*b+t) * lk.Get(p, cc*b+t)
+						p.Flop(2)
+					}
+					dst.Set(p, r*b+cc, s)
+				}
+			}
+		}
+		ready := c.count.Add(p, k, -1) == 0
+		c.colLock[k].Release(p)
+		if ready {
+			c.queue.Push(p, k)
+		}
+	}
+}
+
+// Verify reconstructs L·Lᵀ densely and compares it to the original A.
+func (c *Cholesky) Verify() error {
+	n := c.n * c.b
+	lf := make([]float64, n*n)
+	for j := 0; j < c.n; j++ {
+		for _, i := range c.cols[j] {
+			blk := c.block(i, j)
+			for r := 0; r < c.b; r++ {
+				for cc := 0; cc < c.b; cc++ {
+					gi, gj := i*c.b+r, j*c.b+cc
+					if gi >= gj {
+						lf[gi*n+gj] = blk.Peek(r*c.b + cc)
+					}
+				}
+			}
+		}
+	}
+	var maxErr, scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for t := 0; t <= j; t++ {
+				s += lf[i*n+t] * lf[j*n+t]
+			}
+			if e := math.Abs(s - c.orig[i*n+j]); e > maxErr {
+				maxErr = e
+			}
+			if a := math.Abs(c.orig[i*n+j]); a > scale {
+				scale = a
+			}
+		}
+	}
+	if maxErr > 1e-9*(scale+1)*float64(n) {
+		return fmt.Errorf("cholesky: residual ‖A−LLᵀ‖∞ = %g (scale %g)", maxErr, scale)
+	}
+	return nil
+}
+
+// FillBlocks returns the number of blocks in the filled pattern (tests).
+func (c *Cholesky) FillBlocks() int { return len(c.blocks) }

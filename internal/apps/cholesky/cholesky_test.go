@@ -1,0 +1,130 @@
+package cholesky
+
+import (
+	"testing"
+	"testing/quick"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func machine(procs int) *mach.Machine {
+	return mach.MustNew(mach.Config{Procs: procs, CacheSize: 64 << 10, Assoc: 4, LineSize: 64})
+}
+
+func TestFactorizationCorrect(t *testing.T) {
+	m := machine(4)
+	c, err := New(m, 12, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(m)
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	m := machine(1)
+	c, err := New(m, 8, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(m)
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolicClosure(t *testing.T) {
+	// The fill pattern must be closed: for any i ≥ k > j both in
+	// struct(j), block (i,k) must exist in column k.
+	a := workload.GenBlockSPD(16, 2, 3, 5)
+	cols := symbolic(a)
+	member := make([]map[int]bool, len(cols))
+	for j, rows := range cols {
+		member[j] = map[int]bool{}
+		for _, i := range rows {
+			member[j][i] = true
+		}
+	}
+	for j, rows := range cols {
+		if len(rows) == 0 || rows[0] != j {
+			t.Fatalf("column %d missing diagonal: %v", j, rows)
+		}
+		for x, k := range rows[1:] {
+			for _, i := range rows[1+x:] {
+				if !member[k][i] {
+					t.Fatalf("fill not closed: (%d,%d) from column %d", i, k, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFillAtLeastInput(t *testing.T) {
+	a := workload.GenBlockSPD(10, 2, 2, 3)
+	cols := symbolic(a)
+	for j := range a.Cols {
+		have := map[int]bool{}
+		for _, i := range cols[j] {
+			have[i] = true
+		}
+		for _, i := range a.Cols[j] {
+			if !have[i] {
+				t.Fatalf("symbolic dropped input block (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRegisteredNoBarriers(t *testing.T) {
+	a, err := apps.Get("cholesky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine(4)
+	r, err := a.Build(m, a.Options(map[string]int{"nblocks": 10, "b": 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	ag := mach.Aggregate(st.Procs)
+	// "Not globally synchronized between steps": locks, no barriers.
+	if ag.Barriers != 0 {
+		t.Fatalf("cholesky used %d barriers", ag.Barriers)
+	}
+	if ag.Locks == 0 {
+		t.Fatal("no lock operations")
+	}
+	if ag.Flops == 0 {
+		t.Fatal("no flops")
+	}
+}
+
+// Property: correct for any seed / geometry / processor count.
+func TestFactorProperty(t *testing.T) {
+	f := func(seed uint64, sel uint8) bool {
+		type cfg struct{ p, n, b, extra int }
+		cfgs := []cfg{{1, 8, 2, 1}, {2, 10, 3, 2}, {4, 12, 2, 3}, {8, 9, 4, 1}}
+		cc := cfgs[int(sel)%len(cfgs)]
+		m := machine(cc.p)
+		c, err := New(m, cc.n, cc.b, cc.extra, seed)
+		if err != nil {
+			return false
+		}
+		c.Run(m)
+		return c.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package fft implements the SPLASH-2 FFT kernel: a complex 1-D radix-√n
+// six-step FFT optimized to minimize interprocessor communication. The n
+// complex data points and the n roots of unity are organized as √n×√n
+// matrices partitioned so that every processor owns a contiguous set of
+// rows allocated in its local memory. Communication happens in three
+// matrix transpose steps: every processor transposes a contiguous
+// (√n/p)×(√n/p) submatrix from every other processor, blocked to exploit
+// cache-line reuse and staggered (processor i starts with the submatrix of
+// processor i+1) to avoid memory hotspotting (§3, [Bai90], [WSH94]).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name:      "fft",
+		Kernel:    true,
+		FlopBased: true,
+		Doc:       "complex 1-D radix-√n six-step FFT",
+		Defaults: map[string]int{
+			"n":       4096, // paper default: 65536
+			"bs":      4,    // transpose tile size
+			"stagger": 1,    // 0: all processors transpose from node 0 first (hotspot ablation)
+			"seed":    1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return New(m, opt["n"], opt["bs"], opt["stagger"] != 0, uint64(opt["seed"]))
+		},
+	})
+}
+
+// FFT is one configured transform instance.
+type FFT struct {
+	mch     *mach.Machine
+	n, m    int               // points, matrix side (m = √n)
+	rpp     int               // rows per processor
+	bs      int               // transpose tile size
+	stagger bool              // staggered transpose order (§3: avoids memory hotspotting)
+	x       *mach.C128Array   // data matrix
+	trans   *mach.C128Array   // transpose scratch
+	u       *mach.C128Array   // roots-of-unity matrix ω^(r·c)
+	tw      []*mach.C128Array // per-processor private row-FFT twiddles
+	input   []complex128      // original data for verification
+	barrier *mach.Barrier
+}
+
+// New builds the kernel: n must be a power of four so that √n is a power
+// of two, and the processor count must divide √n.
+func New(mch *mach.Machine, n, bs int, stagger bool, seed uint64) (*FFT, error) {
+	if n < 4 || bits.OnesCount(uint(n)) != 1 || bits.TrailingZeros(uint(n))%2 != 0 {
+		return nil, fmt.Errorf("fft: n=%d must be a power of 4", n)
+	}
+	side := 1 << (bits.TrailingZeros(uint(n)) / 2)
+	p := mch.Procs()
+	if side%p != 0 {
+		return nil, fmt.Errorf("fft: √n=%d not divisible by %d processors", side, p)
+	}
+	if bs <= 0 {
+		bs = 4
+	}
+	f := &FFT{mch: mch, n: n, m: side, rpp: side / p, bs: bs, stagger: stagger, barrier: mch.NewBarrier()}
+
+	f.x = mch.NewC128(n, true, mach.Blocked())
+	f.trans = mch.NewC128(n, true, mach.Blocked())
+	f.u = mch.NewC128(n, true, mach.Blocked())
+
+	rng := workload.NewRNG(seed)
+	f.input = make([]complex128, n)
+	for i := 0; i < n; i++ {
+		v := complex(rng.Range(-1, 1), rng.Range(-1, 1))
+		f.input[i] = v
+		f.x.Init(i, v)
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			e := -2 * math.Pi * float64(r) * float64(c) / float64(n)
+			f.u.Init(r*side+c, cmplx.Exp(complex(0, e)))
+		}
+	}
+	// Private per-processor twiddles for the √n-point row FFTs.
+	f.tw = make([]*mach.C128Array, p)
+	for pid := 0; pid < p; pid++ {
+		t := mch.NewC128(side/2, false, mach.Owner(pid))
+		for k := 0; k < side/2; k++ {
+			e := -2 * math.Pi * float64(k) / float64(side)
+			t.Init(k, cmplx.Exp(complex(0, e)))
+		}
+		f.tw[pid] = t
+	}
+	return f, nil
+}
+
+// Run executes the six-step algorithm.
+func (f *FFT) Run(m *mach.Machine) {
+	m.Run(func(p *mach.Proc) {
+		f.transpose(p, f.x, f.trans)
+		f.barrier.Wait(p)
+		f.rowFFTs(p, f.trans)
+		f.twiddle(p, f.trans)
+		f.barrier.Wait(p)
+		f.transpose(p, f.trans, f.x)
+		f.barrier.Wait(p)
+		f.rowFFTs(p, f.x)
+		f.barrier.Wait(p)
+		f.transpose(p, f.x, f.trans)
+		f.barrier.Wait(p)
+	})
+}
+
+// transpose writes dst = srcᵀ for this processor's destination rows,
+// visiting source submatrices in staggered order and in bs×bs tiles.
+func (f *FFT) transpose(p *mach.Proc, src, dst *mach.C128Array) {
+	procs := f.mch.Procs()
+	r0 := p.ID * f.rpp
+	for s := 1; s <= procs; s++ {
+		partner := (p.ID + s) % procs // staggered: i transposes from i+1 first
+		if !f.stagger {
+			partner = s % procs // ablation: everyone starts at node 0, 1, …
+		}
+		c0 := partner * f.rpp
+		for tr := 0; tr < f.rpp; tr += f.bs {
+			for tc := 0; tc < f.rpp; tc += f.bs {
+				for r := tr; r < tr+f.bs && r < f.rpp; r++ {
+					for c := tc; c < tc+f.bs && c < f.rpp; c++ {
+						v := src.Get(p, (c0+c)*f.m+(r0+r))
+						dst.Set(p, (r0+r)*f.m+(c0+c), v)
+						p.Instr(2) // index arithmetic
+					}
+				}
+			}
+		}
+	}
+}
+
+// rowFFTs runs an in-place iterative radix-2 FFT over each of this
+// processor's rows of a.
+func (f *FFT) rowFFTs(p *mach.Proc, a *mach.C128Array) {
+	tw := f.tw[p.ID]
+	for r := p.ID * f.rpp; r < (p.ID+1)*f.rpp; r++ {
+		base := r * f.m
+		f.bitReverse(p, a, base)
+		for span := 1; span < f.m; span *= 2 {
+			step := f.m / (2 * span)
+			for k := 0; k < f.m; k += 2 * span {
+				for j := 0; j < span; j++ {
+					w := tw.Get(p, j*step)
+					lo := a.Get(p, base+k+j)
+					hi := a.Get(p, base+k+j+span)
+					t := w * hi
+					a.Set(p, base+k+j, lo+t)
+					a.Set(p, base+k+j+span, lo-t)
+					p.Flop(10) // complex mult (6) + two complex adds (4)
+				}
+			}
+		}
+	}
+}
+
+// bitReverse permutes one row into bit-reversed order.
+func (f *FFT) bitReverse(p *mach.Proc, a *mach.C128Array, base int) {
+	logm := bits.TrailingZeros(uint(f.m))
+	for i := 0; i < f.m; i++ {
+		j := int(bits.Reverse32(uint32(i)) >> (32 - logm))
+		if j > i {
+			vi := a.Get(p, base+i)
+			vj := a.Get(p, base+j)
+			a.Set(p, base+i, vj)
+			a.Set(p, base+j, vi)
+		}
+		p.Instr(2)
+	}
+}
+
+// twiddle multiplies element (r,c) of this processor's rows by ω^(r·c),
+// read from the locally allocated partition of the roots matrix.
+func (f *FFT) twiddle(p *mach.Proc, a *mach.C128Array) {
+	for r := p.ID * f.rpp; r < (p.ID+1)*f.rpp; r++ {
+		for c := 0; c < f.m; c++ {
+			w := f.u.Get(p, r*f.m+c)
+			a.Set(p, r*f.m+c, a.Get(p, r*f.m+c)*w)
+			p.Flop(6)
+		}
+	}
+}
+
+// Output returns the transform result (natural order) for verification.
+func (f *FFT) Output() []complex128 { return f.trans.Raw() }
+
+// Verify compares against a direct DFT: fully for small n, on sampled
+// output indices for large n.
+func (f *FFT) Verify() error {
+	out := f.Output()
+	check := func(j int) error {
+		var want complex128
+		for k := 0; k < f.n; k++ {
+			e := -2 * math.Pi * float64(j) * float64(k) / float64(f.n)
+			want += f.input[k] * cmplx.Exp(complex(0, e))
+		}
+		if d := cmplx.Abs(out[j] - want); d > 1e-6*math.Sqrt(float64(f.n)) {
+			return fmt.Errorf("fft: output[%d] = %v, direct DFT = %v (|Δ|=%g)", j, out[j], want, d)
+		}
+		return nil
+	}
+	if f.n <= 1024 {
+		for j := 0; j < f.n; j++ {
+			if err := check(j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rng := workload.NewRNG(99)
+	for s := 0; s < 16; s++ {
+		if err := check(rng.Intn(f.n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package fft
+
+import (
+	"testing"
+	"testing/quick"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+)
+
+func machine(procs int) *mach.Machine {
+	return mach.MustNew(mach.Config{Procs: procs, CacheSize: 64 << 10, Assoc: 4, LineSize: 64})
+}
+
+func TestMatchesDirectDFT(t *testing.T) {
+	m := machine(4)
+	f, err := New(m, 256, 4, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(m)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	m := machine(1)
+	f, err := New(m, 64, 2, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(m)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadSizes(t *testing.T) {
+	m := machine(2)
+	for _, n := range []int{0, 3, 128, 512} { // 128, 512 are not powers of 4
+		if _, err := New(m, n, 4, true, 1); err == nil {
+			t.Errorf("n=%d accepted", n)
+		}
+	}
+	// √1024 = 32 rows not divisible by 3 procs... 3 procs: invalid anyway
+	m3 := mach.MustNew(mach.Config{Procs: 3, CacheSize: 64 << 10, Assoc: 4, LineSize: 64})
+	if _, err := New(m3, 256, 4, true, 1); err == nil {
+		t.Error("16 rows on 3 procs accepted")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.Get("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine(2)
+	r, err := a.Build(m, a.Options(map[string]int{"n": 64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if mach.Aggregate(st.Procs).Flops == 0 {
+		t.Fatal("no flops counted")
+	}
+	// Transposes communicate: with >1 proc there must be remote traffic.
+	if st.Mem.Traffic.Remote() == 0 {
+		t.Fatal("no communication in transposes")
+	}
+}
+
+// Property: the transform is correct for any seed and supported size/proc
+// combination.
+func TestTransformProperty(t *testing.T) {
+	f := func(seed uint64, procSel, sizeSel uint8) bool {
+		procs := []int{1, 2, 4}[int(procSel)%3]
+		n := []int{64, 256}[int(sizeSel)%2]
+		m := machine(procs)
+		ff, err := New(m, n, 2, true, seed)
+		if err != nil {
+			return false
+		}
+		ff.Run(m)
+		return ff.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalEnergyConservation(t *testing.T) {
+	m := machine(4)
+	f, err := New(m, 256, 4, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(m)
+	var ein, eout float64
+	for _, v := range f.input {
+		ein += real(v)*real(v) + imag(v)*imag(v)
+	}
+	for _, v := range f.Output() {
+		eout += real(v)*real(v) + imag(v)*imag(v)
+	}
+	// Parseval: Σ|X|² = n·Σ|x|².
+	if ratio := eout / (ein * 256); ratio < 0.999999 || ratio > 1.000001 {
+		t.Fatalf("Parseval violated: ratio=%v", ratio)
+	}
+}
+
+// §3: the staggered transpose order exists to avoid memory hotspotting.
+// Without it, every processor fetches from the same home node in the same
+// phase, and that node's peak service burst rises well above the mean.
+func TestStaggerAblationHotspot(t *testing.T) {
+	ratio := func(stagger bool) float64 {
+		m := machine(8)
+		f, err := New(m, 4096, 4, stagger, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Run(m)
+		if err := f.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Snapshot().Mem.HotspotRatio()
+	}
+	staggered := ratio(true)
+	sequential := ratio(false)
+	if sequential <= staggered {
+		t.Fatalf("sequential transpose order shows no extra hotspotting: %.2f <= %.2f", sequential, staggered)
+	}
+}

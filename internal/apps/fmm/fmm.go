@@ -1,0 +1,255 @@
+// Package fmm implements the SPLASH-2 FMM application: 2-D N-body
+// simulation using the adaptive Fast Multipole Method [Gre87]. Unlike
+// Barnes, the tree is not traversed once per body: a single upward pass
+// computes multipole expansions, cell-cell interactions convert them to
+// local expansions, and a downward pass propagates effects to the bodies;
+// accuracy is controlled by the number of expansion terms rather than by
+// how many cells a body interacts with (§3). Communication is unstructured
+// and no attempt is made at intelligent distribution of particle data.
+package fmm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"splash2/internal/apps"
+	"splash2/internal/apps/partition"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name:      "fmm",
+		FlopBased: true,
+		Doc:       "adaptive 2-D Fast Multipole Method N-body simulation",
+		Defaults: map[string]int{
+			"n":       512, // paper default: 16384
+			"steps":   2,
+			"terms":   10,
+			"leafcap": 8,
+			"seed":    1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return New(m, opt["n"], opt["steps"], opt["terms"], opt["leafcap"], uint64(opt["seed"]))
+		},
+	})
+}
+
+const fmmDt = 0.005
+
+// FMM is one configured simulation instance.
+type FMM struct {
+	mch     *mach.Machine
+	n       int
+	steps   int
+	terms   int
+	leafCap int
+
+	pos *mach.F64Array // 2n (x,y)
+	vel *mach.F64Array // 2n
+	fld *mach.F64Array // 2n (complex field per body)
+	q   *mach.F64Array // n charges
+
+	// Quadtree pool.
+	cap      int
+	kind     *mach.IntArray
+	children *mach.IntArray // 4 per node
+	lbodies  *mach.IntArray
+	lcount   *mach.IntArray
+	cx, cy   *mach.F64Array
+	half     *mach.F64Array
+	mpole    *mach.F64Array // 2(terms+1) per node
+	local    *mach.F64Array
+	locks    []mach.Lock
+
+	allocLock mach.Lock
+	allocN    *mach.IntArray
+	root      int
+
+	minmax  *mach.F64Array
+	barrier *mach.Barrier
+
+	posAtForce []float64
+	qSnapshot  []float64
+}
+
+// New builds the simulation over a clustered 2-D distribution (exercising
+// tree adaptivity).
+func New(m *mach.Machine, n, steps, terms, leafCap int, seed uint64) (*FMM, error) {
+	if n < 2 || terms < 4 || leafCap < 1 {
+		return nil, fmt.Errorf("fmm: bad parameters n=%d terms=%d leafcap=%d", n, terms, leafCap)
+	}
+	f := &FMM{mch: m, n: n, steps: steps, terms: terms, leafCap: leafCap, barrier: m.NewBarrier()}
+	f.pos = m.NewF64(2*n, true, mach.Interleaved())
+	f.vel = m.NewF64(2*n, true, mach.Interleaved())
+	f.fld = m.NewF64(2*n, true, mach.Interleaved())
+	f.q = m.NewF64(n, true, mach.Interleaved())
+
+	f.cap = 4*n + 64
+	f.kind = m.NewInt(f.cap, true, mach.Interleaved())
+	f.children = m.NewInt(4*f.cap, true, mach.Interleaved())
+	f.lbodies = m.NewInt(leafCap*f.cap, true, mach.Interleaved())
+	f.lcount = m.NewInt(f.cap, true, mach.Interleaved())
+	f.cx = m.NewF64(f.cap, true, mach.Interleaved())
+	f.cy = m.NewF64(f.cap, true, mach.Interleaved())
+	f.half = m.NewF64(f.cap, true, mach.Interleaved())
+	f.mpole = m.NewF64(2*(terms+1)*f.cap, true, mach.Interleaved())
+	f.local = m.NewF64(2*(terms+1)*f.cap, true, mach.Interleaved())
+	f.locks = make([]mach.Lock, f.cap)
+	f.allocN = m.NewInt(8, true, mach.Owner(0))
+	pad := m.LineSize() / mach.WordBytes
+	f.minmax = m.NewF64(m.Procs()*6*pad, true, mach.Interleaved())
+
+	for i, b := range workload.Clustered2D(n, 4, seed) {
+		f.pos.Init(2*i, b.X)
+		f.pos.Init(2*i+1, b.Y)
+		f.q.Init(i, b.Mass)
+	}
+	return f, nil
+}
+
+// Run executes the time-steps; measurement restarts after the first.
+func (f *FMM) Run(m *mach.Machine) {
+	m.Run(func(p *mach.Proc) {
+		f.timestep(p, 0)
+		if f.steps > 1 {
+			m.Epoch(p, f.barrier)
+			for s := 1; s < f.steps; s++ {
+				f.timestep(p, s)
+			}
+		}
+	})
+}
+
+func (f *FMM) timestep(p *mach.Proc, step int) {
+	lo, hi := partition.Range(p.ID, f.mch.Procs(), f.n)
+	pad := f.mch.LineSize() / mach.WordBytes
+
+	// Bounding box reduction.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 2; d++ {
+			v := f.pos.Get(p, 2*i+d)
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			p.Instr(2)
+		}
+	}
+	slot := p.ID * 6 * pad
+	f.minmax.Set(p, slot, minV)
+	f.minmax.Set(p, slot+1, maxV)
+	f.barrier.Wait(p)
+	gmin, gmax := math.Inf(1), math.Inf(-1)
+	for qd := 0; qd < f.mch.Procs(); qd++ {
+		if v := f.minmax.Get(p, qd*6*pad); v < gmin {
+			gmin = v
+		}
+		if v := f.minmax.Get(p, qd*6*pad+1); v > gmax {
+			gmax = v
+		}
+		p.Instr(2)
+	}
+	center := (gmin + gmax) / 2
+	half := (gmax-gmin)/2*1.001 + 1e-9
+
+	// Tree build: parallel insertion with per-node locks.
+	if p.ID == 0 {
+		f.allocN.Set(p, 0, 0)
+		f.root = f.alloc(p, kindInternal, center, center, half)
+	}
+	f.barrier.Wait(p)
+	for i := lo; i < hi; i++ {
+		f.insert(p, f.root, i, f.pos.Get(p, 2*i), f.pos.Get(p, 2*i+1))
+	}
+	f.barrier.Wait(p)
+
+	// Upward pass: multipoles for depth-2 subtrees in parallel, then the
+	// shallow top combined by one processor.
+	deep, shallow := f.depth2(p)
+	for k := p.ID; k < len(deep); k += f.mch.Procs() {
+		f.upward(p, deep[k])
+	}
+	f.barrier.Wait(p)
+	if p.ID == 0 {
+		for k := len(shallow) - 1; k >= 0; k-- {
+			f.combineMpole(p, shallow[k])
+		}
+	}
+	f.barrier.Wait(p)
+
+	// Interaction + downward pass per assigned target subtree: all writes
+	// stay within the subtree's locals and its leaves' bodies.
+	if f.kind.Get(p, f.root) == kindLeaf {
+		if p.ID == 0 {
+			f.zeroFields(p, f.root)
+			f.p2p(p, f.root, f.root)
+		}
+	} else {
+		for k := p.ID; k < len(deep); k += f.mch.Procs() {
+			f.zeroLocals(p, deep[k])
+			f.zeroFields(p, deep[k])
+			f.dual(p, deep[k], f.root)
+			f.downward(p, deep[k])
+		}
+	}
+	f.barrier.Wait(p)
+
+	if step == f.steps-1 && p.ID == 0 {
+		f.posAtForce = append([]float64(nil), f.pos.Raw()...)
+	}
+	f.barrier.Wait(p)
+
+	// Integration.
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 2; d++ {
+			v := f.vel.Get(p, 2*i+d) + fmmDt*f.fld.Get(p, 2*i+d)
+			f.vel.Set(p, 2*i+d, v)
+			f.pos.Set(p, 2*i+d, f.pos.Get(p, 2*i+d)+fmmDt*v)
+			p.Flop(4)
+		}
+	}
+	f.barrier.Wait(p)
+}
+
+// Verify compares FMM fields of sampled bodies against direct summation.
+func (f *FMM) Verify() error {
+	if f.posAtForce == nil {
+		return fmt.Errorf("fmm: no force snapshot recorded")
+	}
+	rng := workload.NewRNG(321)
+	var worst float64
+	for s := 0; s < 24; s++ {
+		i := rng.Intn(f.n)
+		zi := complex(f.posAtForce[2*i], f.posAtForce[2*i+1])
+		var want complex128
+		for j := 0; j < f.n; j++ {
+			if j == i {
+				continue
+			}
+			zj := complex(f.posAtForce[2*j], f.posAtForce[2*j+1])
+			want += complex(f.q.Peek(j), 0) / (zi - zj)
+		}
+		got := complex(f.fld.Peek(2*i), f.fld.Peek(2*i+1))
+		if cmplx.Abs(want) == 0 {
+			continue
+		}
+		if rel := cmplx.Abs(got-want) / cmplx.Abs(want); rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 2e-3 {
+		return fmt.Errorf("fmm: field error %.2e vs direct summation", worst)
+	}
+	for i := 0; i < 2*f.n; i++ {
+		if v := f.pos.Peek(i); math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("fmm: position diverged at body %d", i/2)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package fmm
+
+import "math/cmplx"
+
+// 2-D Laplace fast-multipole operators (Greengard & Rokhlin). The complex
+// potential of charges q_i at z_i is Φ(z) = Σ q_i·log(z−z_i); a multipole
+// expansion about zc is Φ(z) = a₀·log(z−zc) + Σ_{k≥1} a_k/(z−zc)^k and a
+// local expansion about zc is Ψ(z) = Σ_{l≥0} b_l·(z−zc)^l. Coefficient
+// slices hold terms 0..p.
+
+// binomial returns C(n,k) as float64 (n small: expansion order ≤ ~40).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// p2m forms the multipole expansion about zc of charges q at positions z.
+func p2m(q []float64, z []complex128, zc complex128, p int) []complex128 {
+	a := make([]complex128, p+1)
+	for i := range q {
+		d := z[i] - zc
+		a[0] += complex(q[i], 0)
+		dk := d
+		for k := 1; k <= p; k++ {
+			a[k] -= complex(q[i]/float64(k), 0) * dk
+			dk *= d
+		}
+	}
+	return a
+}
+
+// m2m shifts a multipole expansion from center z0 to z1 (t = z0−z1).
+func m2m(a []complex128, t complex128) []complex128 {
+	p := len(a) - 1
+	b := make([]complex128, p+1)
+	b[0] = a[0]
+	tl := t
+	for l := 1; l <= p; l++ {
+		s := -a[0] * tl / complex(float64(l), 0)
+		tk := complex(1, 0) // t^(l-k), built downward
+		// Σ_{k=1..l} a_k·t^{l−k}·C(l−1,k−1)
+		for k := l; k >= 1; k-- {
+			s += a[k] * tk * complex(binomial(l-1, k-1), 0)
+			tk *= t
+		}
+		b[l] = s
+		tl *= t
+	}
+	return b
+}
+
+// m2l converts a multipole expansion about z0 into a local expansion about
+// z1 (t = z0−z1, which must be large enough for convergence).
+func m2l(a []complex128, t complex128) []complex128 {
+	p := len(a) - 1
+	b := make([]complex128, p+1)
+	// Precompute (−1)^k·a_k/t^k.
+	ak := make([]complex128, p+1)
+	tk := complex(1, 0)
+	sign := 1.0
+	for k := 1; k <= p; k++ {
+		tk *= t
+		sign = -sign
+		ak[k] = a[k] * complex(sign, 0) / tk
+	}
+	s0 := a[0] * cmplx.Log(-t)
+	for k := 1; k <= p; k++ {
+		s0 += ak[k]
+	}
+	b[0] = s0
+	tl := complex(1, 0)
+	for l := 1; l <= p; l++ {
+		tl *= t
+		s := -a[0] / (complex(float64(l), 0) * tl)
+		for k := 1; k <= p; k++ {
+			s += ak[k] * complex(binomial(l+k-1, k-1), 0) / tl
+		}
+		b[l] = s
+	}
+	return b
+}
+
+// l2l shifts a local expansion from center z0 to z1 (t = z1−z0).
+func l2l(a []complex128, t complex128) []complex128 {
+	p := len(a) - 1
+	b := make([]complex128, p+1)
+	for l := 0; l <= p; l++ {
+		s := complex(0, 0)
+		tk := complex(1, 0)
+		for k := l; k <= p; k++ {
+			s += a[k] * complex(binomial(k, l), 0) * tk
+			tk *= t
+		}
+		b[l] = s
+	}
+	return b
+}
+
+// evalMultipole evaluates Φ(z) and Φ'(z) for dz = z−zc.
+func evalMultipole(a []complex128, dz complex128) (phi, field complex128) {
+	phi = a[0] * cmplx.Log(dz)
+	field = a[0] / dz
+	pow := dz
+	for k := 1; k < len(a); k++ {
+		phi += a[k] / pow
+		field -= complex(float64(k), 0) * a[k] / (pow * dz)
+		pow *= dz
+	}
+	return phi, field
+}
+
+// evalLocal evaluates Ψ(z) and Ψ'(z) for dz = z−zc.
+func evalLocal(b []complex128, dz complex128) (phi, field complex128) {
+	phi = b[0]
+	pow := complex(1, 0)
+	for l := 1; l < len(b); l++ {
+		field += complex(float64(l), 0) * b[l] * pow
+		pow *= dz
+		phi += b[l] * pow
+	}
+	return phi, field
+}

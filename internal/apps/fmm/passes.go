@@ -1,0 +1,228 @@
+package fmm
+
+import (
+	"math"
+
+	"splash2/internal/mach"
+)
+
+// Coefficient I/O: expansions live in shared memory as interleaved
+// (re,im) pairs, 2(terms+1) words per node.
+
+func (f *FMM) coeffBase(node int) int { return 2 * (f.terms + 1) * node }
+
+func (f *FMM) readCoeffs(p *mach.Proc, arr *mach.F64Array, node int) []complex128 {
+	base := f.coeffBase(node)
+	out := make([]complex128, f.terms+1)
+	for k := range out {
+		out[k] = complex(arr.Get(p, base+2*k), arr.Get(p, base+2*k+1))
+	}
+	return out
+}
+
+func (f *FMM) writeCoeffs(p *mach.Proc, arr *mach.F64Array, node int, c []complex128) {
+	base := f.coeffBase(node)
+	for k := range c {
+		arr.Set(p, base+2*k, real(c[k]))
+		arr.Set(p, base+2*k+1, imag(c[k]))
+	}
+}
+
+func (f *FMM) addCoeffs(p *mach.Proc, arr *mach.F64Array, node int, c []complex128) {
+	base := f.coeffBase(node)
+	for k := range c {
+		arr.Add(p, base+2*k, real(c[k]))
+		arr.Add(p, base+2*k+1, imag(c[k]))
+		p.Flop(2)
+	}
+}
+
+func (f *FMM) center(p *mach.Proc, node int) complex128 {
+	return complex(f.cx.Get(p, node), f.cy.Get(p, node))
+}
+
+// radius is the circumscribed-circle radius of the node's square.
+func (f *FMM) radius(p *mach.Proc, node int) float64 {
+	return f.half.Get(p, node) * math.Sqrt2
+}
+
+// upward computes multipole expansions post-order: P2M at leaves, M2M up.
+func (f *FMM) upward(p *mach.Proc, node int) {
+	if f.kind.Get(p, node) == kindLeaf {
+		n := f.lcount.Get(p, node)
+		qs := make([]float64, n)
+		zs := make([]complex128, n)
+		for k := 0; k < n; k++ {
+			b := f.lbodies.Get(p, node*f.leafCap+k)
+			qs[k] = f.q.Get(p, b)
+			zs[k] = complex(f.pos.Get(p, 2*b), f.pos.Get(p, 2*b+1))
+		}
+		a := p2m(qs, zs, f.center(p, node), f.terms)
+		p.Flop(6 * n * f.terms)
+		f.writeCoeffs(p, f.mpole, node, a)
+		return
+	}
+	acc := make([]complex128, f.terms+1)
+	zc := f.center(p, node)
+	for o := 0; o < 4; o++ {
+		c := f.children.Get(p, 4*node+o)
+		if c == -1 {
+			continue
+		}
+		f.upward(p, c)
+		shifted := m2m(f.readCoeffs(p, f.mpole, c), f.center(p, c)-zc)
+		p.Flop(3 * f.terms * f.terms)
+		for k := range acc {
+			acc[k] += shifted[k]
+		}
+		p.Flop(2 * (f.terms + 1))
+	}
+	f.writeCoeffs(p, f.mpole, node, acc)
+}
+
+// combineMpole recomputes an internal node's multipole from its children's
+// already-final expansions (shallow top of the tree).
+func (f *FMM) combineMpole(p *mach.Proc, node int) {
+	if f.kind.Get(p, node) == kindLeaf {
+		return
+	}
+	acc := make([]complex128, f.terms+1)
+	zc := f.center(p, node)
+	for o := 0; o < 4; o++ {
+		c := f.children.Get(p, 4*node+o)
+		if c == -1 {
+			continue
+		}
+		shifted := m2m(f.readCoeffs(p, f.mpole, c), f.center(p, c)-zc)
+		p.Flop(3 * f.terms * f.terms)
+		for k := range acc {
+			acc[k] += shifted[k]
+		}
+		p.Flop(2 * (f.terms + 1))
+	}
+	f.writeCoeffs(p, f.mpole, node, acc)
+}
+
+// zeroLocals clears the local expansions of an entire subtree.
+func (f *FMM) zeroLocals(p *mach.Proc, node int) {
+	zero := make([]complex128, f.terms+1)
+	f.writeCoeffs(p, f.local, node, zero)
+	if f.kind.Get(p, node) == kindLeaf {
+		return
+	}
+	for o := 0; o < 4; o++ {
+		if c := f.children.Get(p, 4*node+o); c != -1 {
+			f.zeroLocals(p, c)
+		}
+	}
+}
+
+// zeroFields clears the accumulated fields of bodies in a subtree's leaves.
+func (f *FMM) zeroFields(p *mach.Proc, node int) {
+	if f.kind.Get(p, node) == kindLeaf {
+		n := f.lcount.Get(p, node)
+		for k := 0; k < n; k++ {
+			b := f.lbodies.Get(p, node*f.leafCap+k)
+			f.fld.Set(p, 2*b, 0)
+			f.fld.Set(p, 2*b+1, 0)
+		}
+		return
+	}
+	for o := 0; o < 4; o++ {
+		if c := f.children.Get(p, 4*node+o); c != -1 {
+			f.zeroFields(p, c)
+		}
+	}
+}
+
+// dual performs the adaptive interaction traversal between target cell a
+// (within this processor's subtree) and source cell b: well-separated
+// pairs interact by M2L, leaf pairs directly, and otherwise the larger
+// cell is subdivided.
+func (f *FMM) dual(p *mach.Proc, a, b int) {
+	za, zb := f.center(p, a), f.center(p, b)
+	ra, rb := f.radius(p, a), f.radius(p, b)
+	d := za - zb
+	dist := math.Hypot(real(d), imag(d))
+	p.Flop(6)
+	if dist >= 2*(ra+rb) {
+		loc := m2l(f.readCoeffs(p, f.mpole, b), zb-za)
+		p.Flop(4 * f.terms * f.terms)
+		f.addCoeffs(p, f.local, a, loc)
+		return
+	}
+	aLeaf := f.kind.Get(p, a) == kindLeaf
+	bLeaf := f.kind.Get(p, b) == kindLeaf
+	switch {
+	case aLeaf && bLeaf:
+		f.p2p(p, a, b)
+	case bLeaf || (!aLeaf && f.half.Get(p, a) >= f.half.Get(p, b)):
+		for o := 0; o < 4; o++ {
+			if c := f.children.Get(p, 4*a+o); c != -1 {
+				f.dual(p, c, b)
+			}
+		}
+	default:
+		for o := 0; o < 4; o++ {
+			if c := f.children.Get(p, 4*b+o); c != -1 {
+				f.dual(p, a, c)
+			}
+		}
+	}
+}
+
+// p2p adds direct interactions from source leaf b's bodies onto target
+// leaf a's bodies.
+func (f *FMM) p2p(p *mach.Proc, a, b int) {
+	na := f.lcount.Get(p, a)
+	nb := f.lcount.Get(p, b)
+	for i := 0; i < na; i++ {
+		bi := f.lbodies.Get(p, a*f.leafCap+i)
+		zi := complex(f.pos.Get(p, 2*bi), f.pos.Get(p, 2*bi+1))
+		var acc complex128
+		for j := 0; j < nb; j++ {
+			bj := f.lbodies.Get(p, b*f.leafCap+j)
+			if bj == bi {
+				continue
+			}
+			zj := complex(f.pos.Get(p, 2*bj), f.pos.Get(p, 2*bj+1))
+			acc += complex(f.q.Get(p, bj), 0) / (zi - zj)
+			p.Flop(9)
+		}
+		f.fld.Add(p, 2*bi, real(acc))
+		f.fld.Add(p, 2*bi+1, imag(acc))
+		p.Flop(2)
+	}
+}
+
+// downward propagates local expansions to children (L2L) and evaluates
+// them at the bodies of leaves (L2P).
+func (f *FMM) downward(p *mach.Proc, node int) {
+	if f.kind.Get(p, node) == kindLeaf {
+		loc := f.readCoeffs(p, f.local, node)
+		zc := f.center(p, node)
+		n := f.lcount.Get(p, node)
+		for k := 0; k < n; k++ {
+			b := f.lbodies.Get(p, node*f.leafCap+k)
+			z := complex(f.pos.Get(p, 2*b), f.pos.Get(p, 2*b+1))
+			_, fieldVal := evalLocal(loc, z-zc)
+			p.Flop(6 * f.terms)
+			f.fld.Add(p, 2*b, real(fieldVal))
+			f.fld.Add(p, 2*b+1, imag(fieldVal))
+			p.Flop(2)
+		}
+		return
+	}
+	loc := f.readCoeffs(p, f.local, node)
+	zc := f.center(p, node)
+	for o := 0; o < 4; o++ {
+		c := f.children.Get(p, 4*node+o)
+		if c == -1 {
+			continue
+		}
+		shifted := l2l(loc, f.center(p, c)-zc)
+		p.Flop(3 * f.terms * f.terms)
+		f.addCoeffs(p, f.local, c, shifted)
+		f.downward(p, c)
+	}
+}

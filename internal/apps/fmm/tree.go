@@ -1,0 +1,153 @@
+package fmm
+
+import (
+	"fmt"
+
+	"splash2/internal/mach"
+)
+
+const (
+	kindInternal = 0
+	kindLeaf     = 1
+)
+
+// alloc grabs a quadtree node from the shared pool.
+func (f *FMM) alloc(p *mach.Proc, kind int, cx, cy, half float64) int {
+	f.allocLock.Acquire(p)
+	id := f.allocN.Get(p, 0)
+	f.allocN.Set(p, 0, id+1)
+	f.allocLock.Release(p)
+	if id >= f.cap {
+		panic(fmt.Sprintf("fmm: node pool exhausted (%d)", f.cap))
+	}
+	f.kind.Set(p, id, kind)
+	f.lcount.Set(p, id, 0)
+	f.cx.Set(p, id, cx)
+	f.cy.Set(p, id, cy)
+	f.half.Set(p, id, half)
+	for o := 0; o < 4; o++ {
+		f.children.Set(p, 4*id+o, -1)
+	}
+	return id
+}
+
+// quadrant locates (x,y) within node id, returning the child geometry.
+func (f *FMM) quadrant(p *mach.Proc, id int, x, y float64) (q int, ccx, ccy, chalf float64) {
+	cx := f.cx.Get(p, id)
+	cy := f.cy.Get(p, id)
+	h := f.half.Get(p, id) / 2
+	ccx, ccy = cx-h, cy-h
+	if x >= cx {
+		q |= 1
+		ccx = cx + h
+	}
+	if y >= cy {
+		q |= 2
+		ccy = cy + h
+	}
+	p.Instr(4)
+	return q, ccx, ccy, h
+}
+
+// insert adds body b with per-node locking (same discipline as Barnes).
+func (f *FMM) insert(p *mach.Proc, root, b int, x, y float64) {
+	node := root
+	for {
+		q, ccx, ccy, chalf := f.quadrant(p, node, x, y)
+		f.locks[node].Acquire(p)
+		child := f.children.Get(p, 4*node+q)
+		switch {
+		case child == -1:
+			leaf := f.alloc(p, kindLeaf, ccx, ccy, chalf)
+			f.lbodies.Set(p, leaf*f.leafCap, b)
+			f.lcount.Set(p, leaf, 1)
+			f.children.Set(p, 4*node+q, leaf)
+			f.locks[node].Release(p)
+			return
+		case f.kind.Get(p, child) == kindLeaf:
+			n := f.lcount.Get(p, child)
+			if n < f.leafCap {
+				f.lbodies.Set(p, child*f.leafCap+n, b)
+				f.lcount.Set(p, child, n+1)
+				f.locks[node].Release(p)
+				return
+			}
+			repl := f.splitLeaf(p, child, ccx, ccy, chalf)
+			f.children.Set(p, 4*node+q, repl)
+			f.locks[node].Release(p)
+			node = repl
+		default:
+			f.locks[node].Release(p)
+			node = child
+		}
+	}
+}
+
+// splitLeaf converts a full leaf into a private internal subtree.
+func (f *FMM) splitLeaf(p *mach.Proc, leaf int, cx, cy, half float64) int {
+	internal := f.alloc(p, kindInternal, cx, cy, half)
+	n := f.lcount.Get(p, leaf)
+	for k := 0; k < n; k++ {
+		b := f.lbodies.Get(p, leaf*f.leafCap+k)
+		f.insertPrivate(p, internal, b, f.pos.Get(p, 2*b), f.pos.Get(p, 2*b+1))
+	}
+	return internal
+}
+
+func (f *FMM) insertPrivate(p *mach.Proc, root, b int, x, y float64) {
+	node := root
+	for {
+		q, ccx, ccy, chalf := f.quadrant(p, node, x, y)
+		child := f.children.Get(p, 4*node+q)
+		switch {
+		case child == -1:
+			leaf := f.alloc(p, kindLeaf, ccx, ccy, chalf)
+			f.lbodies.Set(p, leaf*f.leafCap, b)
+			f.lcount.Set(p, leaf, 1)
+			f.children.Set(p, 4*node+q, leaf)
+			return
+		case f.kind.Get(p, child) == kindLeaf:
+			n := f.lcount.Get(p, child)
+			if n < f.leafCap {
+				f.lbodies.Set(p, child*f.leafCap+n, b)
+				f.lcount.Set(p, child, n+1)
+				return
+			}
+			repl := f.splitLeaf(p, child, ccx, ccy, chalf)
+			f.children.Set(p, 4*node+q, repl)
+			node = repl
+		default:
+			node = child
+		}
+	}
+}
+
+// targetDepth is how deep the work decomposition descends: subtree roots
+// at this depth become independently assignable work units (up to 4³ of
+// them), giving enough parallel slack for clustered distributions.
+const targetDepth = 3
+
+// depth2 lists the subtree roots at targetDepth (plus shallower leaves)
+// and the shallow internal nodes above them in pre-order — reversing the
+// shallow list therefore visits children before parents. Every caller
+// computes the same lists deterministically.
+func (f *FMM) depth2(p *mach.Proc) (deep []int, shallowInternal []int) {
+	if f.kind.Get(p, f.root) == kindLeaf {
+		return nil, nil
+	}
+	var walk func(node, depth int)
+	walk = func(node, depth int) {
+		if depth == targetDepth || f.kind.Get(p, node) == kindLeaf {
+			deep = append(deep, node)
+			return
+		}
+		shallowInternal = append(shallowInternal, node)
+		for o := 0; o < 4; o++ {
+			if c := f.children.Get(p, 4*node+o); c != -1 {
+				walk(c, depth+1)
+			}
+		}
+	}
+	walk(f.root, 0)
+	return deep, shallowInternal
+}

@@ -1,0 +1,184 @@
+package lu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/memsys"
+)
+
+func machine(t *testing.T, procs int) *mach.Machine {
+	t.Helper()
+	return mach.MustNew(mach.Config{Procs: procs, CacheSize: 64 << 10, Assoc: 4, LineSize: 64})
+}
+
+func TestFactorizationCorrect(t *testing.T) {
+	m := machine(t, 4)
+	l, err := New(m, 32, 4, BlockContiguous, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Run(m)
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	m := machine(t, 1)
+	l, err := New(m, 16, 4, BlockContiguous, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Run(m)
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadBlockSize(t *testing.T) {
+	m := machine(t, 2)
+	if _, err := New(m, 30, 4, BlockContiguous, 1); err == nil {
+		t.Fatal("accepted block size not dividing n")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.Get("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Kernel || !a.FlopBased {
+		t.Fatal("lu should be a flop-based kernel")
+	}
+	m := machine(t, 2)
+	r, err := a.Build(m, a.Options(map[string]int{"n": 16, "b": 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if mach.Aggregate(st.Procs).Flops == 0 {
+		t.Fatal("no flops recorded")
+	}
+}
+
+func TestProcGrid(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 2: {1, 2}, 4: {2, 2}, 8: {2, 4}, 16: {4, 4}, 32: {4, 8}}
+	for p, want := range cases {
+		pr, pc := procGrid(p)
+		if pr != want[0] || pc != want[1] {
+			t.Errorf("procGrid(%d) = %d,%d want %v", p, pr, pc, want)
+		}
+		if pr*pc != p {
+			t.Errorf("procGrid(%d) does not cover all procs", p)
+		}
+	}
+}
+
+func TestOwnershipCoversAllBlocks(t *testing.T) {
+	m := machine(t, 8)
+	l, err := New(m, 32, 4, BlockContiguous, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[int]int{}
+	for i := 0; i < l.nb; i++ {
+		for j := 0; j < l.nb; j++ {
+			o := l.owner(i, j)
+			if o < 0 || o >= 8 {
+				t.Fatalf("owner(%d,%d)=%d out of range", i, j, o)
+			}
+			owned[o]++
+		}
+	}
+	if len(owned) != 8 {
+		t.Fatalf("only %d processors own blocks", len(owned))
+	}
+}
+
+// Property: the factorization is correct for any processor count and a
+// range of block configurations.
+func TestFactorAnyConfigProperty(t *testing.T) {
+	f := func(procSel, sizeSel uint8, seed uint64) bool {
+		procs := []int{1, 2, 3, 4}[int(procSel)%4]
+		n, b := [][2]int{{16, 4}, {24, 4}, {16, 8}, {24, 8}}[int(sizeSel)%4][0],
+			[][2]int{{16, 4}, {24, 4}, {16, 8}, {24, 8}}[int(sizeSel)%4][1]
+		m := mach.MustNew(mach.Config{Procs: procs, CacheSize: 32 << 10, Assoc: 2, LineSize: 64})
+		l, err := New(m, n, b, BlockContiguous, seed)
+		if err != nil {
+			return false
+		}
+		l.Run(m)
+		return l.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicAcrossProcCounts(t *testing.T) {
+	results := make([][]float64, 0, 2)
+	for _, procs := range []int{1, 4} {
+		m := machine(t, procs)
+		l, err := New(m, 16, 4, BlockContiguous, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Run(m)
+		flat := make([]float64, 0, 16*16)
+		for _, b := range l.blocks {
+			flat = append(flat, b.Raw()...)
+		}
+		results = append(results, flat)
+	}
+	for i := range results[0] {
+		if results[0][i] != results[1][i] {
+			t.Fatalf("factor differs across processor counts at %d", i)
+		}
+	}
+}
+
+func TestRowMajorLayoutAlsoCorrect(t *testing.T) {
+	m := machine(t, 4)
+	l, err := New(m, 32, 4, RowMajor, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Run(m)
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The §3 layout argument: with lines longer than a block row, the
+// row-major layout interleaves different blocks on one line, producing
+// false sharing that the block-contiguous layout avoids entirely.
+func TestLayoutAblationFalseSharing(t *testing.T) {
+	miss := func(layout Layout) (falseShare, total uint64) {
+		m := mach.MustNew(mach.Config{Procs: 4, CacheSize: 1 << 20, Assoc: 4, LineSize: 64})
+		l, err := New(m, 32, 4, layout, 3) // 4 doubles per block row < 8 per line
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Run(m)
+		agg := m.Snapshot().Mem.Aggregate()
+		return agg.Misses[memsys.MissFalse], agg.TotalMisses()
+	}
+	fsBlocked, _ := miss(BlockContiguous)
+	fsRowMajor, _ := miss(RowMajor)
+	if fsBlocked != 0 {
+		t.Fatalf("block-contiguous layout has %d false sharing misses", fsBlocked)
+	}
+	if fsRowMajor == 0 {
+		t.Fatal("row-major layout shows no false sharing; ablation ineffective")
+	}
+}

@@ -1,0 +1,239 @@
+// Package ocean implements the SPLASH-2 Ocean application: large-scale
+// ocean movement driven by eddy and boundary currents. Relative to the
+// SPLASH original it (i) partitions grids into square-like subgrids rather
+// than column groups to improve the communication-to-computation ratio,
+// (ii) represents grids as conceptually 2-D arrays with all subgrids
+// allocated contiguously and locally, and (iii) solves its elliptic
+// equations with a red-black Gauss-Seidel multigrid solver [Bra77] (§3,
+// [WSH93]).
+//
+// The simulated physics is a barotropic vorticity step: each time-step
+// advances the vorticity field with an advective Jacobian plus diffusion,
+// then recovers the stream function by solving ∇²ψ = Γ with the multigrid
+// solver. This preserves the structure the paper characterizes — many
+// near-neighbor stencil phases over multiple grids, streaming through a
+// processor's partition, plus multigrid sweeps over a grid hierarchy.
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"splash2/internal/apps"
+	"splash2/internal/apps/partition"
+	"splash2/internal/mach"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name:      "ocean",
+		FlopBased: true,
+		Doc:       "ocean currents: stencil phases + red-black multigrid solver",
+		Defaults: map[string]int{
+			"n":       64, // interior grid points per side; paper default: 256 (258×258 grid)
+			"steps":   2,
+			"vcycles": 3,
+			"columns": 0, // 1: SPLASH-1-style column-strip partition (ablation)
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return New(m, opt["n"], opt["steps"], opt["vcycles"], opt["columns"] != 0)
+		},
+	})
+}
+
+// Ocean is one configured simulation instance.
+type Ocean struct {
+	mch     *mach.Machine
+	n       int
+	steps   int
+	vcycles int
+	pr, pc  int
+	h       float64
+	dt, nu  float64
+
+	psi, vort, vort2, jac *Grid
+	// Multigrid hierarchy: level 0 is the finest (n).
+	mgU, mgRHS, mgRes []*Grid
+	mgN               []int
+	maxres            *mach.F64Array // per-proc residual slots (line padded)
+	barrier           *mach.Barrier
+}
+
+// New builds the simulation. n must be divisible by both dimensions of
+// the processor grid. With columns=true, grids are partitioned into
+// column strips instead of square-like subgrids — the SPLASH-1
+// organization whose worse perimeter-to-area ratio motivated the SPLASH-2
+// rewrite (§3); kept as an ablation.
+func New(mch *mach.Machine, n, steps, vcycles int, columns bool) (*Ocean, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("ocean: grid too small: n=%d", n)
+	}
+	o := &Ocean{
+		mch: mch, n: n, steps: steps, vcycles: vcycles,
+		h: 1 / float64(n+1), dt: 1e-4, nu: 1e-2,
+		barrier: mch.NewBarrier(),
+	}
+	if columns {
+		o.pr, o.pc = 1, mch.Procs()
+	} else {
+		o.pr, o.pc = partition.ProcGrid(mch.Procs())
+	}
+
+	var err error
+	mk := func(sz int) *Grid {
+		if err != nil {
+			return nil
+		}
+		var g *Grid
+		g, err = NewGrid(mch, sz, o.pr, o.pc)
+		return g
+	}
+	o.psi, o.vort, o.vort2, o.jac = mk(n), mk(n), mk(n), mk(n)
+
+	// Multigrid hierarchy down to the coarsest level that still divides
+	// evenly among the processor grid.
+	sz := n
+	for {
+		o.mgN = append(o.mgN, sz)
+		o.mgU = append(o.mgU, mk(sz))
+		o.mgRHS = append(o.mgRHS, mk(sz))
+		o.mgRes = append(o.mgRes, mk(sz))
+		next := sz / 2
+		if sz%2 != 0 || next < 4 || next%o.pr != 0 || next%o.pc != 0 {
+			break
+		}
+		sz = next
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	pad := mch.LineSize() / mach.WordBytes
+	o.maxres = mch.NewF64(mch.Procs()*pad, true, mach.Interleaved())
+
+	// Initial vorticity: two counter-rotating gyres.
+	for i := 0; i <= n+1; i++ {
+		for j := 0; j <= n+1; j++ {
+			x := float64(i) * o.h
+			y := float64(j) * o.h
+			o.vort.Init(i, j, math.Sin(math.Pi*x)*math.Sin(2*math.Pi*y))
+			o.psi.Init(i, j, 0)
+		}
+	}
+	return o, nil
+}
+
+// Run executes the time-steps. Measurement restarts after the first step
+// (initialization and cold start), as the paper does for iterative codes.
+func (o *Ocean) Run(m *mach.Machine) {
+	m.Run(func(p *mach.Proc) {
+		o.timestep(p, 0)
+		if o.steps > 1 {
+			m.Epoch(p, o.barrier)
+			for s := 1; s < o.steps; s++ {
+				o.timestep(p, s)
+			}
+		}
+	})
+}
+
+// buffers returns the vorticity source/destination for a step: the two
+// grids alternate roles by step parity, so no shared pointer swap is
+// needed (every processor derives the same assignment locally).
+func (o *Ocean) buffers(step int) (src, dst *Grid) {
+	if step%2 == 0 {
+		return o.vort, o.vort2
+	}
+	return o.vort2, o.vort
+}
+
+func (o *Ocean) timestep(p *mach.Proc, step int) {
+	i0, i1, j0, j1 := o.psi.Block(p.ID)
+	h2 := o.h * o.h
+	src, dst := o.buffers(step)
+
+	// Phase 1: advective Jacobian J(ψ,Γ) into its own grid.
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			dpsiX := o.psi.Get(p, i+1, j) - o.psi.Get(p, i-1, j)
+			dpsiY := o.psi.Get(p, i, j+1) - o.psi.Get(p, i, j-1)
+			dvorX := src.Get(p, i+1, j) - src.Get(p, i-1, j)
+			dvorY := src.Get(p, i, j+1) - src.Get(p, i, j-1)
+			o.jac.Set(p, i, j, (dpsiX*dvorY-dpsiY*dvorX)/(4*h2))
+			p.Flop(9)
+		}
+	}
+	o.barrier.Wait(p)
+
+	// Phase 2: vorticity update Γ' = Γ + dt(−J + ν∇²Γ) into the other buffer.
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			lap := (src.Get(p, i-1, j) + src.Get(p, i+1, j) +
+				src.Get(p, i, j-1) + src.Get(p, i, j+1) - 4*src.Get(p, i, j)) / h2
+			v := src.Get(p, i, j) + o.dt*(-o.jac.Get(p, i, j)+o.nu*lap)
+			dst.Set(p, i, j, v)
+			p.Flop(12)
+		}
+	}
+	o.barrier.Wait(p)
+
+	// Phase 3: copy Γ into the solver RHS and ψ into the solution grid.
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			o.mgRHS[0].Set(p, i, j, dst.Get(p, i, j))
+			o.mgU[0].Set(p, i, j, o.psi.Get(p, i, j))
+		}
+	}
+	o.barrier.Wait(p)
+
+	// Phase 4: multigrid solve ∇²ψ = Γ.
+	o.solve(p)
+
+	// Phase 5: copy solution back to ψ.
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			o.psi.Set(p, i, j, o.mgU[0].Get(p, i, j))
+		}
+	}
+	o.barrier.Wait(p)
+}
+
+// finalVort returns the buffer holding the last completed step's vorticity.
+func (o *Ocean) finalVort() *Grid {
+	_, dst := o.buffers(o.steps - 1)
+	return dst
+}
+
+// Verify checks that the final stream function satisfies the Poisson
+// equation to the solver's tolerance and respects the boundary conditions.
+func (o *Ocean) Verify() error {
+	vort := o.finalVort()
+	res := MaxAbsResidual(o.psi, vort, o.h)
+	var rhsScale float64
+	for i := 1; i <= o.n; i++ {
+		for j := 1; j <= o.n; j++ {
+			if a := math.Abs(vort.Peek(i, j)); a > rhsScale {
+				rhsScale = a
+			}
+		}
+	}
+	if res > 0.05*rhsScale {
+		return fmt.Errorf("ocean: Poisson residual %g vs rhs scale %g", res, rhsScale)
+	}
+	for k := 0; k <= o.n+1; k++ {
+		if o.psi.Peek(0, k) != 0 || o.psi.Peek(o.n+1, k) != 0 || o.psi.Peek(k, 0) != 0 || o.psi.Peek(k, o.n+1) != 0 {
+			return fmt.Errorf("ocean: boundary condition violated")
+		}
+	}
+	for i := 1; i <= o.n; i++ {
+		for j := 1; j <= o.n; j++ {
+			if math.IsNaN(vort.Peek(i, j)) || math.IsInf(vort.Peek(i, j), 0) {
+				return fmt.Errorf("ocean: vorticity diverged at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Psi exposes the stream function grid (tests).
+func (o *Ocean) Psi() *Grid { return o.psi }

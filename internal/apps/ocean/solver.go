@@ -1,0 +1,173 @@
+package ocean
+
+import (
+	"math"
+
+	"splash2/internal/mach"
+)
+
+// solve runs V-cycles of the red-black Gauss-Seidel multigrid solver on
+// level 0 (∇²u = rhs) until the residual norm stops improving enough or
+// the cycle budget is exhausted. Every processor executes the same cycle
+// decisions, so the computation is deterministic for any processor count.
+func (o *Ocean) solve(p *mach.Proc) {
+	for c := 0; c < o.vcycles; c++ {
+		o.vcycle(p, 0)
+		res := o.residualNorm(p, 0)
+		if res < 1e-6 {
+			break
+		}
+	}
+}
+
+// vcycle performs one V-cycle starting at level l.
+func (o *Ocean) vcycle(p *mach.Proc, l int) {
+	last := len(o.mgN) - 1
+	if l == last {
+		for s := 0; s < 20; s++ {
+			o.relax(p, l)
+		}
+		return
+	}
+	o.relax(p, l)
+	o.relax(p, l)
+	o.restrictResidual(p, l)
+	o.clearLevel(p, l+1)
+	o.vcycle(p, l+1)
+	o.prolongCorrect(p, l)
+	o.relax(p, l)
+}
+
+// relax runs one red-black Gauss-Seidel sweep (both colors) on level l.
+func (o *Ocean) relax(p *mach.Proc, l int) {
+	u, rhs := o.mgU[l], o.mgRHS[l]
+	h2 := o.levelH(l) * o.levelH(l)
+	i0, i1, j0, j1 := u.Block(p.ID)
+	for color := 0; color < 2; color++ {
+		for i := i0; i < i1; i++ {
+			for j := j0; j < j1; j++ {
+				if (i+j)&1 != color {
+					continue
+				}
+				v := (u.Get(p, i-1, j) + u.Get(p, i+1, j) + u.Get(p, i, j-1) + u.Get(p, i, j+1) - h2*rhs.Get(p, i, j)) / 4
+				u.Set(p, i, j, v)
+				p.Flop(6)
+			}
+		}
+		o.barrier.Wait(p)
+	}
+}
+
+// restrictResidual computes the fine residual and restricts it by full
+// weighting into the next-coarser RHS.
+func (o *Ocean) restrictResidual(p *mach.Proc, l int) {
+	u, rhs, res := o.mgU[l], o.mgRHS[l], o.mgRes[l]
+	h2 := o.levelH(l) * o.levelH(l)
+	i0, i1, j0, j1 := u.Block(p.ID)
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			lap := (u.Get(p, i-1, j) + u.Get(p, i+1, j) + u.Get(p, i, j-1) + u.Get(p, i, j+1) - 4*u.Get(p, i, j)) / h2
+			res.Set(p, i, j, rhs.Get(p, i, j)-lap)
+			p.Flop(8)
+		}
+	}
+	o.barrier.Wait(p)
+
+	// Cell-centered coarsening: coarse cell (I,J) aggregates fine cells
+	// {2I−1,2I}×{2J−1,2J}, which stays aligned for the even grid sizes the
+	// subgrid partition requires.
+	crhs := o.mgRHS[l+1]
+	ci0, ci1, cj0, cj1 := crhs.Block(p.ID)
+	for ci := ci0; ci < ci1; ci++ {
+		for cj := cj0; cj < cj1; cj++ {
+			fi, fj := 2*ci, 2*cj
+			v := (res.Get(p, fi-1, fj-1) + res.Get(p, fi, fj-1) +
+				res.Get(p, fi-1, fj) + res.Get(p, fi, fj)) / 4
+			crhs.Set(p, ci, cj, v)
+			p.Flop(4)
+		}
+	}
+	o.barrier.Wait(p)
+}
+
+// clearLevel zeroes the coarse solution before the recursive solve.
+func (o *Ocean) clearLevel(p *mach.Proc, l int) {
+	u := o.mgU[l]
+	i0, i1, j0, j1 := u.Block(p.ID)
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			u.Set(p, i, j, 0)
+		}
+	}
+	o.barrier.Wait(p)
+}
+
+// prolongCorrect interpolates the coarse correction bilinearly onto the
+// fine grid and adds it to the fine solution.
+func (o *Ocean) prolongCorrect(p *mach.Proc, l int) {
+	u, cu := o.mgU[l], o.mgU[l+1]
+	nc := o.mgN[l+1]
+	i0, i1, j0, j1 := u.Block(p.ID)
+	cAt := func(i, j int) float64 {
+		if i < 1 || j < 1 || i > nc || j > nc {
+			return 0 // Dirichlet: zero correction at the walls
+		}
+		return cu.Get(p, i, j)
+	}
+	// Cell-centered bilinear interpolation: fine cell 2I−1 sits a half
+	// fine-cell inside coarse cell I (weights ¾/¼ toward I−1), fine cell
+	// 2I a half cell toward I+1.
+	weights := func(f int) (a, b int, wa, wb float64) {
+		if f%2 == 1 {
+			return (f + 1) / 2, (f+1)/2 - 1, 0.75, 0.25
+		}
+		return f / 2, f/2 + 1, 0.75, 0.25
+	}
+	for i := i0; i < i1; i++ {
+		ia, ib, wia, wib := weights(i)
+		for j := j0; j < j1; j++ {
+			ja, jb, wja, wjb := weights(j)
+			e := wia*wja*cAt(ia, ja) + wia*wjb*cAt(ia, jb) +
+				wib*wja*cAt(ib, ja) + wib*wjb*cAt(ib, jb)
+			u.Set(p, i, j, u.Get(p, i, j)+e)
+			p.Flop(11)
+		}
+	}
+	o.barrier.Wait(p)
+}
+
+// residualNorm computes the global max-norm of the level-l residual via a
+// per-processor shared reduction array; every processor returns the same
+// value.
+func (o *Ocean) residualNorm(p *mach.Proc, l int) float64 {
+	u, rhs := o.mgU[l], o.mgRHS[l]
+	h2 := o.levelH(l) * o.levelH(l)
+	i0, i1, j0, j1 := u.Block(p.ID)
+	var local float64
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			lap := (u.Get(p, i-1, j) + u.Get(p, i+1, j) + u.Get(p, i, j-1) + u.Get(p, i, j+1) - 4*u.Get(p, i, j)) / h2
+			if r := math.Abs(rhs.Get(p, i, j) - lap); r > local {
+				local = r
+			}
+			p.Flop(8)
+		}
+	}
+	pad := o.mch.LineSize() / mach.WordBytes
+	o.maxres.Set(p, p.ID*pad, local)
+	o.barrier.Wait(p)
+	var global float64
+	for q := 0; q < o.mch.Procs(); q++ {
+		if v := o.maxres.Get(p, q*pad); v > global {
+			global = v
+		}
+	}
+	o.barrier.Wait(p)
+	return global
+}
+
+// levelH returns the mesh spacing of level l (doubling per level keeps the
+// coarse operators exact restrictions of the fine one).
+func (o *Ocean) levelH(l int) float64 {
+	return o.h * float64(int(1)<<uint(l))
+}

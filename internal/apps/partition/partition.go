@@ -1,0 +1,37 @@
+// Package partition provides the decomposition helpers shared by the
+// SPLASH-2 programs: 2-D processor grids for block decompositions and
+// contiguous 1-D range splits.
+package partition
+
+import "math"
+
+// ProcGrid factors p into the most square pr×pc grid with pr·pc = p,
+// pr ≤ pc — the shape used by the 2-D scatter (LU, Cholesky) and subgrid
+// (Ocean) decompositions.
+func ProcGrid(p int) (pr, pc int) {
+	pr = int(math.Sqrt(float64(p)))
+	for pr > 1 && p%pr != 0 {
+		pr--
+	}
+	return pr, p / pr
+}
+
+// Range returns the half-open slice [lo,hi) of n items assigned to worker
+// id of total workers under a contiguous block partition.
+func Range(id, workers, n int) (lo, hi int) {
+	per := n / workers
+	rem := n % workers
+	lo = id*per + min(id, rem)
+	hi = lo + per
+	if id < rem {
+		hi++
+	}
+	return
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,249 @@
+package radiosity
+
+import (
+	"math"
+	"sort"
+
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+// bspTree is an axis-aligned BSP over the input polygons, used to
+// accelerate the visibility test between patch pairs (§3: "a BSP tree
+// which facilitates efficient visibility computation between pairs of
+// polygons"). It is built at input time and uploaded into simulated shared
+// memory; queries during the solve issue simulated references.
+type bspTree struct {
+	// Flattened nodes: axis<0 marks a leaf.
+	axis  []int
+	split []float64
+	left  []int
+	right []int
+	start []int // CSR into items for leaves
+	items []int
+
+	// Shared-memory mirrors.
+	sAxis  *mach.IntArray
+	sSplit *mach.F64Array
+	sLeft  *mach.IntArray
+	sRight *mach.IntArray
+	sStart *mach.IntArray
+	sItems *mach.IntArray
+}
+
+const bspLeafSize = 4
+
+// buildBSP constructs the tree top-down, splitting at the median polygon
+// center along the widest axis.
+func buildBSP(polys []workload.Polygon) *bspTree {
+	t := &bspTree{}
+	ids := make([]int, len(polys))
+	for i := range ids {
+		ids[i] = i
+	}
+	centers := make([][3]float64, len(polys))
+	for i := range polys {
+		x, y, z := polys[i].Center()
+		centers[i] = [3]float64{x, y, z}
+	}
+	var build func(ids []int, depth int) int
+	build = func(ids []int, depth int) int {
+		node := len(t.axis)
+		t.axis = append(t.axis, -1)
+		t.split = append(t.split, 0)
+		t.left = append(t.left, -1)
+		t.right = append(t.right, -1)
+		t.start = append(t.start, -1)
+		if len(ids) <= bspLeafSize || depth > 12 {
+			t.start[node] = len(t.items)
+			t.items = append(t.items, ids...)
+			// Sentinel end recorded via next leaf's start; store count in
+			// split for simplicity.
+			t.split[node] = float64(len(ids))
+			return node
+		}
+		// Widest axis of the centers.
+		var lo, hi [3]float64
+		for d := 0; d < 3; d++ {
+			lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+		}
+		for _, id := range ids {
+			for d := 0; d < 3; d++ {
+				lo[d] = math.Min(lo[d], centers[id][d])
+				hi[d] = math.Max(hi[d], centers[id][d])
+			}
+		}
+		axis := 0
+		for d := 1; d < 3; d++ {
+			if hi[d]-lo[d] > hi[axis]-lo[axis] {
+				axis = d
+			}
+		}
+		sorted := append([]int(nil), ids...)
+		sort.Slice(sorted, func(a, b int) bool { return centers[sorted[a]][axis] < centers[sorted[b]][axis] })
+		mid := len(sorted) / 2
+		splitVal := centers[sorted[mid]][axis]
+		t.axis[node] = axis
+		t.split[node] = splitVal
+		l := build(sorted[:mid], depth+1)
+		r := build(sorted[mid:], depth+1)
+		t.left[node] = l
+		t.right[node] = r
+		return node
+	}
+	build(ids, 0)
+	return t
+}
+
+// upload copies the tree into simulated shared memory.
+func (t *bspTree) upload(m *mach.Machine) {
+	n := len(t.axis)
+	t.sAxis = m.NewInt(n, true, mach.Interleaved())
+	t.sSplit = m.NewF64(n, true, mach.Interleaved())
+	t.sLeft = m.NewInt(n, true, mach.Interleaved())
+	t.sRight = m.NewInt(n, true, mach.Interleaved())
+	t.sStart = m.NewInt(n, true, mach.Interleaved())
+	t.sItems = m.NewInt(len(t.items)+1, true, mach.Interleaved())
+	for i := 0; i < n; i++ {
+		t.sAxis.Init(i, t.axis[i])
+		t.sSplit.Init(i, t.split[i])
+		t.sLeft.Init(i, t.left[i])
+		t.sRight.Init(i, t.right[i])
+		t.sStart.Init(i, t.start[i])
+	}
+	for i, id := range t.items {
+		t.sItems.Init(i, id)
+	}
+}
+
+// visible tests whether the segment between the centers of patches a and b
+// is unoccluded by any input polygon other than their own. It walks the
+// BSP along the segment and intersects candidate polygons.
+func (r *Radiosity) visible(p *mach.Proc, a, b int) bool {
+	ga, gb := geomStride*a, geomStride*b
+	ox := r.fget(p, ga+gCX)
+	oy := r.fget(p, ga+gCY)
+	oz := r.fget(p, ga+gCZ)
+	dx := r.fget(p, gb+gCX) - ox
+	dy := r.fget(p, gb+gCY) - oy
+	dz := r.fget(p, gb+gCZ) - oz
+	skipA := r.iget(p, r.polyID, a)
+	skipB := r.iget(p, r.polyID, b)
+
+	blocked := false
+	var walk func(node int, t0, t1 float64)
+	walk = func(node int, t0, t1 float64) {
+		if blocked || t0 > t1 {
+			return
+		}
+		axis := r.iget(p, r.bsp.sAxis, node)
+		if axis < 0 {
+			start := r.iget(p, r.bsp.sStart, node)
+			count := int(r.fget2(p, r.bsp.sSplit, node))
+			for k := start; k < start+count; k++ {
+				poly := r.iget(p, r.bsp.sItems, k)
+				if poly == skipA || poly == skipB {
+					continue
+				}
+				if r.segmentHitsPatch(p, poly, ox, oy, oz, dx, dy, dz) {
+					blocked = true
+					return
+				}
+			}
+			return
+		}
+		o := [3]float64{ox, oy, oz}[axis]
+		d := [3]float64{dx, dy, dz}[axis]
+		split := r.fget2(p, r.bsp.sSplit, node)
+		lft := r.iget(p, r.bsp.sLeft, node)
+		rgt := r.iget(p, r.bsp.sRight, node)
+		if math.Abs(d) < 1e-12 {
+			if o <= split {
+				walk(lft, t0, t1)
+			}
+			if o >= split {
+				walk(rgt, t0, t1)
+			}
+			return
+		}
+		tSplit := (split - o) / d
+		near, far := lft, rgt
+		if o > split {
+			near, far = rgt, lft
+		}
+		switch {
+		case tSplit > t1:
+			walk(near, t0, t1)
+		case tSplit < t0:
+			walk(far, t0, t1)
+		default:
+			walk(near, t0, tSplit)
+			walk(far, tSplit, t1)
+		}
+	}
+	walk(0, 0.02, 0.98) // epsilon margins exclude the endpoints themselves
+	if p != nil {
+		p.Flop(10)
+	}
+	return !blocked
+}
+
+// segmentHitsPatch intersects the parametric segment with root patch of
+// polygon `poly` (root patches have id == polygon id).
+func (r *Radiosity) segmentHitsPatch(p *mach.Proc, poly int, ox, oy, oz, dx, dy, dz float64) bool {
+	g := geomStride * poly
+	nx := r.fget(p, g+gNX)
+	ny := r.fget(p, g+gNY)
+	nz := r.fget(p, g+gNZ)
+	denom := dx*nx + dy*ny + dz*nz
+	if math.Abs(denom) < 1e-12 {
+		return false
+	}
+	// Plane passes through the patch corner.
+	cx0 := r.fget(p, g+gCX) - (r.fget(p, g+gE1X)+r.fget(p, g+gE2X))/2
+	cy0 := r.fget(p, g+gCY) - (r.fget(p, g+gE1Y)+r.fget(p, g+gE2Y))/2
+	cz0 := r.fget(p, g+gCZ) - (r.fget(p, g+gE1Z)+r.fget(p, g+gE2Z))/2
+	t := ((cx0-ox)*nx + (cy0-oy)*ny + (cz0-oz)*nz) / denom
+	if p != nil {
+		p.Flop(20)
+	}
+	if t <= 0.02 || t >= 0.98 {
+		return false
+	}
+	hx := ox + t*dx - cx0
+	hy := oy + t*dy - cy0
+	hz := oz + t*dz - cz0
+	e1 := [3]float64{r.fget(p, g+gE1X), r.fget(p, g+gE1Y), r.fget(p, g+gE1Z)}
+	e2 := [3]float64{r.fget(p, g+gE2X), r.fget(p, g+gE2Y), r.fget(p, g+gE2Z)}
+	l1 := e1[0]*e1[0] + e1[1]*e1[1] + e1[2]*e1[2]
+	l2 := e2[0]*e2[0] + e2[1]*e2[1] + e2[2]*e2[2]
+	u := (hx*e1[0] + hy*e1[1] + hz*e1[2]) / l1
+	v := (hx*e2[0] + hy*e2[1] + hz*e2[2]) / l2
+	if p != nil {
+		p.Flop(20)
+	}
+	return u >= 0 && u <= 1 && v >= 0 && v <= 1
+}
+
+// fget/iget/fget2 access shared data, or Go values when p is nil
+// (verification re-execution).
+func (r *Radiosity) fget(p *mach.Proc, i int) float64 {
+	if p != nil {
+		return r.geom.Get(p, i)
+	}
+	return r.geom.Peek(i)
+}
+
+func (r *Radiosity) fget2(p *mach.Proc, a *mach.F64Array, i int) float64 {
+	if p != nil {
+		return a.Get(p, i)
+	}
+	return a.Peek(i)
+}
+
+func (r *Radiosity) iget(p *mach.Proc, a *mach.IntArray, i int) int {
+	if p != nil {
+		return a.Get(p, i)
+	}
+	return a.Peek(i)
+}

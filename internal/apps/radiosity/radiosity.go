@@ -1,0 +1,196 @@
+// Package radiosity implements the SPLASH-2 Radiosity application: the
+// equilibrium distribution of light in a scene computed by the iterative
+// hierarchical diffuse radiosity method [HSA91]. A scene is modeled as
+// input polygons; light transport interactions are computed among them and
+// polygons are hierarchically subdivided into patches as necessary to
+// improve accuracy. Each step iterates over patch interaction lists,
+// subdivides patches recursively, and at the end combines patch
+// radiosities by an upward pass through the quadtrees. A BSP tree
+// accelerates visibility computation between polygon pairs. The
+// computation is highly irregular; parallelism is managed by distributed
+// task queues with task stealing, and no attempt is made at intelligent
+// data distribution (§3, [SGL94]). The input room is synthetic (see
+// internal/workload).
+package radiosity
+
+import (
+	"fmt"
+	"math"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name: "radiosity",
+		Doc:  "hierarchical diffuse radiosity with BSP visibility",
+		Defaults: map[string]int{
+			"panels": 2, // wall subdivisions per side; paper input: room
+			"iters":  3,
+			"seed":   1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return New(m, opt["panels"], opt["iters"], uint64(opt["seed"]))
+		},
+	})
+}
+
+const (
+	geomStride = 16 // words per patch geometry record
+	fThresh    = 0.015
+	maxLevels  = 3 // receiver refinement depth
+)
+
+// Geometry record offsets.
+const (
+	gCX = iota
+	gCY
+	gCZ
+	gE1X
+	gE1Y
+	gE1Z
+	gE2X
+	gE2Y
+	gE2Z
+	gNX
+	gNY
+	gNZ
+	gArea
+	gEmit
+	gRefl
+)
+
+// Radiosity is one configured solver instance.
+type Radiosity struct {
+	mch    *mach.Machine
+	npolys int
+	iters  int
+	cap    int // patch pool capacity
+
+	geom     *mach.F64Array // geomStride per patch
+	rad      *mach.F64Array // radiosity B
+	gathered *mach.F64Array
+	children *mach.IntArray // 4 per patch, -1 when leaf
+	polyID   *mach.IntArray
+	ilist    *mach.IntArray // icap per patch
+	icount   *mach.IntArray
+	icap     int
+
+	allocLock mach.Lock
+	allocN    *mach.IntArray
+
+	bsp     *bspTree
+	queues  *mach.TaskQueues
+	barrier *mach.Barrier
+	minArea float64
+}
+
+// New builds the solver from a generated room scene.
+func New(m *mach.Machine, panels, iters int, seed uint64) (*Radiosity, error) {
+	if panels < 1 || iters < 1 {
+		return nil, fmt.Errorf("radiosity: bad parameters panels=%d iters=%d", panels, iters)
+	}
+	polys := workload.GenRoom(panels, seed)
+	r := &Radiosity{mch: m, npolys: len(polys), iters: iters, barrier: m.NewBarrier()}
+	r.icap = len(polys)
+	// Pool: full refinement of every polygon down to maxLevels.
+	perPoly := 1
+	for l, pw := 0, 1; l < maxLevels; l++ {
+		pw *= 4
+		perPoly += pw
+	}
+	r.cap = len(polys) * perPoly
+
+	r.geom = m.NewF64(geomStride*r.cap, true, mach.Interleaved())
+	r.rad = m.NewF64(r.cap, true, mach.Interleaved())
+	r.gathered = m.NewF64(r.cap, true, mach.Interleaved())
+	r.children = m.NewInt(4*r.cap, true, mach.Interleaved())
+	r.polyID = m.NewInt(r.cap, true, mach.Interleaved())
+	r.ilist = m.NewInt(r.icap*r.cap, true, mach.Interleaved())
+	r.icount = m.NewInt(r.cap, true, mach.Interleaved())
+	r.allocN = m.NewInt(8, true, mach.Owner(0))
+
+	// Root patches from the input polygons.
+	var minA float64 = math.Inf(1)
+	for i := range polys {
+		r.initPatch(i, &polys[i], i)
+		if a := polys[i].Area(); a < minA {
+			minA = a
+		}
+	}
+	r.allocN.Init(0, len(polys))
+	r.minArea = minA / 2 // bounds refinement depth for the scaled input
+
+	// Initial interaction lists: facing root polygon pairs.
+	for i := 0; i < len(polys); i++ {
+		n := 0
+		for j := 0; j < len(polys); j++ {
+			if j == i {
+				continue
+			}
+			if cp, cq := r.facing(i, j); cp > 0 && cq > 0 {
+				r.ilist.Init(i*r.icap+n, j)
+				n++
+			}
+		}
+		r.icount.Init(i, n)
+	}
+
+	r.bsp = buildBSP(polys)
+	r.bsp.upload(m)
+	r.queues = m.NewTaskQueues(r.cap + 8)
+	return r, nil
+}
+
+// initPatch writes a patch record (input construction, unsimulated).
+func (r *Radiosity) initPatch(id int, p *workload.Polygon, poly int) {
+	base := geomStride * id
+	cx, cy, cz := p.Center()
+	r.geom.Init(base+gCX, cx)
+	r.geom.Init(base+gCY, cy)
+	r.geom.Init(base+gCZ, cz)
+	for d := 0; d < 3; d++ {
+		r.geom.Init(base+gE1X+d, p.E1[d])
+		r.geom.Init(base+gE2X+d, p.E2[d])
+	}
+	nx, ny, nz := cross(p.E1, p.E2)
+	l := math.Sqrt(nx*nx + ny*ny + nz*nz)
+	nx, ny, nz = nx/l, ny/l, nz/l
+	// Orient normals toward the room interior.
+	if nx*(0.5-cx)+ny*(0.5-cy)+nz*(0.5-cz) < 0 {
+		nx, ny, nz = -nx, -ny, -nz
+	}
+	r.geom.Init(base+gNX, nx)
+	r.geom.Init(base+gNY, ny)
+	r.geom.Init(base+gNZ, nz)
+	r.geom.Init(base+gArea, p.Area())
+	r.geom.Init(base+gEmit, p.Emission)
+	r.geom.Init(base+gRefl, p.Reflect)
+	r.rad.Init(id, p.Emission)
+	for o := 0; o < 4; o++ {
+		r.children.Init(4*id+o, -1)
+	}
+	r.polyID.Init(id, poly)
+}
+
+// facing returns the cosines between each patch normal and the line
+// connecting their centers (unsimulated; used for input construction).
+func (r *Radiosity) facing(i, j int) (float64, float64) {
+	gi, gj := geomStride*i, geomStride*j
+	dx := r.geom.Peek(gj+gCX) - r.geom.Peek(gi+gCX)
+	dy := r.geom.Peek(gj+gCY) - r.geom.Peek(gi+gCY)
+	dz := r.geom.Peek(gj+gCZ) - r.geom.Peek(gi+gCZ)
+	d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	if d == 0 {
+		return 0, 0
+	}
+	cp := (r.geom.Peek(gi+gNX)*dx + r.geom.Peek(gi+gNY)*dy + r.geom.Peek(gi+gNZ)*dz) / d
+	cq := -(r.geom.Peek(gj+gNX)*dx + r.geom.Peek(gj+gNY)*dy + r.geom.Peek(gj+gNZ)*dz) / d
+	return cp, cq
+}
+
+func cross(a, b [3]float64) (x, y, z float64) {
+	return a[1]*b[2] - a[2]*b[1], a[2]*b[0] - a[0]*b[2], a[0]*b[1] - a[1]*b[0]
+}

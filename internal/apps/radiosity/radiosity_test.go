@@ -1,0 +1,165 @@
+package radiosity
+
+import (
+	"testing"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func machine(procs int) *mach.Machine {
+	return mach.MustNew(mach.Config{Procs: procs, CacheSize: 128 << 10, Assoc: 4, LineSize: 64})
+}
+
+func TestSolveAndVerify(t *testing.T) {
+	m := machine(4)
+	r, err := New(m, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	m := machine(1)
+	r, err := New(m, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLightPropagates(t *testing.T) {
+	m := machine(2)
+	r, err := New(m, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	// After iterations with an emitter present, some non-emitting root
+	// polygon must have picked up radiosity.
+	lit := 0
+	for i := 0; i < r.npolys; i++ {
+		if r.geom.Peek(geomStride*i+gEmit) == 0 && r.rad.Peek(i) > 1e-6 {
+			lit++
+		}
+	}
+	if lit == 0 {
+		t.Fatal("no non-emitter ever received light")
+	}
+}
+
+func TestSubdivisionOccursAndAreasPartition(t *testing.T) {
+	m := machine(2)
+	r, err := New(m, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if r.Patches() <= r.npolys {
+		t.Fatal("no subdivision happened")
+	}
+	// Verify() checks the area partition; run it explicitly.
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSPCoversAllPolygons(t *testing.T) {
+	polys := workload.GenRoom(2, 5)
+	bsp := buildBSP(polys)
+	seen := map[int]int{}
+	for _, id := range bsp.items {
+		seen[id]++
+	}
+	if len(seen) != len(polys) {
+		t.Fatalf("BSP holds %d of %d polygons", len(seen), len(polys))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("polygon %d appears %d times", id, c)
+		}
+	}
+}
+
+func TestVisibilityOcclusion(t *testing.T) {
+	// The occluder tops sit between the floor beneath them and the
+	// ceiling; at least one floor↔ceiling pair must be blocked while some
+	// other pair is visible.
+	m := machine(1)
+	r, err := New(m, 3, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visibleCount, blockedCount := 0, 0
+	for i := 0; i < r.npolys; i++ {
+		for j := i + 1; j < r.npolys; j++ {
+			if cp, cq := r.facing(i, j); cp <= 0 || cq <= 0 {
+				continue
+			}
+			if r.visible(nil, i, j) {
+				visibleCount++
+			} else {
+				blockedCount++
+			}
+		}
+	}
+	if visibleCount == 0 {
+		t.Fatal("no pair visible")
+	}
+	if blockedCount == 0 {
+		t.Fatal("occluders block nothing")
+	}
+}
+
+func TestFormFactorProperties(t *testing.T) {
+	m := machine(1)
+	r, err := New(m, 2, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.npolys; i++ {
+		for j := 0; j < r.npolys; j++ {
+			if i == j {
+				continue
+			}
+			f := r.formFactor(nil, i, j)
+			if f < 0 || f > 1 {
+				t.Fatalf("form factor out of range: F(%d,%d)=%g", i, j, f)
+			}
+		}
+	}
+	// A patch facing away contributes zero: floor-to-floor pairs.
+	if f := r.formFactor(nil, 0, 1); f != 0 {
+		t.Fatalf("coplanar floor panels have F=%g, want 0", f)
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.Get("radiosity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FlopBased {
+		t.Fatal("radiosity reports bytes/instruction")
+	}
+	m := machine(2)
+	r, err := a.Build(m, a.Options(map[string]int{"panels": 1, "iters": 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

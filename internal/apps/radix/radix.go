@@ -1,0 +1,175 @@
+// Package radix implements the SPLASH-2 integer radix sort kernel
+// [BLM+91]: iterative, one iteration per radix-r digit. In each iteration
+// a processor passes over its assigned keys generating a local histogram,
+// the local histograms are accumulated into a global histogram (a prefix
+// computation that is not completely parallelizable — the cause of the
+// kernel's limited speedup in Figure 1), and each processor then permutes
+// its keys into a new array using the global histogram. The permutation is
+// sender-determined all-to-all communication: keys move through writes
+// rather than reads (§3, [WSH94], [HHS+95]).
+package radix
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name:   "radix",
+		Kernel: true,
+		Doc:    "parallel integer radix sort",
+		Defaults: map[string]int{
+			"n":      32768, // paper default: 1048576
+			"radix":  256,   // paper default: 1024
+			"maxkey": 1 << 24,
+			"seed":   1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return New(m, opt["n"], opt["radix"], opt["maxkey"], uint64(opt["seed"]))
+		},
+	})
+}
+
+// Radix is one configured sort instance.
+type Radix struct {
+	mch     *mach.Machine
+	n       int
+	radix   int
+	logR    int
+	passes  int
+	keysA   *mach.IntArray
+	keysB   *mach.IntArray
+	hist    *mach.IntArray // p×radix, processor-major, owner-placed rows
+	totals  *mach.IntArray // per-digit totals then global exclusive prefix
+	input   []int
+	barrier *mach.Barrier
+}
+
+// New builds the kernel. n must be divisible by the processor count and
+// radix/maxkey must be powers of two.
+func New(mch *mach.Machine, n, radix, maxkey int, seed uint64) (*Radix, error) {
+	p := mch.Procs()
+	switch {
+	case n <= 0 || n%p != 0:
+		return nil, fmt.Errorf("radix: n=%d not divisible by %d processors", n, p)
+	case radix < 2 || bits.OnesCount(uint(radix)) != 1:
+		return nil, fmt.Errorf("radix: radix %d not a power of two", radix)
+	case maxkey < 2 || bits.OnesCount(uint(maxkey)) != 1:
+		return nil, fmt.Errorf("radix: maxkey %d not a power of two", maxkey)
+	}
+	r := &Radix{
+		mch: mch, n: n, radix: radix,
+		logR:    bits.TrailingZeros(uint(radix)),
+		barrier: mch.NewBarrier(),
+	}
+	logMax := bits.TrailingZeros(uint(maxkey))
+	r.passes = (logMax + r.logR - 1) / r.logR
+
+	r.keysA = mch.NewInt(n, true, mach.Blocked())
+	r.keysB = mch.NewInt(n, true, mach.Blocked())
+	r.hist = mch.NewInt(p*radix, true, mach.Blocked()) // row per proc ⇒ blocked = owner-local
+	r.totals = mch.NewInt(radix, true, mach.Blocked())
+
+	r.input = workload.Keys(n, maxkey, seed)
+	for i, k := range r.input {
+		r.keysA.Init(i, k)
+	}
+	return r, nil
+}
+
+// Run executes the sort.
+func (r *Radix) Run(m *mach.Machine) {
+	m.Run(func(p *mach.Proc) {
+		src, dst := r.keysA, r.keysB
+		for pass := 0; pass < r.passes; pass++ {
+			r.sortPass(p, src, dst, pass*r.logR)
+			src, dst = dst, src
+		}
+	})
+}
+
+func (r *Radix) sortPass(p *mach.Proc, src, dst *mach.IntArray, shift int) {
+	procs := r.mch.Procs()
+	kpp := r.n / procs
+	lo, hi := p.ID*kpp, (p.ID+1)*kpp
+	row := p.ID * r.radix
+
+	// Phase 1: local histogram over this processor's keys.
+	for v := 0; v < r.radix; v++ {
+		r.hist.Set(p, row+v, 0)
+	}
+	for i := lo; i < hi; i++ {
+		d := (src.Get(p, i) >> shift) & (r.radix - 1)
+		r.hist.Add(p, row+d, 1)
+		p.Instr(2)
+	}
+	r.barrier.Wait(p)
+
+	// Phase 2a: each processor owns a contiguous digit range and converts
+	// the histogram column into an exclusive per-processor prefix, leaving
+	// the column total in totals[v].
+	dpp := (r.radix + procs - 1) / procs
+	for v := p.ID * dpp; v < (p.ID+1)*dpp && v < r.radix; v++ {
+		running := 0
+		for j := 0; j < procs; j++ {
+			c := r.hist.Get(p, j*r.radix+v)
+			r.hist.Set(p, j*r.radix+v, running)
+			running += c
+			p.Instr(1)
+		}
+		r.totals.Set(p, v, running)
+	}
+	r.barrier.Wait(p)
+
+	// Phase 2b: exclusive prefix over the digit totals. This scan over all
+	// radix digits is the serial O(radix + log p) bottleneck the paper
+	// attributes Radix's sub-linear speedup to.
+	if p.ID == 0 {
+		running := 0
+		for v := 0; v < r.radix; v++ {
+			c := r.totals.Get(p, v)
+			r.totals.Set(p, v, running)
+			running += c
+			p.Instr(1)
+		}
+	}
+	r.barrier.Wait(p)
+
+	// Phase 3: permutation — write keys to their global positions.
+	for i := lo; i < hi; i++ {
+		k := src.Get(p, i)
+		d := (k >> shift) & (r.radix - 1)
+		pos := r.totals.Get(p, d) + r.hist.Get(p, row+d)
+		r.hist.Add(p, row+d, 1)
+		dst.Set(p, pos, k)
+		p.Instr(3)
+	}
+	r.barrier.Wait(p)
+}
+
+// Output returns the sorted keys.
+func (r *Radix) Output() []int {
+	if r.passes%2 == 1 {
+		return r.keysB.Raw()
+	}
+	return r.keysA.Raw()
+}
+
+// Verify checks the output against the standard library sort of the input.
+func (r *Radix) Verify() error {
+	want := append([]int(nil), r.input...)
+	sort.Ints(want)
+	got := r.Output()
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("radix: output[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package radix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+)
+
+func machine(procs int) *mach.Machine {
+	return mach.MustNew(mach.Config{Procs: procs, CacheSize: 64 << 10, Assoc: 4, LineSize: 64})
+}
+
+func TestSortsCorrectly(t *testing.T) {
+	m := machine(4)
+	r, err := New(m, 1024, 16, 1<<12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	m := machine(1)
+	r, err := New(m, 256, 16, 1<<8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOddPassCountLandsInB(t *testing.T) {
+	m := machine(2)
+	// 3 passes of 4 bits over 12-bit keys: odd → result in keysB.
+	r, err := New(m, 128, 16, 1<<12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.passes != 3 {
+		t.Fatalf("passes=%d, want 3", r.passes)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvenPassCountLandsInA(t *testing.T) {
+	m := machine(2)
+	r, err := New(m, 128, 16, 1<<8, 4) // 2 passes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.passes != 2 {
+		t.Fatalf("passes=%d, want 2", r.passes)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	m := machine(4)
+	if _, err := New(m, 1023, 16, 1<<12, 1); err == nil {
+		t.Error("n not divisible by procs accepted")
+	}
+	if _, err := New(m, 1024, 15, 1<<12, 1); err == nil {
+		t.Error("non-power-of-two radix accepted")
+	}
+	if _, err := New(m, 1024, 16, 1000, 1); err == nil {
+		t.Error("non-power-of-two maxkey accepted")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.Get("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FlopBased {
+		t.Fatal("radix should report bytes/instruction")
+	}
+	m := machine(2)
+	r, err := a.Build(m, a.Options(map[string]int{"n": 512, "radix": 16, "maxkey": 1 << 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The permutation is all-to-all: remote traffic must exist.
+	if m.Snapshot().Mem.Traffic.Remote() == 0 {
+		t.Fatal("no communication in permutation phase")
+	}
+}
+
+// Property: sorting is correct for any seed, processor count, and digit
+// geometry, including radix larger and smaller than the processor count.
+func TestSortProperty(t *testing.T) {
+	f := func(seed uint64, sel uint8) bool {
+		type cfg struct{ p, n, radix, maxkey int }
+		cfgs := []cfg{
+			{1, 256, 16, 1 << 8},
+			{2, 256, 4, 1 << 8}, // radix > passes, radix > procs
+			{4, 512, 2, 1 << 4}, // radix < procs
+			{8, 512, 64, 1 << 12},
+		}
+		c := cfgs[int(sel)%len(cfgs)]
+		m := machine(c.p)
+		r, err := New(m, c.n, c.radix, c.maxkey, seed)
+		if err != nil {
+			return false
+		}
+		r.Run(m)
+		return r.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

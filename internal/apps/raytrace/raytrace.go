@@ -1,0 +1,211 @@
+// Package raytrace implements the SPLASH-2 Raytrace application: rendering
+// a three-dimensional scene using ray tracing. A uniform spatial grid
+// accelerates ray-object intersection, early ray termination is
+// implemented, rays reflect unpredictably off the objects they strike, and
+// the image plane is partitioned among processors in contiguous blocks of
+// pixel groups with distributed task queues and task stealing (§3,
+// [SGL94]). The scene is a synthetic sphere cluster standing in for the
+// paper's "car" model (see internal/workload).
+package raytrace
+
+import (
+	"fmt"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name: "raytrace",
+		Doc:  "ray tracer with uniform-grid acceleration and task stealing",
+		Defaults: map[string]int{
+			"width":   64, // image side; paper input: car at higher resolution
+			"spheres": 32,
+			"grid":    8, // acceleration grid cells per side
+			"tile":    4, // pixels per task tile side
+			"seed":    1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return New(m, opt["width"], opt["spheres"], opt["grid"], opt["tile"], uint64(opt["seed"]))
+		},
+	})
+}
+
+const (
+	maxDepth   = 4
+	minWeight  = 0.05 // early ray termination threshold
+	sphereStep = 6    // words per sphere record
+)
+
+// Raytrace is one configured render instance.
+type Raytrace struct {
+	mch   *mach.Machine
+	w     int
+	ns    int
+	g     int // grid cells per side
+	tile  int
+	scene *workload.Scene
+
+	spheres   *mach.F64Array // 6 words each: x,y,z,r,diffuse,reflect
+	cellStart *mach.IntArray // CSR offsets, g³+1
+	cellItems *mach.IntArray // sphere ids
+	pixels    *mach.F64Array // w×w image
+	queues    *mach.TaskQueues
+}
+
+// ctx routes data accesses either through the memory system (rendering)
+// or directly (verification re-execution); both paths compute identically.
+type ctx struct {
+	r *Raytrace
+	p *mach.Proc
+}
+
+func (c ctx) f(a *mach.F64Array, i int) float64 {
+	if c.p != nil {
+		return a.Get(c.p, i)
+	}
+	return a.Peek(i)
+}
+
+func (c ctx) iv(a *mach.IntArray, i int) int {
+	if c.p != nil {
+		return a.Get(c.p, i)
+	}
+	return a.Peek(i)
+}
+
+func (c ctx) flop(n int) {
+	if c.p != nil {
+		c.p.Flop(n)
+	}
+}
+
+// New builds the renderer: generates the scene, grids it, and allocates
+// the shared image.
+func New(m *mach.Machine, width, nspheres, grid, tile int, seed uint64) (*Raytrace, error) {
+	if width < 4 || nspheres < 2 || grid < 2 || tile < 1 {
+		return nil, fmt.Errorf("raytrace: bad parameters w=%d ns=%d g=%d tile=%d", width, nspheres, grid, tile)
+	}
+	r := &Raytrace{mch: m, w: width, ns: nspheres, g: grid, tile: tile}
+	r.scene = workload.GenScene(nspheres, seed)
+
+	r.spheres = m.NewF64(sphereStep*nspheres, true, mach.Interleaved())
+	for i, s := range r.scene.Spheres {
+		base := sphereStep * i
+		r.spheres.Init(base, s.X)
+		r.spheres.Init(base+1, s.Y)
+		r.spheres.Init(base+2, s.Z)
+		r.spheres.Init(base+3, s.Radius)
+		r.spheres.Init(base+4, s.Diffuse)
+		r.spheres.Init(base+5, s.Reflect)
+	}
+
+	// Uniform grid over the unit cube for the cluster spheres (the ground
+	// sphere, index 0, is tested on every ray). CSR built at input time.
+	g3 := grid * grid * grid
+	lists := make([][]int, g3)
+	for i := 1; i < nspheres; i++ {
+		s := r.scene.Spheres[i]
+		cellsOverlapping(grid, s, func(c int) { lists[c] = append(lists[c], i) })
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	r.cellStart = m.NewInt(g3+1, true, mach.Interleaved())
+	r.cellItems = m.NewInt(total+1, true, mach.Interleaved())
+	off := 0
+	for c, l := range lists {
+		r.cellStart.Init(c, off)
+		for _, id := range l {
+			r.cellItems.Init(off, id)
+			off++
+		}
+	}
+	r.cellStart.Init(g3, off)
+
+	r.pixels = m.NewF64(width*width, true, mach.Blocked())
+	r.queues = m.NewTaskQueues(width*width/tile/tile + 8)
+	return r, nil
+}
+
+// cellsOverlapping invokes fn for every grid cell whose box intersects the
+// sphere's bounding box (clipped to the unit cube).
+func cellsOverlapping(g int, s workload.Sphere, fn func(cell int)) {
+	clampIdx := func(v float64) int {
+		i := int(v * float64(g))
+		if i < 0 {
+			i = 0
+		}
+		if i >= g {
+			i = g - 1
+		}
+		return i
+	}
+	x0, x1 := clampIdx(s.X-s.Radius), clampIdx(s.X+s.Radius)
+	y0, y1 := clampIdx(s.Y-s.Radius), clampIdx(s.Y+s.Radius)
+	z0, z1 := clampIdx(s.Z-s.Radius), clampIdx(s.Z+s.Radius)
+	for z := z0; z <= z1; z++ {
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				fn((z*g+y)*g + x)
+			}
+		}
+	}
+}
+
+// Run renders the frame: every processor seeds its queue with its
+// contiguous block of tiles, then all render with stealing.
+func (r *Raytrace) Run(m *mach.Machine) {
+	tiles := (r.w / r.tile) * (r.w / r.tile)
+	m.Run(func(p *mach.Proc) {
+		lo := p.ID * tiles / m.Procs()
+		hi := (p.ID + 1) * tiles / m.Procs()
+		for t := lo; t < hi; t++ {
+			r.queues.Push(p, t)
+		}
+	})
+	m.Run(func(p *mach.Proc) {
+		for {
+			t, ok := r.queues.PopOrSteal(p)
+			if !ok {
+				return
+			}
+			r.renderTile(ctx{r, p}, t)
+			r.queues.Done(p)
+		}
+	})
+}
+
+// renderTile traces every pixel of one tile.
+func (r *Raytrace) renderTile(c ctx, t int) {
+	perRow := r.w / r.tile
+	ty, tx := t/perRow, t%perRow
+	for dy := 0; dy < r.tile; dy++ {
+		for dx := 0; dx < r.tile; dx++ {
+			px := tx*r.tile + dx
+			py := ty*r.tile + dy
+			v := r.tracePixel(c, px, py)
+			if c.p != nil {
+				r.pixels.Set(c.p, py*r.w+px, v)
+			}
+		}
+	}
+}
+
+// tracePixel shoots the primary ray for pixel (px,py).
+func (r *Raytrace) tracePixel(c ctx, px, py int) float64 {
+	// Camera at (0.5, 0.7, -1.6) looking toward the cluster.
+	ox, oy, oz := 0.5, 0.7, -1.6
+	ix := float64(px)/float64(r.w-1) - 0.5
+	iy := 0.5 - float64(py)/float64(r.w-1)
+	dx, dy, dz := norm3(ix, iy+0.1, 1.4)
+	c.flop(12)
+	v := r.trace(c, ox, oy, oz, dx, dy, dz, 1.0, 0)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package raytrace
+
+import (
+	"math"
+	"testing"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func machine(procs int) *mach.Machine {
+	return mach.MustNew(mach.Config{Procs: procs, CacheSize: 128 << 10, Assoc: 4, LineSize: 64})
+}
+
+func TestRenderAndVerify(t *testing.T) {
+	m := machine(4)
+	r, err := New(m, 32, 16, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicAcrossProcCounts(t *testing.T) {
+	var ref []float64
+	for _, procs := range []int{1, 4} {
+		m := machine(procs)
+		r, err := New(m, 32, 16, 4, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Run(m)
+		img := append([]float64(nil), r.Pixels()...)
+		if ref == nil {
+			ref = img
+			continue
+		}
+		for i := range ref {
+			if ref[i] != img[i] {
+				t.Fatalf("pixel %d differs across processor counts", i)
+			}
+		}
+	}
+}
+
+func TestClipUnitCube(t *testing.T) {
+	// Ray entering the cube from outside along +z.
+	t0, t1, ok := clipUnitCube(0.5, 0.5, -1, 0, 0, 1)
+	if !ok || math.Abs(t0-1) > 1e-12 || math.Abs(t1-2) > 1e-12 {
+		t.Fatalf("clip: %v %v %v", t0, t1, ok)
+	}
+	// Ray missing the cube.
+	if _, _, ok := clipUnitCube(2, 2, -1, 0, 0, 1); ok {
+		t.Fatal("miss reported as hit")
+	}
+	// Ray parallel to an axis inside the slab.
+	if _, _, ok := clipUnitCube(0.5, 0.5, 0.5, 1, 0, 0); !ok {
+		t.Fatal("interior axis ray rejected")
+	}
+}
+
+func TestHitSphereGeometry(t *testing.T) {
+	m := machine(1)
+	r, err := New(m, 8, 4, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place a known sphere: overwrite sphere 1 with center (0.5,0.5,0.5) r=0.1.
+	base := sphereStep * 1
+	for i, v := range []float64{0.5, 0.5, 0.5, 0.1} {
+		r.spheres.Init(base+i, v)
+	}
+	c := ctx{r, nil}
+	tt, ok := r.hitSphere(c, 1, 0.5, 0.5, -1, 0, 0, 1)
+	if !ok || math.Abs(tt-1.4) > 1e-9 {
+		t.Fatalf("hitSphere: t=%v ok=%v, want 1.4", tt, ok)
+	}
+	if _, ok := r.hitSphere(c, 1, 0.5, 0.9, -1, 0, 0, 1); ok {
+		t.Fatal("ray missing sphere reported hit")
+	}
+}
+
+func TestCellsOverlapping(t *testing.T) {
+	s := workload.Sphere{X: 0.5, Y: 0.5, Z: 0.5, Radius: 0.1}
+	count := 0
+	cellsOverlapping(4, s, func(int) { count++ })
+	// Radius 0.1 around center touches cells 1..2 in each axis: 8 cells.
+	if count != 8 {
+		t.Fatalf("overlap count %d, want 8", count)
+	}
+}
+
+func TestGroundVisibleAtBottom(t *testing.T) {
+	m := machine(2)
+	r, err := New(m, 32, 8, 4, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	// Bottom rows look at the ground plane: should not all be sky.
+	img := r.Pixels()
+	var bottom float64
+	for x := 0; x < 32; x++ {
+		bottom += img[31*32+x]
+	}
+	if bottom == 0 {
+		t.Fatal("bottom of image entirely dark")
+	}
+}
+
+func TestRegisteredAndSteals(t *testing.T) {
+	a, err := apps.Get("raytrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FlopBased {
+		t.Fatal("raytrace reports bytes/instruction in the paper")
+	}
+	m := machine(4)
+	r, err := a.Build(m, a.Options(map[string]int{"width": 32, "spheres": 16, "grid": 4, "tile": 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if mach.Aggregate(m.Snapshot().Procs).Locks == 0 {
+		t.Fatal("task queues never locked")
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	m := machine(1)
+	if _, err := New(m, 2, 16, 4, 4, 1); err == nil {
+		t.Error("width=2 accepted")
+	}
+	if _, err := New(m, 32, 1, 4, 4, 1); err == nil {
+		t.Error("1 sphere accepted")
+	}
+}

@@ -1,0 +1,270 @@
+package raytrace
+
+import (
+	"fmt"
+	"math"
+
+	"splash2/internal/workload"
+)
+
+// hit describes the nearest intersection along a ray.
+type hit struct {
+	t  float64
+	id int
+}
+
+// trace returns the brightness carried back along the ray. weight is the
+// accumulated reflection attenuation: rays terminate early when it falls
+// below minWeight or the recursion exceeds maxDepth (early ray
+// termination, §3).
+func (r *Raytrace) trace(c ctx, ox, oy, oz, dx, dy, dz, weight float64, depth int) float64 {
+	if depth > maxDepth || weight < minWeight {
+		return 0
+	}
+	h, ok := r.intersect(c, ox, oy, oz, dx, dy, dz, math.Inf(1))
+	if !ok {
+		// Sky gradient.
+		c.flop(2)
+		return 0.15 + 0.1*dy
+	}
+	base := sphereStep * h.id
+	sx := c.f(r.spheres, base)
+	sy := c.f(r.spheres, base+1)
+	sz := c.f(r.spheres, base+2)
+	rad := c.f(r.spheres, base+3)
+	diffuse := c.f(r.spheres, base+4)
+	reflect := c.f(r.spheres, base+5)
+
+	// Hit point and unit normal.
+	hx := ox + h.t*dx
+	hy := oy + h.t*dy
+	hz := oz + h.t*dz
+	nx, ny, nz := (hx-sx)/rad, (hy-sy)/rad, (hz-sz)/rad
+	c.flop(12)
+
+	// Shadow ray toward the point light.
+	lx, ly, lz := r.scene.LightX-hx, r.scene.LightY-hy, r.scene.LightZ-hz
+	ldist := math.Sqrt(lx*lx + ly*ly + lz*lz)
+	lx, ly, lz = lx/ldist, ly/ldist, lz/ldist
+	c.flop(9)
+	brightness := 0.08 // ambient
+	cosL := nx*lx + ny*ly + nz*lz
+	c.flop(5)
+	if cosL > 0 {
+		if _, blocked := r.intersect(c, hx+1e-6*nx, hy+1e-6*ny, hz+1e-6*nz, lx, ly, lz, ldist); !blocked {
+			brightness += diffuse * cosL
+			c.flop(2)
+		}
+	}
+
+	// Reflection ray.
+	if reflect > 0 {
+		dot := dx*nx + dy*ny + dz*nz
+		rx := dx - 2*dot*nx
+		ry := dy - 2*dot*ny
+		rz := dz - 2*dot*nz
+		c.flop(11)
+		brightness += reflect * r.trace(c, hx+1e-6*nx, hy+1e-6*ny, hz+1e-6*nz, rx, ry, rz, weight*reflect, depth+1)
+	}
+	return brightness
+}
+
+// intersect finds the nearest sphere hit with t < tMax: the ground sphere
+// is always tested, cluster spheres through the uniform grid via 3-D DDA.
+func (r *Raytrace) intersect(c ctx, ox, oy, oz, dx, dy, dz, tMax float64) (hit, bool) {
+	best := hit{t: tMax, id: -1}
+	if t, ok := r.hitSphere(c, 0, ox, oy, oz, dx, dy, dz); ok && t < best.t {
+		best = hit{t, 0}
+	}
+
+	// Clip the ray against the unit cube that bounds the grid.
+	t0, t1, ok := clipUnitCube(ox, oy, oz, dx, dy, dz)
+	c.flop(12)
+	if ok && t0 < best.t {
+		r.gridWalk(c, ox, oy, oz, dx, dy, dz, t0, math.Min(t1, best.t), &best)
+	}
+	if best.id == -1 {
+		return best, false
+	}
+	return best, true
+}
+
+// gridWalk steps through grid cells along the ray testing the spheres
+// listed in each, stopping as soon as the best hit precedes the next cell.
+func (r *Raytrace) gridWalk(c ctx, ox, oy, oz, dx, dy, dz, t0, t1 float64, best *hit) {
+	g := float64(r.g)
+	// Entry point nudged inside.
+	ex := ox + (t0+1e-9)*dx
+	ey := oy + (t0+1e-9)*dy
+	ez := oz + (t0+1e-9)*dz
+	ix, iy, iz := cellIndex(ex, r.g), cellIndex(ey, r.g), cellIndex(ez, r.g)
+
+	stepX, tMaxX, tDeltaX := ddaAxis(ox, dx, ix, g, t0)
+	stepY, tMaxY, tDeltaY := ddaAxis(oy, dy, iy, g, t0)
+	stepZ, tMaxZ, tDeltaZ := ddaAxis(oz, dz, iz, g, t0)
+	c.flop(18)
+
+	t := t0
+	for t <= t1 && t < best.t {
+		cell := (iz*r.g+iy)*r.g + ix
+		s0 := c.iv(r.cellStart, cell)
+		s1 := c.iv(r.cellStart, cell+1)
+		for k := s0; k < s1; k++ {
+			id := c.iv(r.cellItems, k)
+			if tt, ok := r.hitSphere(c, id, ox, oy, oz, dx, dy, dz); ok && tt < best.t {
+				best.t = tt
+				best.id = id
+			}
+		}
+		// Advance to the next cell boundary.
+		switch {
+		case tMaxX <= tMaxY && tMaxX <= tMaxZ:
+			t = tMaxX
+			tMaxX += tDeltaX
+			ix += stepX
+			if ix < 0 || ix >= r.g {
+				return
+			}
+		case tMaxY <= tMaxZ:
+			t = tMaxY
+			tMaxY += tDeltaY
+			iy += stepY
+			if iy < 0 || iy >= r.g {
+				return
+			}
+		default:
+			t = tMaxZ
+			tMaxZ += tDeltaZ
+			iz += stepZ
+			if iz < 0 || iz >= r.g {
+				return
+			}
+		}
+		c.flop(4)
+	}
+}
+
+// hitSphere intersects the ray with sphere id, reading its geometry.
+func (r *Raytrace) hitSphere(c ctx, id int, ox, oy, oz, dx, dy, dz float64) (float64, bool) {
+	base := sphereStep * id
+	sx := c.f(r.spheres, base)
+	sy := c.f(r.spheres, base+1)
+	sz := c.f(r.spheres, base+2)
+	rad := c.f(r.spheres, base+3)
+	lx, ly, lz := sx-ox, sy-oy, sz-oz
+	b := lx*dx + ly*dy + lz*dz
+	cc := lx*lx + ly*ly + lz*lz - rad*rad
+	disc := b*b - cc
+	c.flop(17)
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	c.flop(2)
+	if t := b - sq; t > 1e-7 {
+		return t, true
+	}
+	if t := b + sq; t > 1e-7 {
+		return t, true
+	}
+	return 0, false
+}
+
+// ddaAxis prepares one axis of the 3-D DDA.
+func ddaAxis(o, d float64, idx int, g, t0 float64) (step int, tMax, tDelta float64) {
+	if d > 1e-12 {
+		step = 1
+		boundary := (float64(idx) + 1) / g
+		tMax = (boundary - o) / d
+		tDelta = 1 / (g * d)
+		return
+	}
+	if d < -1e-12 {
+		step = -1
+		boundary := float64(idx) / g
+		tMax = (boundary - o) / d
+		tDelta = -1 / (g * d)
+		return
+	}
+	return 0, math.Inf(1), math.Inf(1)
+}
+
+// clipUnitCube returns the parametric overlap of the ray with [0,1]³.
+func clipUnitCube(ox, oy, oz, dx, dy, dz float64) (t0, t1 float64, ok bool) {
+	t0, t1 = 0, math.Inf(1)
+	for _, ax := range [3][2]float64{{ox, dx}, {oy, dy}, {oz, dz}} {
+		o, d := ax[0], ax[1]
+		if math.Abs(d) < 1e-12 {
+			if o < 0 || o > 1 {
+				return 0, 0, false
+			}
+			continue
+		}
+		a := (0 - o) / d
+		b := (1 - o) / d
+		if a > b {
+			a, b = b, a
+		}
+		if a > t0 {
+			t0 = a
+		}
+		if b < t1 {
+			t1 = b
+		}
+	}
+	return t0, t1, t0 <= t1
+}
+
+func cellIndex(v float64, g int) int {
+	i := int(v * float64(g))
+	if i < 0 {
+		return 0
+	}
+	if i >= g {
+		return g - 1
+	}
+	return i
+}
+
+func norm3(x, y, z float64) (float64, float64, float64) {
+	l := math.Sqrt(x*x + y*y + z*z)
+	return x / l, y / l, z / l
+}
+
+// Verify re-executes a sample of pixels without the memory system and
+// requires bit-identical results, plus global image sanity checks.
+func (r *Raytrace) Verify() error {
+	var minV, maxV float64 = math.Inf(1), math.Inf(-1)
+	for i := 0; i < r.w*r.w; i++ {
+		v := r.pixels.Peek(i)
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("raytrace: pixel %d out of range: %v", i, v)
+		}
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV-minV < 1e-3 {
+		return fmt.Errorf("raytrace: image is flat (min %g max %g)", minV, maxV)
+	}
+	rng := workload.NewRNG(777)
+	plain := ctx{r, nil}
+	for s := 0; s < 64; s++ {
+		px := rng.Intn(r.w)
+		py := rng.Intn(r.w)
+		want := r.tracePixel(plain, px, py)
+		if want > 1 {
+			want = 1
+		}
+		if got := r.pixels.Peek(py*r.w + px); got != want {
+			return fmt.Errorf("raytrace: pixel (%d,%d) = %v, re-trace = %v", px, py, got, want)
+		}
+	}
+	return nil
+}
+
+// Pixels exposes the rendered image (tests).
+func (r *Raytrace) Pixels() []float64 { return r.pixels.Raw() }

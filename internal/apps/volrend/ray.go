@@ -1,0 +1,151 @@
+package volrend
+
+import "math"
+
+// castRay marches one ray through the volume for pixel (px,py) of the
+// given frame. The viewpoint orbits the volume: each frame rotates the
+// camera by 0.35 radians about the vertical axis.
+func (v *Volrend) castRay(c ctx, frame, px, py int) float64 {
+	d := float64(v.dim)
+	angle := 0.5 + 0.35*float64(frame)
+	sin, cos := math.Sincos(angle)
+
+	// Camera on a circle of radius 1.8·dim around the volume center,
+	// looking at the center; simple pinhole projection.
+	center := d / 2
+	ox := center + 1.8*d*cos
+	oy := center + 0.4*d
+	oz := center + 1.8*d*sin
+
+	// Image plane basis: right = (−sin,0,cos), up = y-ish orthogonal.
+	u := (float64(px)/float64(v.w-1) - 0.5) * d * 1.3
+	w := (0.5 - float64(py)/float64(v.w-1)) * d * 1.3
+	tx := center + u*(-sin)
+	ty := center + w
+	tz := center + u*cos
+	dx, dy, dz := tx-ox, ty-oy, tz-oz
+	dl := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	dx, dy, dz = dx/dl, dy/dl, dz/dl
+	c.flop(25)
+
+	// Clip against the volume bounds [0,dim−1]³.
+	t0, t1, ok := clipBox(ox, oy, oz, dx, dy, dz, d-1)
+	c.flop(12)
+	if !ok {
+		return 0
+	}
+
+	var color, alpha float64
+	step := sampleStride
+	t := t0 + 1e-6
+	for t < t1 && alpha < opacityCut {
+		x := ox + t*dx
+		y := oy + t*dy
+		z := oz + t*dz
+
+		// Octree skip: if the block containing the sample is empty, jump
+		// past it using the min-max pyramid (coarsest empty ancestor).
+		if skip := v.emptySkip(c, x, y, z); skip > 0 {
+			t += skip
+			continue
+		}
+
+		dens := v.trilinear(c, x, y, z)
+		if dens > emptyCut {
+			// Transfer function: opacity and brightness ramp with density.
+			op := (dens - emptyCut) * 1.6 * step
+			if op > 1 {
+				op = 1
+			}
+			color += (1 - alpha) * op * dens
+			alpha += (1 - alpha) * op
+			c.flop(8)
+		}
+		t += step
+	}
+	if color > 1 {
+		color = 1
+	}
+	return color
+}
+
+// emptySkip returns a parametric distance to skip if the sample point lies
+// in an empty octree block (0 means the block is occupied). It checks the
+// pyramid from coarse to fine, taking the largest empty block.
+func (v *Volrend) emptySkip(c ctx, x, y, z float64) float64 {
+	nb := v.dim / v.block
+	bx := int(x) / v.block
+	by := int(y) / v.block
+	bz := int(z) / v.block
+	if bx < 0 || by < 0 || bz < 0 || bx >= nb || by >= nb || bz >= nb {
+		return 0
+	}
+	// Walk from the coarsest level down: level index v.levels-1 is the
+	// single root block, level 0 the finest.
+	for lvl := v.levels - 1; lvl >= 0; lvl-- {
+		n := nb >> uint(lvl)
+		if n == 0 {
+			continue
+		}
+		shift := uint(lvl)
+		ix := (bx >> shift)
+		iy := (by >> shift)
+		iz := (bz >> shift)
+		mx := c.f(v.octMax[lvl], (iz*n+iy)*n+ix)
+		if mx < emptyCut {
+			// Empty: skip roughly the block diagonal at this level.
+			return float64(v.block<<shift) * 0.9
+		}
+	}
+	return 0
+}
+
+// trilinear samples the volume at a fractional position (8 voxel reads).
+func (v *Volrend) trilinear(c ctx, x, y, z float64) float64 {
+	x0 := int(x)
+	y0 := int(y)
+	z0 := int(z)
+	if x0 < 0 || y0 < 0 || z0 < 0 || x0 >= v.dim-1 || y0 >= v.dim-1 || z0 >= v.dim-1 {
+		return 0
+	}
+	fx := x - float64(x0)
+	fy := y - float64(y0)
+	fz := z - float64(z0)
+	at := func(xi, yi, zi int) float64 {
+		return c.f(v.vox, (zi*v.dim+yi)*v.dim+xi)
+	}
+	c00 := at(x0, y0, z0)*(1-fx) + at(x0+1, y0, z0)*fx
+	c01 := at(x0, y0, z0+1)*(1-fx) + at(x0+1, y0, z0+1)*fx
+	c10 := at(x0, y0+1, z0)*(1-fx) + at(x0+1, y0+1, z0)*fx
+	c11 := at(x0, y0+1, z0+1)*(1-fx) + at(x0+1, y0+1, z0+1)*fx
+	c0 := c00*(1-fy) + c10*fy
+	c1 := c01*(1-fy) + c11*fy
+	c.flop(21)
+	return c0*(1-fz) + c1*fz
+}
+
+// clipBox intersects a ray with the cube [0,s]³.
+func clipBox(ox, oy, oz, dx, dy, dz, s float64) (t0, t1 float64, ok bool) {
+	t0, t1 = 0, math.Inf(1)
+	for _, ax := range [3][2]float64{{ox, dx}, {oy, dy}, {oz, dz}} {
+		o, d := ax[0], ax[1]
+		if math.Abs(d) < 1e-12 {
+			if o < 0 || o > s {
+				return 0, 0, false
+			}
+			continue
+		}
+		a := (0 - o) / d
+		b := (s - o) / d
+		if a > b {
+			a, b = b, a
+		}
+		if a > t0 {
+			t0 = a
+		}
+		if b < t1 {
+			t1 = b
+		}
+	}
+	return t0, t1, t0 <= t1
+}

@@ -1,0 +1,251 @@
+// Package volrend implements the SPLASH-2 Volrend application: rendering a
+// three-dimensional volume using ray casting. The volume is a cube of
+// voxels, an octree (a min-max pyramid over voxel blocks) lets rays leap
+// over empty space quickly, rays do not reflect but are sampled along
+// their linear paths with trilinear interpolation, and early ray
+// termination stops marching once accumulated opacity saturates. The
+// program renders several frames from changing viewpoints; partitioning
+// and task queues mirror Raytrace (§3, [NiL92]). The volume is a synthetic
+// nested-shell "head" (see internal/workload).
+package volrend
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name: "volrend",
+		Doc:  "volume renderer: ray casting with min-max octree skipping",
+		Defaults: map[string]int{
+			"dim":    32, // voxels per side; paper input: 256³ head
+			"width":  48, // image side
+			"frames": 2,
+			"tile":   4,
+			"block":  4, // octree leaf block size (voxels)
+			"seed":   1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return New(m, opt["dim"], opt["width"], opt["frames"], opt["tile"], opt["block"], uint64(opt["seed"]))
+		},
+	})
+}
+
+const (
+	opacityCut   = 0.98 // early ray termination
+	emptyCut     = 0.06 // blocks with max density below this are skipped
+	sampleStride = 0.6  // sampling step in voxel units
+)
+
+// Volrend is one configured render instance.
+type Volrend struct {
+	mch    *mach.Machine
+	dim    int
+	w      int
+	frames int
+	tile   int
+	block  int
+	levels int
+
+	vox     *mach.F64Array   // dim³ densities
+	octMax  []*mach.F64Array // per-level max pyramid, level 0 = blocks
+	pixels  *mach.F64Array   // w×w×frames (one image per frame)
+	queues  *mach.TaskQueues
+	barrier *mach.Barrier
+}
+
+// ctx routes accesses through the memory system or directly (verification).
+type ctx struct {
+	v *Volrend
+	p *mach.Proc
+}
+
+func (c ctx) f(a *mach.F64Array, i int) float64 {
+	if c.p != nil {
+		return a.Get(c.p, i)
+	}
+	return a.Peek(i)
+}
+
+func (c ctx) flop(n int) {
+	if c.p != nil {
+		c.p.Flop(n)
+	}
+}
+
+// New builds the renderer: generates the volume and its min-max pyramid.
+func New(m *mach.Machine, dim, width, frames, tile, block int, seed uint64) (*Volrend, error) {
+	switch {
+	case dim < 8 || bits.OnesCount(uint(dim)) != 1:
+		return nil, fmt.Errorf("volrend: dim %d must be a power of two ≥ 8", dim)
+	case block < 2 || bits.OnesCount(uint(block)) != 1 || dim%block != 0:
+		return nil, fmt.Errorf("volrend: block %d must be a power of two dividing dim %d", block, dim)
+	case width < 4 || tile < 1 || frames < 1:
+		return nil, fmt.Errorf("volrend: bad image parameters w=%d tile=%d frames=%d", width, tile, frames)
+	}
+	v := &Volrend{mch: m, dim: dim, w: width, frames: frames, tile: tile, block: block, barrier: m.NewBarrier()}
+
+	vol := workload.GenVolume(dim, seed)
+	v.vox = m.NewF64(dim*dim*dim, true, mach.Blocked())
+	for i, d := range vol.Voxels {
+		v.vox.Init(i, d)
+	}
+
+	// Min-max pyramid: level 0 has (dim/block)³ entries holding the max
+	// density of each block (padded by one voxel for interpolation);
+	// higher levels combine 2³ children.
+	nb := dim / block
+	level := make([]float64, nb*nb*nb)
+	for bz := 0; bz < nb; bz++ {
+		for by := 0; by < nb; by++ {
+			for bx := 0; bx < nb; bx++ {
+				var mx float64
+				for z := bz*block - 1; z <= (bz+1)*block; z++ {
+					for y := by*block - 1; y <= (by+1)*block; y++ {
+						for x := bx*block - 1; x <= (bx+1)*block; x++ {
+							if d := vol.At(clampi(x, dim), clampi(y, dim), clampi(z, dim)); d > mx {
+								mx = d
+							}
+						}
+					}
+				}
+				level[(bz*nb+by)*nb+bx] = mx
+			}
+		}
+	}
+	for n := nb; n >= 1; n /= 2 {
+		arr := m.NewF64(len(level), true, mach.Interleaved())
+		for i, d := range level {
+			arr.Init(i, d)
+		}
+		v.octMax = append(v.octMax, arr)
+		if n == 1 {
+			break
+		}
+		next := make([]float64, (n/2)*(n/2)*(n/2))
+		for z := 0; z < n/2; z++ {
+			for y := 0; y < n/2; y++ {
+				for x := 0; x < n/2; x++ {
+					var mx float64
+					for dz := 0; dz < 2; dz++ {
+						for dy := 0; dy < 2; dy++ {
+							for dx := 0; dx < 2; dx++ {
+								d := level[((2*z+dz)*n+2*y+dy)*n+2*x+dx]
+								if d > mx {
+									mx = d
+								}
+							}
+						}
+					}
+					next[(z*(n/2)+y)*(n/2)+x] = mx
+				}
+			}
+		}
+		level = next
+	}
+	v.levels = len(v.octMax)
+
+	v.pixels = m.NewF64(width*width*frames, true, mach.Blocked())
+	v.queues = m.NewTaskQueues(width*width/tile/tile + 8)
+	return v, nil
+}
+
+func clampi(x, dim int) int {
+	if x < 0 {
+		return 0
+	}
+	if x >= dim {
+		return dim - 1
+	}
+	return x
+}
+
+// Run renders the frames; measurement restarts after the first frame.
+func (v *Volrend) Run(m *mach.Machine) {
+	m.Run(func(p *mach.Proc) {
+		v.renderFrame(p, 0)
+		if v.frames > 1 {
+			m.Epoch(p, v.barrier)
+			for fr := 1; fr < v.frames; fr++ {
+				v.renderFrame(p, fr)
+			}
+		}
+	})
+}
+
+// renderFrame distributes tiles (contiguous blocks per processor) and
+// renders with stealing, exactly like Raytrace.
+func (v *Volrend) renderFrame(p *mach.Proc, frame int) {
+	tiles := (v.w / v.tile) * (v.w / v.tile)
+	lo := p.ID * tiles / v.mch.Procs()
+	hi := (p.ID + 1) * tiles / v.mch.Procs()
+	for t := lo; t < hi; t++ {
+		v.queues.Push(p, t)
+	}
+	v.barrier.Wait(p)
+	for {
+		t, ok := v.queues.PopOrSteal(p)
+		if !ok {
+			break
+		}
+		v.renderTile(ctx{v, p}, frame, t)
+		v.queues.Done(p)
+	}
+	v.barrier.Wait(p)
+}
+
+func (v *Volrend) renderTile(c ctx, frame, t int) {
+	perRow := v.w / v.tile
+	ty, tx := t/perRow, t%perRow
+	for dy := 0; dy < v.tile; dy++ {
+		for dx := 0; dx < v.tile; dx++ {
+			px := tx*v.tile + dx
+			py := ty*v.tile + dy
+			val := v.castRay(c, frame, px, py)
+			if c.p != nil {
+				v.pixels.Set(c.p, (frame*v.w+py)*v.w+px, val)
+			}
+		}
+	}
+}
+
+// Verify re-casts sampled rays unsimulated and requires identical pixels,
+// plus image sanity (values in range, frames non-empty and distinct).
+func (v *Volrend) Verify() error {
+	for i := 0; i < v.w*v.w*v.frames; i++ {
+		px := v.pixels.Peek(i)
+		if math.IsNaN(px) || px < 0 || px > 1.0001 {
+			return fmt.Errorf("volrend: pixel %d out of range: %v", i, px)
+		}
+	}
+	for fr := 0; fr < v.frames; fr++ {
+		var sum float64
+		for i := 0; i < v.w*v.w; i++ {
+			sum += v.pixels.Peek(fr*v.w*v.w + i)
+		}
+		if sum == 0 {
+			return fmt.Errorf("volrend: frame %d is empty", fr)
+		}
+	}
+	rng := workload.NewRNG(555)
+	plain := ctx{v, nil}
+	for s := 0; s < 48; s++ {
+		fr := rng.Intn(v.frames)
+		px := rng.Intn(v.w)
+		py := rng.Intn(v.w)
+		want := v.castRay(plain, fr, px, py)
+		if got := v.pixels.Peek((fr*v.w+py)*v.w + px); got != want {
+			return fmt.Errorf("volrend: pixel (%d,%d,f%d) = %v, re-cast = %v", px, py, fr, got, want)
+		}
+	}
+	return nil
+}
+
+// Pixels exposes the rendered frames (tests).
+func (v *Volrend) Pixels() []float64 { return v.pixels.Raw() }

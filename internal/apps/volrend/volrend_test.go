@@ -1,0 +1,137 @@
+package volrend
+
+import (
+	"testing"
+
+	"splash2/internal/apps"
+	"splash2/internal/mach"
+)
+
+func machine(procs int) *mach.Machine {
+	return mach.MustNew(mach.Config{Procs: procs, CacheSize: 128 << 10, Assoc: 4, LineSize: 64})
+}
+
+func TestRenderAndVerify(t *testing.T) {
+	m := machine(4)
+	v, err := New(m, 16, 24, 2, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Run(m)
+	if err := v.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicAcrossProcCounts(t *testing.T) {
+	var ref []float64
+	for _, procs := range []int{1, 4} {
+		m := machine(procs)
+		v, err := New(m, 16, 24, 1, 4, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Run(m)
+		img := append([]float64(nil), v.Pixels()...)
+		if ref == nil {
+			ref = img
+			continue
+		}
+		for i := range ref {
+			if ref[i] != img[i] {
+				t.Fatalf("pixel %d differs across processor counts", i)
+			}
+		}
+	}
+}
+
+func TestFramesDiffer(t *testing.T) {
+	m := machine(2)
+	v, err := New(m, 16, 24, 2, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Run(m)
+	img := v.Pixels()
+	n := 24 * 24
+	same := true
+	for i := 0; i < n; i++ {
+		if img[i] != img[n+i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("rotating viewpoint produced identical frames")
+	}
+}
+
+func TestOctreeSkipMatchesVolume(t *testing.T) {
+	m := machine(1)
+	v, err := New(m, 32, 8, 1, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx{v, nil}
+	// Corner blocks of the shell volume are empty: skip must be positive.
+	if s := v.emptySkip(c, 0.5, 0.5, 0.5); s <= 0 {
+		t.Fatal("corner block not skipped")
+	}
+	// Center is dense: no skipping allowed.
+	if s := v.emptySkip(c, 16, 16, 16); s != 0 {
+		t.Fatalf("dense center skipped by %v", s)
+	}
+}
+
+func TestTrilinearInterpolatesLinearly(t *testing.T) {
+	m := machine(1)
+	v, err := New(m, 8, 8, 1, 4, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the volume with a linear ramp in x: f(x,y,z) = x/8.
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				v.vox.Init((z*8+y)*8+x, float64(x)/8)
+			}
+		}
+	}
+	c := ctx{v, nil}
+	got := v.trilinear(c, 2.5, 3, 3)
+	if want := 2.5 / 8; got != want {
+		t.Fatalf("trilinear(2.5) = %v, want %v", got, want)
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	a, err := apps.Get("volrend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine(2)
+	r, err := a.Build(m, a.Options(map[string]int{"dim": 16, "width": 16, "frames": 1, "tile": 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(m)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	m := machine(1)
+	if _, err := New(m, 12, 16, 1, 4, 4, 1); err == nil {
+		t.Error("non-power-of-two dim accepted")
+	}
+	if _, err := New(m, 16, 16, 1, 4, 3, 1); err == nil {
+		t.Error("non-power-of-two block accepted")
+	}
+	if _, err := New(m, 16, 2, 1, 4, 4, 1); err == nil {
+		t.Error("tiny image accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package water
+
+import (
+	"fmt"
+
+	"splash2/internal/mach"
+)
+
+// Nsq is the O(n²) Water application instance.
+type Nsq struct {
+	*state
+	steps   int
+	oldLock bool             // SPLASH-1-style per-pair locking (ablation)
+	local   []*mach.F64Array // per-processor private force copies (3n each)
+}
+
+// NewNsq builds the O(n²) version: molecules are statically partitioned in
+// contiguous blocks, and each processor keeps a private copy of all
+// accelerations that it folds into the shared copy under per-molecule
+// locks at the end of the force phase — the improved locking strategy of
+// §3. With oldLock, every pair interaction instead updates the shared
+// accelerations directly under per-molecule locks, the SPLASH-1 strategy
+// the paper improved on (ablation).
+func NewNsq(m *mach.Machine, n, steps int, oldLock bool, seed uint64) (*Nsq, error) {
+	if n < 8 {
+		return nil, fmt.Errorf("water-nsq: need ≥ 8 molecules, got %d", n)
+	}
+	w := &Nsq{state: newState(m, n, seed), steps: steps, oldLock: oldLock}
+	w.local = make([]*mach.F64Array, m.Procs())
+	for pid := range w.local {
+		w.local[pid] = m.NewF64(3*n, false, mach.Owner(pid))
+	}
+	return w, nil
+}
+
+// Run executes the time-steps; measurement restarts after the first step.
+func (w *Nsq) Run(m *mach.Machine) {
+	m.Run(func(p *mach.Proc) {
+		w.step(p)
+		if w.steps > 1 {
+			m.Epoch(p, w.barrier)
+			for s := 1; s < w.steps; s++ {
+				w.step(p)
+			}
+		}
+	})
+}
+
+func (w *Nsq) step(p *mach.Proc) {
+	lo, hi := w.partitionRange(p.ID)
+
+	// Predict: half-kick and drift for owned molecules, then clear the
+	// shared accelerations for the new force evaluation.
+	for i := lo; i < hi; i++ {
+		w.kickDrift(p, i)
+		for d := 0; d < 3; d++ {
+			w.acc.Set(p, 3*i+d, 0)
+		}
+	}
+	w.barrier.Wait(p)
+
+	// Inter-molecular forces: half-shell O(n²) pass; pairs (i, i+n/2) are
+	// processed only from the lower half to avoid double counting. The
+	// default strategy accumulates into a processor-private copy and folds
+	// it into the shared accelerations once at the end; the old strategy
+	// locks and updates the shared copy on every pair.
+	loc := w.local[p.ID]
+	if !w.oldLock {
+		for k := 0; k < 3*w.n; k++ {
+			loc.Set(p, k, 0)
+		}
+	}
+	half := w.n / 2
+	var pot float64
+	for i := lo; i < hi; i++ {
+		xi := w.pos.Get(p, 3*i+0)
+		yi := w.pos.Get(p, 3*i+1)
+		zi := w.pos.Get(p, 3*i+2)
+		for d := 1; d <= half; d++ {
+			if d == half && w.n%2 == 0 && i >= half {
+				continue
+			}
+			j := (i + d) % w.n
+			fx, fy, fz, u := w.pairInteraction(p, xi, yi, zi, j)
+			if u != 0 {
+				pot += u
+			}
+			if fx == 0 && fy == 0 && fz == 0 {
+				continue
+			}
+			if w.oldLock {
+				w.addShared(p, i, fx, fy, fz)
+				w.addShared(p, j, -fx, -fy, -fz)
+			} else {
+				loc.Set(p, 3*i+0, loc.Get(p, 3*i+0)+fx)
+				loc.Set(p, 3*i+1, loc.Get(p, 3*i+1)+fy)
+				loc.Set(p, 3*i+2, loc.Get(p, 3*i+2)+fz)
+				loc.Set(p, 3*j+0, loc.Get(p, 3*j+0)-fx)
+				loc.Set(p, 3*j+1, loc.Get(p, 3*j+1)-fy)
+				loc.Set(p, 3*j+2, loc.Get(p, 3*j+2)-fz)
+			}
+			p.Flop(6)
+		}
+	}
+	pad := w.mch.LineSize() / mach.WordBytes
+	w.epot.Set(p, p.ID*pad, pot)
+	w.barrier.Wait(p)
+
+	// Accumulate the private copies into the shared accelerations under
+	// per-molecule locks, once per processor at the end of the phase.
+	if !w.oldLock {
+		for i := 0; i < w.n; i++ {
+			fx := loc.Get(p, 3*i+0)
+			fy := loc.Get(p, 3*i+1)
+			fz := loc.Get(p, 3*i+2)
+			if fx == 0 && fy == 0 && fz == 0 {
+				continue
+			}
+			w.addShared(p, i, fx, fy, fz)
+			p.Flop(3)
+		}
+	}
+	w.barrier.Wait(p)
+
+	// Correct: second half-kick with the new accelerations.
+	for i := lo; i < hi; i++ {
+		w.secondKick(p, i)
+	}
+	w.barrier.Wait(p)
+}
+
+// addShared folds one force contribution into the shared accelerations
+// under the molecule's lock.
+func (w *Nsq) addShared(p *mach.Proc, i int, fx, fy, fz float64) {
+	w.molLock[i].Acquire(p)
+	w.acc.Set(p, 3*i+0, w.acc.Get(p, 3*i+0)+fx)
+	w.acc.Set(p, 3*i+1, w.acc.Get(p, 3*i+1)+fy)
+	w.acc.Set(p, 3*i+2, w.acc.Get(p, 3*i+2)+fz)
+	w.molLock[i].Release(p)
+}
+
+// Verify checks the shared physical invariants and that forces were
+// actually computed (non-zero kinetic energy after the first step).
+func (w *Nsq) Verify() error {
+	if err := w.verifyCommon(); err != nil {
+		return err
+	}
+	var ke float64
+	for i := 0; i < 3*w.n; i++ {
+		v := w.vel.Peek(i)
+		ke += v * v
+	}
+	if ke == 0 {
+		return fmt.Errorf("water-nsq: no molecule ever moved")
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package water implements the two SPLASH-2 molecular dynamics
+// applications. Water-Nsquared evaluates intermolecular forces with an
+// O(n²) half-shell pass over all pairs, updating a private copy of the
+// accelerations and accumulating into the shared copy under per-molecule
+// locks once at the end — the improved locking strategy that distinguishes
+// it from the SPLASH original (§3). Water-Spatial solves the same problem
+// with an O(n) algorithm: a uniform 3-D grid of cells is imposed on the
+// domain, processors own contiguous regions of cells, and only neighboring
+// cells are searched for molecules within the cutoff radius; molecules
+// moving between cells cause the cell lists to be updated, which is the
+// application's source of communication.
+//
+// The potential is a truncated Lennard-Jones interaction between point
+// molecules integrated with velocity-Verlet (standing in for the original
+// 3-site water potential and Gear predictor–corrector; the substitution
+// keeps the reference pattern — read both positions, accumulate both
+// accelerations — while dividing per-pair flops by a small constant;
+// see DESIGN.md).
+package water
+
+import (
+	"fmt"
+	"math"
+
+	"splash2/internal/apps"
+	"splash2/internal/apps/partition"
+	"splash2/internal/mach"
+	"splash2/internal/workload"
+)
+
+func init() {
+	apps.Register(&apps.App{
+		Name:      "water-nsq",
+		FlopBased: true,
+		Doc:       "molecular dynamics, O(n²) pairwise forces",
+		Defaults: map[string]int{
+			"n":       125, // paper default: 512
+			"steps":   3,
+			"oldlock": 0, // 1: SPLASH-1-style per-pair locking (ablation)
+			"seed":    1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return NewNsq(m, opt["n"], opt["steps"], opt["oldlock"] != 0, uint64(opt["seed"]))
+		},
+	})
+	apps.Register(&apps.App{
+		Name:      "water-sp",
+		FlopBased: true,
+		Doc:       "molecular dynamics, O(n) spatial cell grid",
+		Defaults: map[string]int{
+			"n":     216, // paper default: 512
+			"steps": 3,
+			"seed":  1,
+		},
+		Build: func(m *mach.Machine, opt map[string]int) (apps.Runner, error) {
+			return NewSpatial(m, opt["n"], opt["steps"], uint64(opt["seed"]))
+		},
+	})
+}
+
+// Physical model constants (reduced units; lattice spacing 1).
+const (
+	ljEps    = 1e-3
+	ljSigma  = 0.8
+	cutoff   = 1.5
+	timestep = 0.01
+)
+
+// state holds the shared molecular arrays common to both versions.
+type state struct {
+	mch  *mach.Machine
+	n    int
+	box  float64
+	pos  *mach.F64Array // 3n, shared
+	vel  *mach.F64Array // 3n, shared
+	acc  *mach.F64Array // 3n, shared
+	epot *mach.F64Array // per-proc potential slots, line padded
+
+	molLock []mach.Lock
+	barrier *mach.Barrier
+}
+
+func newState(m *mach.Machine, n int, seed uint64) *state {
+	s := &state{
+		mch: m, n: n,
+		box:     math.Cbrt(float64(n)),
+		barrier: m.NewBarrier(),
+		molLock: make([]mach.Lock, n),
+	}
+	s.pos = m.NewF64(3*n, true, mach.Blocked())
+	s.vel = m.NewF64(3*n, true, mach.Blocked())
+	s.acc = m.NewF64(3*n, true, mach.Blocked())
+	pad := m.LineSize() / mach.WordBytes
+	s.epot = m.NewF64(m.Procs()*pad, true, mach.Interleaved())
+
+	mols := workload.WaterLattice(n, s.box, seed)
+	for i, mol := range mols {
+		s.pos.Init(3*i+0, mol.X)
+		s.pos.Init(3*i+1, mol.Y)
+		s.pos.Init(3*i+2, mol.Z)
+	}
+	return s
+}
+
+// wrap maps a coordinate into [0, box).
+func (s *state) wrap(x float64) float64 {
+	x = math.Mod(x, s.box)
+	if x < 0 {
+		x += s.box
+	}
+	return x
+}
+
+// minImage returns the minimum-image displacement component.
+func (s *state) minImage(d float64) float64 {
+	if d > s.box/2 {
+		d -= s.box
+	} else if d < -s.box/2 {
+		d += s.box
+	}
+	return d
+}
+
+// ljPair evaluates the truncated Lennard-Jones force scale f (force vector
+// = f·d⃗) and potential for squared distance r2; zero beyond the cutoff.
+func ljPair(r2 float64) (fscale, pot float64) {
+	if r2 >= cutoff*cutoff || r2 == 0 {
+		return 0, 0
+	}
+	inv2 := ljSigma * ljSigma / r2
+	inv6 := inv2 * inv2 * inv2
+	pot = 4 * ljEps * (inv6*inv6 - inv6)
+	fscale = 24 * ljEps * (2*inv6*inv6 - inv6) / r2
+	return
+}
+
+// pairInteraction issues the reads for molecule j's position, computes the
+// displacement from i (already loaded), and returns the force components
+// and potential. Reference pattern: 3 reads for j, arithmetic flops.
+func (s *state) pairInteraction(p *mach.Proc, xi, yi, zi float64, j int) (fx, fy, fz, pot float64) {
+	xj := s.pos.Get(p, 3*j+0)
+	yj := s.pos.Get(p, 3*j+1)
+	zj := s.pos.Get(p, 3*j+2)
+	dx := s.minImage(xi - xj)
+	dy := s.minImage(yi - yj)
+	dz := s.minImage(zi - zj)
+	r2 := dx*dx + dy*dy + dz*dz
+	p.Flop(11)
+	f, u := ljPair(r2)
+	if f != 0 {
+		p.Flop(14)
+	}
+	return f * dx, f * dy, f * dz, u
+}
+
+// kickDrift advances one molecule through the first Verlet half-kick and
+// position drift: v += a·dt/2, x += v·dt (wrapped into the box).
+func (s *state) kickDrift(p *mach.Proc, i int) {
+	for d := 0; d < 3; d++ {
+		v := s.vel.Get(p, 3*i+d) + 0.5*timestep*s.acc.Get(p, 3*i+d)
+		s.vel.Set(p, 3*i+d, v)
+		x := s.wrap(s.pos.Get(p, 3*i+d) + timestep*v)
+		s.pos.Set(p, 3*i+d, x)
+		p.Flop(5)
+	}
+}
+
+// secondKick applies v += a·dt/2 with the new accelerations.
+func (s *state) secondKick(p *mach.Proc, i int) {
+	for d := 0; d < 3; d++ {
+		v := s.vel.Get(p, 3*i+d) + 0.5*timestep*s.acc.Get(p, 3*i+d)
+		s.vel.Set(p, 3*i+d, v)
+		p.Flop(2)
+	}
+}
+
+// verifyCommon checks physical invariants shared by both versions:
+// finite state, near-zero total momentum (Newton's third law held exactly
+// pairwise), and molecules inside the box.
+func (s *state) verifyCommon() error {
+	var px, py, pz float64
+	for i := 0; i < s.n; i++ {
+		for d := 0; d < 3; d++ {
+			x := s.pos.Peek(3*i + d)
+			v := s.vel.Peek(3*i + d)
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("water: molecule %d diverged", i)
+			}
+			if x < 0 || x >= s.box {
+				return fmt.Errorf("water: molecule %d outside box: %g", i, x)
+			}
+		}
+		px += s.vel.Peek(3 * i)
+		py += s.vel.Peek(3*i + 1)
+		pz += s.vel.Peek(3*i + 2)
+	}
+	if mom := math.Abs(px) + math.Abs(py) + math.Abs(pz); mom > 1e-9*float64(s.n) {
+		return fmt.Errorf("water: total momentum drifted to %g", mom)
+	}
+	return nil
+}
+
+// Accelerations exposes the shared acceleration values (cross-validation).
+func (s *state) Accelerations() []float64 { return s.acc.Raw() }
+
+// partitionRange returns this processor's contiguous molecule range.
+func (s *state) partitionRange(pid int) (lo, hi int) {
+	return partition.Range(pid, s.mch.Procs(), s.n)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"splash2/internal/mach"
+	"splash2/internal/memsys"
+)
+
+// LineSizePoint is one program's behaviour at one cache line size (paper
+// Figures 7–8, §7: spatial locality and false sharing): the miss rate
+// decomposed by cause, and the traffic it generates.
+type LineSizePoint struct {
+	App      string
+	LineSize int
+
+	// Miss rates in percent of references, by kind.
+	ColdPct     float64
+	CapacityPct float64
+	TruePct     float64
+	FalsePct    float64
+	UpgradePct  float64
+
+	// Normalized traffic (bytes per FLOP or per instruction).
+	PerFlop        bool
+	RemoteData     float64
+	RemoteOverhead float64
+	LocalData      float64
+}
+
+// TotalMissPct returns the total miss rate.
+func (l LineSizePoint) TotalMissPct() float64 {
+	return l.ColdPct + l.CapacityPct + l.TruePct + l.FalsePct
+}
+
+// DefaultLineSizes are the paper's §7 sweep points.
+func DefaultLineSizes() []int { return []int{8, 16, 32, 64, 128, 256} }
+
+// LineSizeSweep measures miss decomposition and traffic versus line size
+// at a fixed cache size (1 MB default in the paper). The program executes
+// once and its trace is replayed per line size, keeping the reference
+// stream identical across the sweep.
+func LineSizeSweep(app string, procs int, cacheSize int, lineSizes []int, scale Scale) ([]LineSizePoint, error) {
+	var out []LineSizePoint
+	perFlop := flopBased(app)
+	trace, runStats, err := RecordApp(app, procs, scale.Overrides(app))
+	if err != nil {
+		return nil, err
+	}
+	counters := mach.Aggregate(runStats.Procs)
+	denom := float64(counters.Flops)
+	if !perFlop {
+		denom = float64(counters.Instr)
+	}
+	if denom == 0 {
+		denom = 1
+	}
+	for _, ls := range lineSizes {
+		st, err := memsys.Replay(trace, memsys.Config{Procs: procs, CacheSize: cacheSize, Assoc: 4, LineSize: ls})
+		if err != nil {
+			return nil, err
+		}
+		agg := st.Aggregate()
+		refs := float64(agg.Refs())
+		if refs == 0 {
+			refs = 1
+		}
+		tr := st.Traffic
+		out = append(out, LineSizePoint{
+			App: app, LineSize: ls, PerFlop: perFlop,
+			ColdPct:        100 * float64(agg.Misses[memsys.MissCold]) / refs,
+			CapacityPct:    100 * float64(agg.Misses[memsys.MissCapacity]) / refs,
+			TruePct:        100 * float64(agg.Misses[memsys.MissTrue]) / refs,
+			FalsePct:       100 * float64(agg.Misses[memsys.MissFalse]) / refs,
+			UpgradePct:     100 * float64(agg.Upgrades) / refs,
+			RemoteData:     float64(tr.RemoteShared+tr.RemoteCold+tr.RemoteCapacity+tr.RemoteWriteback) / denom,
+			RemoteOverhead: float64(tr.RemoteOverhead) / denom,
+			LocalData:      float64(tr.LocalData) / denom,
+		})
+	}
+	return out, nil
+}
+
+// LineSizeSuite runs the sweep for several programs.
+func LineSizeSuite(appNames []string, procs, cacheSize int, lineSizes []int, scale Scale) ([][]LineSizePoint, error) {
+	var out [][]LineSizePoint
+	for _, name := range appNames {
+		pts, err := LineSizeSweep(name, procs, cacheSize, lineSizes, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts)
+	}
+	return out, nil
+}
+
+// RenderLineSizeMisses prints Figure 7 (miss decomposition vs line size).
+func RenderLineSizeMisses(w io.Writer, groups [][]LineSizePoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Code\tLine\tCold%\tCap%\tTrue%\tFalse%\tUpgrades%\tTotal miss%")
+	for _, pts := range groups {
+		for _, l := range pts {
+			fmt.Fprintf(tw, "%s\t%dB\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				l.App, l.LineSize, l.ColdPct, l.CapacityPct, l.TruePct, l.FalsePct, l.UpgradePct, l.TotalMissPct())
+		}
+	}
+	tw.Flush()
+}
+
+// RenderLineSizeTraffic prints Figure 8 (traffic vs line size).
+func RenderLineSizeTraffic(w io.Writer, groups [][]LineSizePoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Code\tLine\tUnit\tRemote data\tRemote ovhd\tLocal data\tTotal")
+	for _, pts := range groups {
+		for _, l := range pts {
+			unit := "B/instr"
+			if l.PerFlop {
+				unit = "B/FLOP"
+			}
+			fmt.Fprintf(tw, "%s\t%dB\t%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				l.App, l.LineSize, unit, l.RemoteData, l.RemoteOverhead, l.LocalData,
+				l.RemoteData+l.RemoteOverhead+l.LocalData)
+		}
+	}
+	tw.Flush()
+}

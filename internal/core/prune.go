@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// PruneAdvice automates the paper's §5 methodology for one program: given
+// a measured miss-rate curve, identify the working-set knees, the
+// representative operating points (one per flat region — "if the curve in
+// a representative region is relatively flat ... a single operating point
+// can be chosen from that region and the rest can be pruned"), and the
+// redundant cache sizes that need not be simulated.
+type PruneAdvice struct {
+	App string
+	// Knees are cache sizes at which a working set starts to fit (miss
+	// rate drops sharply from the previous size).
+	Knees []int
+	// Representative holds one cache size per flat region of the curve.
+	Representative []int
+	// Redundant holds the pruned sizes (flat-region duplicates).
+	Redundant []int
+}
+
+// kneeFraction: a drop counts as a knee when it exceeds this fraction of
+// the curve's total range.
+const kneeFraction = 0.15
+
+// flatFraction: consecutive points within this fraction of the range are
+// one flat region.
+const flatFraction = 0.03
+
+// Prune analyzes one miss curve.
+func Prune(c MissCurve) PruneAdvice {
+	adv := PruneAdvice{App: c.App}
+	if len(c.MissRate) == 0 {
+		return adv
+	}
+	lo, hi := c.MissRate[0], c.MissRate[0]
+	for _, v := range c.MissRate {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	rng := hi - lo
+	if rng == 0 {
+		// Perfectly flat: one representative point suffices.
+		adv.Representative = []int{c.CacheSizes[0]}
+		adv.Redundant = append(adv.Redundant, c.CacheSizes[1:]...)
+		return adv
+	}
+
+	// Knees: big drops between consecutive sizes.
+	for i := 1; i < len(c.MissRate); i++ {
+		if c.MissRate[i-1]-c.MissRate[i] > kneeFraction*rng {
+			adv.Knees = append(adv.Knees, c.CacheSizes[i])
+		}
+	}
+
+	// Flat regions: maximal runs of consecutive points whose values stay
+	// within flatFraction of the range; keep the first point of each run.
+	i := 0
+	for i < len(c.MissRate) {
+		j := i
+		for j+1 < len(c.MissRate) && absf(c.MissRate[j+1]-c.MissRate[i]) <= flatFraction*rng {
+			j++
+		}
+		adv.Representative = append(adv.Representative, c.CacheSizes[i])
+		for k := i + 1; k <= j; k++ {
+			adv.Redundant = append(adv.Redundant, c.CacheSizes[k])
+		}
+		i = j + 1
+	}
+	return adv
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RenderPrune prints the advice table.
+func RenderPrune(w io.Writer, advice []PruneAdvice) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Code\tKnees (working sets fit)\tSimulate\tPrune")
+	for _, a := range advice {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			a.App, sizesKB(a.Knees), sizesKB(a.Representative), sizesKB(a.Redundant))
+	}
+	tw.Flush()
+}
+
+func sizesKB(sizes []int) string {
+	if len(sizes) == 0 {
+		return "—"
+	}
+	out := ""
+	for i, s := range sizes {
+		if i > 0 {
+			out += ","
+		}
+		if s >= 1024 {
+			out += fmt.Sprintf("%dK", s/1024)
+		} else {
+			out += fmt.Sprintf("%dB", s)
+		}
+	}
+	return out
+}
+
+// BandwidthMBs converts a traffic point into the paper's §6 bandwidth
+// estimate: remote bytes per operation × issue rate (FLOPS or IPS),
+// in MB/s per processor. The paper uses 200 MFLOPS / 200 MIPS.
+func BandwidthMBs(t TrafficPoint, rateHz float64) float64 {
+	return t.Remote() * rateHz / 1e6
+}
+
+// RenderBandwidth prints §6-style per-processor bandwidth needs.
+func RenderBandwidth(w io.Writer, groups [][]TrafficPoint, rateHz float64) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Code\tP\tremote B/op\tMB/s per proc @%.0fM ops/s\n", rateHz/1e6)
+	for _, pts := range groups {
+		for _, t := range pts {
+			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.1f\n", t.App, t.Procs, t.Remote(), BandwidthMBs(t, rateHz))
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"splash2/internal/mach"
+)
+
+// SpeedupCurve is one program's PRAM speedup over processor counts
+// (paper Figure 1): T(1)/T(p) under a perfect memory system, so deviations
+// from ideal measure load imbalance, serialization and redundant work.
+type SpeedupCurve struct {
+	App     string
+	Procs   []int
+	Speedup []float64
+	Time    []uint64
+}
+
+// Speedups measures PRAM speedups for each program over procList.
+func Speedups(appNames []string, procList []int, scale Scale) ([]SpeedupCurve, error) {
+	var out []SpeedupCurve
+	for _, name := range appNames {
+		curve := SpeedupCurve{App: name, Procs: procList}
+		var t1 float64
+		for i, p := range procList {
+			res, err := Run(name, mach.Config{Procs: p, MemModel: mach.CountOnly}, scale.Overrides(name))
+			if err != nil {
+				return nil, err
+			}
+			t := res.Stats.Time
+			curve.Time = append(curve.Time, t)
+			if i == 0 {
+				// Baseline: the first point (normally p=1); if the sweep
+				// starts above 1, assume ideal scaling up to it.
+				t1 = float64(t) * float64(p)
+			}
+			curve.Speedup = append(curve.Speedup, t1/float64(t))
+		}
+		out = append(out, curve)
+	}
+	return out, nil
+}
+
+// RenderSpeedups prints the curves as a table, one column per proc count.
+func RenderSpeedups(w io.Writer, curves []SpeedupCurve) {
+	if len(curves) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Code")
+	for _, p := range curves[0].Procs {
+		fmt.Fprintf(tw, "\tP=%d", p)
+	}
+	fmt.Fprintln(tw)
+	for _, c := range curves {
+		fmt.Fprint(tw, c.App)
+		for _, s := range c.Speedup {
+			fmt.Fprintf(tw, "\t%.2f", s)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// SyncProfile is one program's synchronization time distribution at a
+// fixed processor count (paper Figure 2): the minimum, average and maximum
+// fraction of execution time spent at synchronization points (locks,
+// barriers and pauses) over all processors.
+type SyncProfile struct {
+	App           string
+	MinPct        float64
+	AvgPct        float64
+	MaxPct        float64
+	BarriersTotal uint64
+	LocksTotal    uint64
+	PausesTotal   uint64
+}
+
+// SyncProfiles measures Figure 2 for every program.
+func SyncProfiles(appNames []string, procs int, scale Scale) ([]SyncProfile, error) {
+	var out []SyncProfile
+	for _, name := range appNames {
+		res, err := Run(name, mach.Config{Procs: procs, MemModel: mach.CountOnly}, scale.Overrides(name))
+		if err != nil {
+			return nil, err
+		}
+		t := float64(res.Stats.Time)
+		pr := SyncProfile{App: name, MinPct: 101}
+		var sum float64
+		for _, c := range res.Stats.Procs {
+			pct := 0.0
+			if t > 0 {
+				pct = 100 * float64(c.SyncWait) / t
+			}
+			sum += pct
+			if pct < pr.MinPct {
+				pr.MinPct = pct
+			}
+			if pct > pr.MaxPct {
+				pr.MaxPct = pct
+			}
+			pr.BarriersTotal += c.Barriers
+			pr.LocksTotal += c.Locks
+			pr.PausesTotal += c.Pauses
+		}
+		pr.AvgPct = sum / float64(len(res.Stats.Procs))
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// RenderSyncProfiles prints the Figure-2 table.
+func RenderSyncProfiles(w io.Writer, profiles []SyncProfile) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Code\tMin %\tAvg %\tMax %\tBarriers\tLocks\tPauses")
+	for _, p := range profiles {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\n",
+			p.App, p.MinPct, p.AvgPct, p.MaxPct, p.BarriersTotal, p.LocksTotal, p.PausesTotal)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"splash2/internal/mach"
+)
+
+// Table1Row is the instruction breakdown of one program (paper Table 1):
+// instructions executed decomposed into floating point operations, reads
+// and writes (total and shared), plus synchronization operation counts —
+// barriers per processor, locks and pauses across all processors.
+type Table1Row struct {
+	App             string
+	Instr           uint64
+	Flops           uint64
+	Reads, Writes   uint64
+	SharedReads     uint64
+	SharedWrites    uint64
+	BarriersPerProc uint64
+	Locks           uint64
+	Pauses          uint64
+}
+
+// Table1 runs every program at its scale's problem size on procs
+// processors under the count-only memory model (PRAM timing is identical
+// and Table 1 needs no cache simulation).
+func Table1(appNames []string, procs int, scale Scale) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range appNames {
+		res, err := Run(name, mach.Config{Procs: procs, MemModel: mach.CountOnly}, scale.Overrides(name))
+		if err != nil {
+			return nil, err
+		}
+		a := mach.Aggregate(res.Stats.Procs)
+		rows = append(rows, Table1Row{
+			App:             name,
+			Instr:           a.Instr,
+			Flops:           a.Flops,
+			Reads:           a.Reads,
+			Writes:          a.Writes,
+			SharedReads:     a.SharedReads,
+			SharedWrites:    a.SharedWrites,
+			BarriersPerProc: a.Barriers / uint64(procs),
+			Locks:           a.Locks,
+			Pauses:          a.Pauses,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints the rows in the paper's column layout.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Code\tTotal Instr\tTotal FLOPS\tTotal Reads\tTotal Writes\tShared Reads\tShared Writes\tBarriers\tLocks\tPauses")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.App, r.Instr, r.Flops, r.Reads, r.Writes, r.SharedReads, r.SharedWrites,
+			r.BarriersPerProc, r.Locks, r.Pauses)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"splash2/internal/mach"
+)
+
+// TrafficPoint is one program's traffic breakdown at one processor count
+// and cache configuration (paper Figures 4–6), normalized to bytes per
+// FLOP for the floating-point codes and bytes per instruction otherwise.
+type TrafficPoint struct {
+	App       string
+	Procs     int
+	CacheSize int
+	PerFlop   bool
+
+	// Normalized bytes per FLOP (or instruction), by category.
+	RemoteShared    float64
+	RemoteCold      float64
+	RemoteCapacity  float64
+	RemoteWriteback float64
+	RemoteOverhead  float64
+	LocalData       float64
+	TrueSharing     float64
+}
+
+// Remote returns total normalized internode traffic.
+func (t TrafficPoint) Remote() float64 {
+	return t.RemoteShared + t.RemoteCold + t.RemoteCapacity + t.RemoteWriteback + t.RemoteOverhead
+}
+
+// Total returns total normalized traffic including local data.
+func (t TrafficPoint) Total() float64 { return t.Remote() + t.LocalData }
+
+// Traffic measures the breakdown for one program over processor counts at
+// a given cache size (1 MB for Figure 4, 64 KB for Figure 6, two problem
+// sizes for Figure 5).
+func Traffic(app string, procList []int, cacheSize int, scale Scale, over map[string]int) ([]TrafficPoint, error) {
+	var out []TrafficPoint
+	perFlop := flopBased(app)
+	for _, p := range procList {
+		cfg := mach.Config{Procs: p, CacheSize: cacheSize, Assoc: 4, LineSize: 64}
+		res, err := Run(app, cfg, merged(scale, app, over))
+		if err != nil {
+			return nil, err
+		}
+		agg := mach.Aggregate(res.Stats.Procs)
+		denom := float64(agg.Flops)
+		if !perFlop {
+			denom = float64(agg.Instr)
+		}
+		if denom == 0 {
+			denom = 1
+		}
+		tr := res.Stats.Mem.Traffic
+		out = append(out, TrafficPoint{
+			App: app, Procs: p, CacheSize: cacheSize, PerFlop: perFlop,
+			RemoteShared:    float64(tr.RemoteShared) / denom,
+			RemoteCold:      float64(tr.RemoteCold) / denom,
+			RemoteCapacity:  float64(tr.RemoteCapacity) / denom,
+			RemoteWriteback: float64(tr.RemoteWriteback) / denom,
+			RemoteOverhead:  float64(tr.RemoteOverhead) / denom,
+			LocalData:       float64(tr.LocalData) / denom,
+			TrueSharing:     float64(tr.TrueSharingData) / denom,
+		})
+	}
+	return out, nil
+}
+
+// TrafficSuite measures Figure 4 (or Figure 6) for several programs.
+func TrafficSuite(appNames []string, procList []int, cacheSize int, scale Scale) ([][]TrafficPoint, error) {
+	var out [][]TrafficPoint
+	for _, name := range appNames {
+		pts, err := Traffic(name, procList, cacheSize, scale, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts)
+	}
+	return out, nil
+}
+
+// RenderTraffic prints breakdowns, one row per (app, procs).
+func RenderTraffic(w io.Writer, groups [][]TrafficPoint) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Code\tP\tUnit\tRem.Shared\tRem.Cold\tRem.Cap\tRem.WB\tRem.Ovhd\tLocal\tTrueShare\tTotal")
+	for _, pts := range groups {
+		for _, t := range pts {
+			unit := "B/instr"
+			if t.PerFlop {
+				unit = "B/FLOP"
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				t.App, t.Procs, unit, t.RemoteShared, t.RemoteCold, t.RemoteCapacity,
+				t.RemoteWriteback, t.RemoteOverhead, t.LocalData, t.TrueSharing, t.Total())
+		}
+	}
+	tw.Flush()
+}
+
+// Table3Row gives the communication-to-computation growth of one program:
+// the paper's analytic form plus this run's measured ratio of true-sharing
+// traffic per unit computation at two processor counts.
+type Table3Row struct {
+	App          string
+	AnalyticForm string
+	LowProcs     int
+	HighProcs    int
+	RatioLow     float64 // true sharing bytes per flop/instr
+	RatioHigh    float64
+	MeasuredGrow float64 // RatioHigh / RatioLow
+}
+
+// table3Forms is the paper's Table 3 (analytic comm/comp growth rates).
+var table3Forms = map[string]string{
+	"barnes":    "≈ √P·log(DS) / DS (input dependent)",
+	"cholesky":  "≈ √P / √DS (structure dependent)",
+	"fft":       "(P−1)/P — all-to-all transpose",
+	"fmm":       "≈ √P / √DS",
+	"lu":        "√P / √DS",
+	"ocean":     "√P / √DS",
+	"radiosity": "unpredictable",
+	"radix":     "(P−1)/P — all-to-all permutation",
+	"raytrace":  "unpredictable",
+	"volrend":   "unpredictable",
+	"water-nsq": "≈ (P−1)/P (all molecules read)",
+	"water-sp":  "≈ (P/DS)^(2/3)",
+}
+
+// Table3 measures comm/comp at two processor counts and reports growth.
+func Table3(appNames []string, lowP, highP int, scale Scale) ([]Table3Row, error) {
+	var out []Table3Row
+	for _, name := range appNames {
+		pts, err := Traffic(name, []int{lowP, highP}, 1<<20, scale, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			App: name, AnalyticForm: table3Forms[name],
+			LowProcs: lowP, HighProcs: highP,
+			RatioLow: pts[0].TrueSharing, RatioHigh: pts[1].TrueSharing,
+		}
+		if row.RatioLow > 0 {
+			row.MeasuredGrow = row.RatioHigh / row.RatioLow
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderTable3 prints Table 3.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Code\tGrowth of comm/comp (paper)\tmeasured @P1\tmeasured @P2\tgrowth")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.5f (P=%d)\t%.5f (P=%d)\t×%.2f\n",
+			r.App, r.AnalyticForm, r.RatioLow, r.LowProcs, r.RatioHigh, r.HighProcs, r.MeasuredGrow)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"splash2/internal/memsys"
+)
+
+// MissCurve is one program's miss rate versus cache size at one
+// associativity (paper Figure 3). Knees in the curve are the program's
+// working sets (§5).
+type MissCurve struct {
+	App        string
+	Assoc      int // memsys.FullyAssoc for fully associative
+	CacheSizes []int
+	MissRate   []float64 // percent
+}
+
+// DefaultCacheSizes are the paper's power-of-two sweep points, 1 KB–1 MB.
+func DefaultCacheSizes() []int {
+	var out []int
+	for s := 1 << 10; s <= 1<<20; s <<= 1 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// WorkingSets sweeps cache size × associativity for each program with
+// 64-byte lines on procs processors (Figure 3). Each program executes
+// once; its recorded reference trace is replayed at every sweep point so
+// all points see the identical stream (§2.2's comparability argument).
+func WorkingSets(appNames []string, procs int, cacheSizes []int, assocs []int, scale Scale) ([]MissCurve, error) {
+	var out []MissCurve
+	for _, name := range appNames {
+		tr, _, err := RecordApp(name, procs, scale.Overrides(name))
+		if err != nil {
+			return nil, err
+		}
+		for _, assoc := range assocs {
+			curve := MissCurve{App: name, Assoc: assoc, CacheSizes: cacheSizes}
+			for _, cs := range cacheSizes {
+				st, err := memsys.Replay(tr, memsys.Config{Procs: procs, CacheSize: cs, Assoc: assoc, LineSize: 64})
+				if err != nil {
+					return nil, err
+				}
+				curve.MissRate = append(curve.MissRate, 100*st.MissRate())
+			}
+			out = append(out, curve)
+		}
+	}
+	return out, nil
+}
+
+// assocLabel names an associativity.
+func assocLabel(a int) string {
+	if a == memsys.FullyAssoc {
+		return "full"
+	}
+	return fmt.Sprintf("%d-way", a)
+}
+
+// RenderMissCurves prints Figure 3 as one row per (app, assoc).
+func RenderMissCurves(w io.Writer, curves []MissCurve) {
+	if len(curves) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Code\tAssoc")
+	for _, cs := range curves[0].CacheSizes {
+		fmt.Fprintf(tw, "\t%dK", cs/1024)
+	}
+	fmt.Fprintln(tw)
+	for _, c := range curves {
+		fmt.Fprintf(tw, "%s\t%s", c.App, assocLabel(c.Assoc))
+		for _, mr := range c.MissRate {
+			fmt.Fprintf(tw, "\t%.2f%%", mr)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Knee locates the most important working set in a miss curve: the cache
+// size with the largest relative miss-rate drop from the previous size.
+func (c MissCurve) Knee() (cacheSize int, drop float64) {
+	for i := 1; i < len(c.MissRate); i++ {
+		d := c.MissRate[i-1] - c.MissRate[i]
+		if d > drop {
+			drop = d
+			cacheSize = c.CacheSizes[i]
+		}
+	}
+	return cacheSize, drop
+}
+
+// Table2Row reproduces the paper's Table 2 for one program: the important
+// working sets, their analytic growth rates (from the paper's analysis,
+// §5), and whether each fits in cache — annotated with the measured knee
+// from this run's Figure-3 sweep.
+type Table2Row struct {
+	App          string
+	WS1          string // constitution of the first working set
+	WS1Growth    string
+	WS1Fits      string
+	WS2          string
+	WS2Growth    string
+	WS2Fits      string
+	MeasuredKnee int // bytes, from the measured 4-way curve
+}
+
+// table2Static is the paper's qualitative content of Table 2.
+var table2Static = map[string][6]string{
+	"barnes":    {"tree data for body", "log DS", "yes", "partition of DS", "DS/P", "maybe"},
+	"cholesky":  {"one block", "fixed", "yes", "partition of DS", "DS/P", "maybe"},
+	"fft":       {"one row of matrix", "√DS", "yes", "partition of DS", "DS/P", "maybe"},
+	"fmm":       {"expansion terms", "fixed", "yes", "partition of DS", "DS/P", "maybe"},
+	"lu":        {"one block", "fixed", "yes", "partition of DS", "DS/P", "maybe"},
+	"ocean":     {"a few subrows", "√(DS/P)", "yes", "partition of DS", "DS/P", "maybe"},
+	"radiosity": {"BSP tree", "log(polygons)", "yes", "unstructured", "unstructured", "maybe"},
+	"radix":     {"histogram", "radix r", "yes", "partition of DS", "DS/P", "maybe"},
+	"raytrace":  {"unstructured", "unstructured", "yes", "unstructured", "unstructured", "maybe"},
+	"volrend":   {"octree, part of ray", "K·log DS", "yes", "partition of DS", "≈DS/P", "maybe"},
+	"water-nsq": {"private data", "fixed", "yes", "partition of DS", "DS", "maybe"},
+	"water-sp":  {"private data", "fixed", "yes", "partition of DS", "DS/P", "maybe"},
+}
+
+// Table2 combines the static analysis with the measured knees of the
+// provided 4-way curves (one per program).
+func Table2(curves []MissCurve) []Table2Row {
+	var out []Table2Row
+	for _, c := range curves {
+		s, ok := table2Static[c.App]
+		if !ok {
+			continue
+		}
+		knee, _ := c.Knee()
+		out = append(out, Table2Row{
+			App: c.App,
+			WS1: s[0], WS1Growth: s[1], WS1Fits: s[2],
+			WS2: s[3], WS2Growth: s[4], WS2Fits: s[5],
+			MeasuredKnee: knee,
+		})
+	}
+	return out
+}
+
+// RenderTable2 prints Table 2.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Code\tWorking Set 1\tGrowth\tFits?\tWorking Set 2\tGrowth\tFits?\tMeasured knee")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%dK\n",
+			r.App, r.WS1, r.WS1Growth, r.WS1Fits, r.WS2, r.WS2Growth, r.WS2Fits, r.MeasuredKnee/1024)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,153 @@
+package mach
+
+// Typed shared arrays tie a Go backing slice (the values) to a region of
+// the simulated address space (the reference stream). Get/Set issue
+// simulated references; Peek/Init touch only the Go values and are meant
+// for input construction and result verification outside measurement.
+
+// F64Array is an array of float64 living in simulated memory.
+type F64Array struct {
+	base Addr
+	data []float64
+}
+
+// NewF64 allocates an n-element float64 array.
+func (m *Machine) NewF64(n int, shared bool, place Placement) *F64Array {
+	return &F64Array{base: m.Alloc(n, shared, place), data: make([]float64, n)}
+}
+
+// Len returns the element count.
+func (a *F64Array) Len() int { return len(a.data) }
+
+// Addr returns the simulated address of element i.
+func (a *F64Array) Addr(i int) Addr { return a.base + Addr(i*WordBytes) }
+
+// Get loads element i through the memory system.
+func (a *F64Array) Get(p *Proc, i int) float64 {
+	p.Read(a.Addr(i))
+	return a.data[i]
+}
+
+// Set stores element i through the memory system.
+func (a *F64Array) Set(p *Proc, i int, v float64) {
+	p.Write(a.Addr(i))
+	a.data[i] = v
+}
+
+// Add performs a read-modify-write of element i.
+func (a *F64Array) Add(p *Proc, i int, v float64) {
+	p.Read(a.Addr(i))
+	p.Write(a.Addr(i))
+	a.data[i] += v
+}
+
+// Peek reads the Go value without simulation.
+func (a *F64Array) Peek(i int) float64 { return a.data[i] }
+
+// Init writes the Go value without simulation (input construction).
+func (a *F64Array) Init(i int, v float64) { a.data[i] = v }
+
+// Raw exposes the backing slice for verification code.
+func (a *F64Array) Raw() []float64 { return a.data }
+
+// IntArray is an array of int living in simulated memory (one word each).
+type IntArray struct {
+	base Addr
+	data []int
+}
+
+// NewInt allocates an n-element integer array.
+func (m *Machine) NewInt(n int, shared bool, place Placement) *IntArray {
+	return &IntArray{base: m.Alloc(n, shared, place), data: make([]int, n)}
+}
+
+// Len returns the element count.
+func (a *IntArray) Len() int { return len(a.data) }
+
+// Addr returns the simulated address of element i.
+func (a *IntArray) Addr(i int) Addr { return a.base + Addr(i*WordBytes) }
+
+// Get loads element i through the memory system.
+func (a *IntArray) Get(p *Proc, i int) int {
+	p.Read(a.Addr(i))
+	return a.data[i]
+}
+
+// Set stores element i through the memory system.
+func (a *IntArray) Set(p *Proc, i int, v int) {
+	p.Write(a.Addr(i))
+	a.data[i] = v
+}
+
+// Add performs a read-modify-write of element i and returns the new value.
+func (a *IntArray) Add(p *Proc, i, v int) int {
+	p.Read(a.Addr(i))
+	p.Write(a.Addr(i))
+	a.data[i] += v
+	return a.data[i]
+}
+
+// Peek reads the Go value without simulation.
+func (a *IntArray) Peek(i int) int { return a.data[i] }
+
+// Init writes the Go value without simulation.
+func (a *IntArray) Init(i, v int) { a.data[i] = v }
+
+// Raw exposes the backing slice for verification code.
+func (a *IntArray) Raw() []int { return a.data }
+
+// C128Array is an array of complex128: two consecutive words per element,
+// matching the layout of the FFT's complex data points.
+type C128Array struct {
+	base Addr
+	data []complex128
+}
+
+// NewC128 allocates an n-element complex array (2n words).
+func (m *Machine) NewC128(n int, shared bool, place Placement) *C128Array {
+	return &C128Array{base: m.Alloc(2*n, shared, place), data: make([]complex128, n)}
+}
+
+// Len returns the element count.
+func (a *C128Array) Len() int { return len(a.data) }
+
+// Addr returns the simulated address of element i's real part.
+func (a *C128Array) Addr(i int) Addr { return a.base + Addr(2*i*WordBytes) }
+
+// Get loads element i (two word reads).
+func (a *C128Array) Get(p *Proc, i int) complex128 {
+	p.Read(a.Addr(i))
+	p.Read(a.Addr(i) + WordBytes)
+	return a.data[i]
+}
+
+// Set stores element i (two word writes).
+func (a *C128Array) Set(p *Proc, i int, v complex128) {
+	p.Write(a.Addr(i))
+	p.Write(a.Addr(i) + WordBytes)
+	a.data[i] = v
+}
+
+// Peek reads the Go value without simulation.
+func (a *C128Array) Peek(i int) complex128 { return a.data[i] }
+
+// Init writes the Go value without simulation.
+func (a *C128Array) Init(i int, v complex128) { a.data[i] = v }
+
+// Raw exposes the backing slice for verification code.
+func (a *C128Array) Raw() []complex128 { return a.data }
+
+// Region is a raw span of simulated memory for object layouts (tree nodes,
+// patches, rays): applications compute field addresses themselves.
+type Region struct {
+	Base  Addr
+	Words int
+}
+
+// NewRegion allocates a raw region of the given number of words.
+func (m *Machine) NewRegion(words int, shared bool, place Placement) Region {
+	return Region{Base: m.Alloc(words, shared, place), Words: words}
+}
+
+// WordAddr returns the address of word i of the region.
+func (r Region) WordAddr(i int) Addr { return r.Base + Addr(i*WordBytes) }

@@ -1,0 +1,455 @@
+package mach
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"splash2/internal/memsys"
+)
+
+func tinyMachine(t *testing.T, procs int, model MemModel) *Machine {
+	t.Helper()
+	m, err := New(Config{Procs: procs, CacheSize: 4096, Assoc: 2, LineSize: 64, MemModel: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := MustNew(Config{Procs: 2})
+	cfg := m.Config()
+	if cfg.Procs != 2 {
+		t.Fatalf("procs=%d", cfg.Procs)
+	}
+	mc := m.memCfg
+	if mc.CacheSize != memsys.DefaultCacheSize || mc.LineSize != 64 || mc.OverheadBytes != 8 {
+		t.Fatalf("defaults not applied: %+v", mc)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := New(Config{Procs: 3, CacheSize: 100, LineSize: 64}); err == nil {
+		t.Fatal("bad cache size accepted")
+	}
+}
+
+func TestProcCountersAndClock(t *testing.T) {
+	m := tinyMachine(t, 1, FullMem)
+	a := m.NewF64(8, true, Blocked())
+	m.Run(func(p *Proc) {
+		p.Instr(10)
+		p.Flop(5)
+		a.Set(p, 0, 1.5)
+		if a.Get(p, 0) != 1.5 {
+			t.Error("array value lost")
+		}
+	})
+	st := m.Snapshot()
+	c := st.Procs[0]
+	if c.Instr != 17 { // 10 + 5 flops + 1 write + 1 read
+		t.Fatalf("instr=%d, want 17", c.Instr)
+	}
+	if c.Flops != 5 || c.Reads != 1 || c.Writes != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+	if c.SharedReads != 1 || c.SharedWrites != 1 {
+		t.Fatalf("shared counters: %+v", c)
+	}
+	if st.Time != 17 {
+		t.Fatalf("time=%d, want 17", st.Time)
+	}
+}
+
+func TestPrivateAllocationNotCountedShared(t *testing.T) {
+	m := tinyMachine(t, 2, FullMem)
+	priv := m.NewF64(8, false, Owner(0))
+	m.RunOne(func(p *Proc) {
+		priv.Set(p, 0, 1)
+		priv.Get(p, 0)
+	})
+	c := m.Snapshot().Procs[0]
+	if c.SharedReads != 0 || c.SharedWrites != 0 {
+		t.Fatalf("private refs counted as shared: %+v", c)
+	}
+	if c.Reads != 1 || c.Writes != 1 {
+		t.Fatalf("refs missing: %+v", c)
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	if h := Blocked()(0, 10, 2); h != 0 {
+		t.Errorf("blocked first line home %d", h)
+	}
+	if h := Blocked()(9, 10, 2); h != 1 {
+		t.Errorf("blocked last line home %d", h)
+	}
+	if h := Interleaved()(5, 10, 4); h != 1 {
+		t.Errorf("interleaved home %d", h)
+	}
+	if h := Owner(3)(7, 10, 8); h != 3 {
+		t.Errorf("owner home %d", h)
+	}
+}
+
+func TestAllocLineAligned(t *testing.T) {
+	m := tinyMachine(t, 2, FullMem)
+	a := m.Alloc(1, true, Blocked())
+	b := m.Alloc(1, true, Blocked())
+	if b-a != Addr(m.LineSize()) {
+		t.Fatalf("allocations not line-aligned: %d %d", a, b)
+	}
+}
+
+func TestBarrierJoinsClocks(t *testing.T) {
+	m := tinyMachine(t, 4, CountOnly)
+	b := m.NewBarrier()
+	m.Run(func(p *Proc) {
+		p.Instr(10 * (p.ID + 1)) // imbalanced work: 10,20,30,40
+		b.Wait(p)
+		if p.Time() != 40 {
+			t.Errorf("proc %d time after barrier = %d, want 40", p.ID, p.Time())
+		}
+	})
+	st := m.Snapshot()
+	if st.Time != 40 {
+		t.Fatalf("machine time %d, want 40", st.Time)
+	}
+	var maxWait uint64
+	for _, c := range st.Procs {
+		if c.Barriers != 1 {
+			t.Fatalf("barrier count %d", c.Barriers)
+		}
+		if c.SyncWait > maxWait {
+			maxWait = c.SyncWait
+		}
+	}
+	if maxWait != 30 { // proc 0 waited 40-10
+		t.Fatalf("max wait %d, want 30", maxWait)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m := tinyMachine(t, 3, CountOnly)
+	b := m.NewBarrier()
+	m.Run(func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Instr(p.ID + 1)
+			b.Wait(p)
+		}
+	})
+	for _, c := range m.Snapshot().Procs {
+		if c.Barriers != 5 {
+			t.Fatalf("barriers=%d, want 5", c.Barriers)
+		}
+	}
+}
+
+func TestLockSerializes(t *testing.T) {
+	m := tinyMachine(t, 4, CountOnly)
+	var l Lock
+	m.Run(func(p *Proc) {
+		l.Acquire(p)
+		p.Instr(100) // critical section
+		l.Release(p)
+	})
+	st := m.Snapshot()
+	// Four 100-cycle critical sections must serialize: total time ≥ 400.
+	if st.Time < 400 {
+		t.Fatalf("lock did not serialize: T=%d", st.Time)
+	}
+	var locks uint64
+	for _, c := range st.Procs {
+		locks += c.Locks
+	}
+	if locks != 4 {
+		t.Fatalf("lock count %d", locks)
+	}
+}
+
+func TestFlagPropagatesTime(t *testing.T) {
+	m := tinyMachine(t, 2, CountOnly)
+	var f Flag
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Instr(500)
+			f.Set(p)
+		} else {
+			f.Wait(p)
+			if p.Time() < 500 {
+				t.Errorf("waiter time %d < setter's 500", p.Time())
+			}
+			if p.c.Pauses != 1 {
+				t.Errorf("pauses=%d", p.c.Pauses)
+			}
+		}
+	})
+}
+
+func TestFlagSetBeforeWaitDoesNotBlock(t *testing.T) {
+	m := tinyMachine(t, 1, CountOnly)
+	var f Flag
+	m.RunOne(func(p *Proc) {
+		f.Set(p)
+		f.Set(p) // idempotent
+		if !f.IsSet() {
+			t.Error("flag not set")
+		}
+		f.Wait(p)
+	})
+}
+
+func TestEpochResetsMeasurement(t *testing.T) {
+	m := tinyMachine(t, 2, FullMem)
+	a := m.NewF64(64, true, Blocked())
+	b := m.NewBarrier()
+	m.Run(func(p *Proc) {
+		a.Get(p, p.ID) // cold misses before the epoch
+		m.Epoch(p, b)
+		a.Get(p, p.ID) // warm hits after
+	})
+	st := m.Snapshot()
+	ag := st.Mem.Aggregate()
+	if ag.TotalMisses() != 0 {
+		t.Fatalf("post-epoch misses: %d", ag.TotalMisses())
+	}
+	pc := Aggregate(st.Procs)
+	if pc.Reads != 2 {
+		t.Fatalf("post-epoch reads=%d, want 2", pc.Reads)
+	}
+}
+
+func TestSnapshotMatchesMemsys(t *testing.T) {
+	m := tinyMachine(t, 2, FullMem)
+	a := m.NewF64(32, true, Blocked())
+	m.Run(func(p *Proc) {
+		for i := 0; i < 16; i++ {
+			a.Get(p, i)
+		}
+	})
+	st := m.Snapshot()
+	memAgg := st.Mem.Aggregate()
+	procAgg := Aggregate(st.Procs)
+	if memAgg.Reads != procAgg.Reads {
+		t.Fatalf("memsys reads %d != proc reads %d", memAgg.Reads, procAgg.Reads)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountOnlySkipsMemsys(t *testing.T) {
+	m := tinyMachine(t, 2, CountOnly)
+	a := m.NewF64(8, true, Blocked())
+	m.Run(func(p *Proc) { a.Get(p, 0) })
+	st := m.Snapshot()
+	if len(st.Mem.Procs) != 0 {
+		t.Fatal("CountOnly produced memory stats")
+	}
+	if Aggregate(st.Procs).Reads != 2 {
+		t.Fatalf("reads=%d", Aggregate(st.Procs).Reads)
+	}
+}
+
+func TestTaskQueuesDrainAll(t *testing.T) {
+	m := tinyMachine(t, 4, CountOnly)
+	tq := m.NewTaskQueues(256)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	m.Run(func(p *Proc) {
+		for i := 0; i < 32; i++ {
+			tq.Push(p, p.ID*1000+i)
+		}
+	})
+	m.Run(func(p *Proc) {
+		for {
+			task, ok := tq.PopOrSteal(p)
+			if !ok {
+				return
+			}
+			mu.Lock()
+			if seen[task] {
+				t.Errorf("task %d popped twice", task)
+			}
+			seen[task] = true
+			mu.Unlock()
+			tq.Done(p)
+		}
+	})
+	if len(seen) != 128 {
+		t.Fatalf("drained %d tasks, want 128", len(seen))
+	}
+	if tq.Outstanding() != 0 {
+		t.Fatalf("outstanding=%d", tq.Outstanding())
+	}
+}
+
+func TestTaskQueuesStealingBalances(t *testing.T) {
+	m := tinyMachine(t, 4, CountOnly)
+	tq := m.NewTaskQueues(1024)
+	var counts [4]int
+	var mu sync.Mutex
+	m.Run(func(p *Proc) {
+		if p.ID == 0 { // all work starts on one queue
+			for i := 0; i < 200; i++ {
+				tq.Push(p, i)
+			}
+		}
+	})
+	m.Run(func(p *Proc) {
+		for {
+			_, ok := tq.PopOrSteal(p)
+			if !ok {
+				return
+			}
+			p.Instr(50)
+			tq.Done(p)
+		}
+	})
+	m.Run(func(p *Proc) {
+		mu.Lock()
+		counts[p.ID] = int(p.c.Locks)
+		mu.Unlock()
+	})
+	total := 0
+	stealers := 0
+	for i, c := range counts {
+		total += c
+		if i > 0 && c > 0 {
+			stealers++
+		}
+	}
+	if stealers == 0 {
+		t.Fatal("no processor ever stole work")
+	}
+	_ = total
+}
+
+func TestTaskQueueSubtasksTerminate(t *testing.T) {
+	m := tinyMachine(t, 2, CountOnly)
+	tq := m.NewTaskQueues(512)
+	var processed sync.Map
+	m.Run(func(p *Proc) {
+		if p.ID == 0 {
+			tq.Push(p, 1) // root task spawns children 2..20
+		}
+	})
+	m.Run(func(p *Proc) {
+		for {
+			task, ok := tq.PopOrSteal(p)
+			if !ok {
+				return
+			}
+			processed.Store(task, true)
+			if task == 1 {
+				for c := 2; c <= 20; c++ {
+					tq.Push(p, c)
+				}
+			}
+			tq.Done(p)
+		}
+	})
+	n := 0
+	processed.Range(func(_, _ any) bool { n++; return true })
+	if n != 20 {
+		t.Fatalf("processed %d tasks, want 20", n)
+	}
+}
+
+// Property: under PRAM timing, machine time with 1 processor equals the
+// serial instruction count, and counters are exact for any random program.
+func TestPRAMTimeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := MustNew(Config{Procs: 1, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: FullMem})
+		a := m.NewF64(64, true, Blocked())
+		var want uint64
+		m.RunOne(func(p *Proc) {
+			for i := 0; i < 200; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					n := rng.Intn(10) + 1
+					p.Instr(n)
+					want += uint64(n)
+				case 1:
+					a.Get(p, rng.Intn(64))
+					want++
+				case 2:
+					a.Set(p, rng.Intn(64), 1)
+					want++
+				}
+			}
+		})
+		return m.Snapshot().Time == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: barrier time equality — after any barrier, all clocks agree
+// and equal the max arrival clock.
+func TestBarrierMaxProperty(t *testing.T) {
+	f := func(work [8]uint8) bool {
+		m := MustNew(Config{Procs: 4, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: CountOnly})
+		b := m.NewBarrier()
+		var mu sync.Mutex
+		times := map[uint64]bool{}
+		var max uint64
+		m.Run(func(p *Proc) {
+			w := uint64(work[p.ID]) + 1
+			p.Instr(int(w))
+			mu.Lock()
+			if w > max {
+				max = w
+			}
+			mu.Unlock()
+			b.Wait(p)
+			mu.Lock()
+			times[p.Time()] = true
+			mu.Unlock()
+		})
+		return len(times) == 1 && times[max]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadNWriteN(t *testing.T) {
+	m := tinyMachine(t, 1, FullMem)
+	base := m.Alloc(16, true, Blocked())
+	m.RunOne(func(p *Proc) {
+		p.WriteN(base, 8)
+		p.ReadN(base, 8)
+	})
+	c := m.Snapshot().Procs[0]
+	if c.Reads != 8 || c.Writes != 8 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestC128ArrayTwoWordRefs(t *testing.T) {
+	m := tinyMachine(t, 1, FullMem)
+	a := m.NewC128(4, true, Blocked())
+	m.RunOne(func(p *Proc) {
+		a.Set(p, 1, 2+3i)
+		if a.Get(p, 1) != 2+3i {
+			t.Error("complex value lost")
+		}
+	})
+	c := m.Snapshot().Procs[0]
+	if c.Reads != 2 || c.Writes != 2 {
+		t.Fatalf("complex refs: %+v", c)
+	}
+}
+
+func TestRegionAddresses(t *testing.T) {
+	m := tinyMachine(t, 2, FullMem)
+	r := m.NewRegion(32, true, Interleaved())
+	if r.WordAddr(4)-r.WordAddr(0) != 32 {
+		t.Fatalf("word addressing wrong")
+	}
+}

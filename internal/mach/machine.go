@@ -1,0 +1,317 @@
+// Package mach simulates a shared-address-space multiprocessor as seen by
+// an application: P processors with private caches over physically
+// distributed memory, an allocator with explicit data placement, and the
+// synchronization primitives the SPLASH-2 programs use (barriers, locks,
+// and flag-based pauses).
+//
+// Timing is the paper's PRAM model (§2.2): every instruction and memory
+// reference completes in one cycle, so each processor carries a logical
+// clock advanced by its own instruction stream and joined at
+// synchronization points. Deviations from ideal speedup therefore measure
+// exactly load imbalance, serialization at critical sections, and the
+// overhead of redundant computation and parallelism management (§4).
+//
+// Applications are ordinary Go code: each simulated processor runs in its
+// own goroutine and issues explicit Read/Write/Instr/Flop events. Shared
+// data lives both in regular Go memory (for values) and in the simulated
+// address space (for the reference stream), tied together by the typed
+// array helpers in array.go.
+package mach
+
+import (
+	"fmt"
+	"sync"
+
+	"splash2/internal/memsys"
+)
+
+// Addr is a byte address in the simulated shared address space.
+type Addr = memsys.Addr
+
+// MemModel selects how much of the memory system is simulated.
+type MemModel int
+
+const (
+	// FullMem simulates caches, directory and traffic for every reference.
+	FullMem MemModel = iota
+	// CountOnly counts references but skips cache simulation. PRAM timing
+	// is identical either way, so speedup and synchronization studies
+	// (Figures 1–2, Table 1) run much faster under CountOnly.
+	CountOnly
+)
+
+// Config describes a simulated machine.
+type Config struct {
+	Procs         int
+	CacheSize     int
+	Assoc         int // memsys.FullyAssoc (0) = fully associative
+	LineSize      int
+	OverheadBytes int
+	MemModel      MemModel
+	// NoReplacementHints disables §2.2 replacement hints (ablation).
+	NoReplacementHints bool
+}
+
+// MemConfig converts to the memory-system configuration.
+func (c Config) MemConfig() memsys.Config {
+	return memsys.Config{
+		Procs:              c.Procs,
+		CacheSize:          c.CacheSize,
+		Assoc:              c.Assoc,
+		LineSize:           c.LineSize,
+		OverheadBytes:      c.OverheadBytes,
+		NoReplacementHints: c.NoReplacementHints,
+	}.WithDefaults()
+}
+
+// Machine is one simulated multiprocessor.
+type Machine struct {
+	cfg    Config
+	memCfg memsys.Config
+	sys    *memsys.System // nil under CountOnly
+
+	allocMu  sync.RWMutex
+	nextLine uint64 // allocation high-water mark, in lines
+	homes    []int32
+	shared   []bool
+
+	procs []*Proc
+
+	statMu   sync.Mutex
+	baseTime []uint64
+	base     []Counters
+
+	win windowState
+	rec *memsys.Recorder
+}
+
+// New creates a machine. The zero values of cache parameters take the
+// paper's defaults (32 procs, 1 MB 4-way 64 B-line caches, 8 B overhead).
+func New(cfg Config) (*Machine, error) {
+	mc := cfg.MemConfig()
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Procs = mc.Procs
+	m := &Machine{cfg: cfg, memCfg: mc}
+	if cfg.MemModel == FullMem {
+		sys, err := memsys.New(mc, m.homeOf)
+		if err != nil {
+			return nil, err
+		}
+		m.sys = sys
+	}
+	m.procs = make([]*Proc, cfg.Procs)
+	for i := range m.procs {
+		m.procs[i] = &Proc{ID: i, m: m}
+	}
+	m.baseTime = make([]uint64, cfg.Procs)
+	m.base = make([]Counters, cfg.Procs)
+	m.win.init(cfg.Procs)
+	return m, nil
+}
+
+// MustNew is New for known-good configurations (tests, examples).
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Procs returns the number of processors.
+func (m *Machine) Procs() int { return m.cfg.Procs }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// LineSize returns the cache line size in bytes.
+func (m *Machine) LineSize() int { return m.memCfg.LineSize }
+
+// homeOf implements memsys.HomeFn.
+func (m *Machine) homeOf(line uint64) int {
+	m.allocMu.RLock()
+	defer m.allocMu.RUnlock()
+	if line < uint64(len(m.homes)) {
+		return int(m.homes[line])
+	}
+	return 0
+}
+
+// isShared reports whether the line was allocated as shared data.
+func (m *Machine) isShared(line uint64) bool {
+	m.allocMu.RLock()
+	defer m.allocMu.RUnlock()
+	return line < uint64(len(m.shared)) && m.shared[line]
+}
+
+// Run executes body once per processor, each on its own goroutine, and
+// waits for all of them. It may be called repeatedly for multi-phase
+// programs; logical clocks persist across calls.
+func (m *Machine) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	wg.Add(len(m.procs))
+	for _, p := range m.procs {
+		go func(p *Proc) {
+			defer wg.Done()
+			p.unpark()
+			defer p.park()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// RunOne executes body on processor 0 only (sequential setup phases).
+func (m *Machine) RunOne(body func(p *Proc)) {
+	p := m.procs[0]
+	p.unpark()
+	defer p.park()
+	body(p)
+}
+
+// StartRecording begins capturing the global reference stream; the
+// resulting trace can be replayed through arbitrary cache configurations
+// with memsys.Replay. Call before the parallel phase.
+func (m *Machine) StartRecording() {
+	m.rec = memsys.NewRecorder(m.memCfg.LineSize)
+}
+
+// FinishRecording stops capture and returns the trace with the current
+// home map attached. Returns nil if StartRecording was never called.
+func (m *Machine) FinishRecording() *memsys.Trace {
+	if m.rec == nil {
+		return nil
+	}
+	m.allocMu.RLock()
+	homes := append([]int32(nil), m.homes...)
+	m.allocMu.RUnlock()
+	tr := m.rec.Finish(homes)
+	m.rec = nil
+	return tr
+}
+
+// ResetStats restarts measurement: memory-system counters are zeroed
+// (caches stay warm) and each processor's counter/clock baseline is
+// captured. It must be called while all processors are quiescent — use
+// Epoch from inside a parallel phase.
+func (m *Machine) ResetStats() {
+	if m.sys != nil {
+		m.sys.ResetStats()
+	}
+	if m.rec != nil {
+		m.rec.RecordReset()
+	}
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
+	for i, p := range m.procs {
+		m.baseTime[i] = p.time
+		m.base[i] = p.c
+	}
+}
+
+// Epoch synchronizes all processors at b and restarts measurement, so that
+// steady-state behaviour is measured "after initialization and cold start"
+// (§2.2). Every processor must call it. The reset runs inside the barrier
+// — executed by the last arriver while the others are still blocked — so
+// no processor's counters are read while being mutated.
+func (m *Machine) Epoch(p *Proc, b *Barrier) {
+	b.wait(p, func(release uint64) {
+		if m.sys != nil {
+			m.sys.ResetStats()
+		}
+		if m.rec != nil {
+			m.rec.RecordReset()
+		}
+		m.statMu.Lock()
+		defer m.statMu.Unlock()
+		for i, q := range m.procs {
+			// All clocks join to the release time on departure.
+			m.baseTime[i] = release
+			m.base[i] = q.c
+		}
+	})
+}
+
+// Stats is a measurement snapshot relative to the last ResetStats.
+type Stats struct {
+	Procs []Counters
+	Mem   memsys.Stats // zero under CountOnly
+	// Time is the PRAM execution time: the maximum logical clock advance
+	// over all processors since the last ResetStats.
+	Time uint64
+}
+
+// Snapshot captures current counters relative to the measurement baseline.
+func (m *Machine) Snapshot() Stats {
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
+	st := Stats{Procs: make([]Counters, len(m.procs))}
+	for i, p := range m.procs {
+		st.Procs[i] = p.c.sub(m.base[i])
+		if d := p.time - m.baseTime[i]; d > st.Time {
+			st.Time = d
+		}
+	}
+	if m.sys != nil {
+		st.Mem = m.sys.Stats()
+	}
+	return st
+}
+
+// CheckInvariants proxies the memory system's invariant checker (tests).
+func (m *Machine) CheckInvariants() error {
+	if m.sys == nil {
+		return nil
+	}
+	return m.sys.CheckInvariants()
+}
+
+// Counters are the per-processor event counts behind Table 1.
+type Counters struct {
+	Instr        uint64 // total instructions (includes flops, reads, writes)
+	Flops        uint64
+	Reads        uint64
+	Writes       uint64
+	SharedReads  uint64
+	SharedWrites uint64
+	Barriers     uint64 // barrier episodes encountered by this processor
+	Locks        uint64 // lock acquisitions
+	Pauses       uint64 // flag-based synchronization waits
+	SyncWait     uint64 // cycles spent waiting at synchronization points
+}
+
+func (c Counters) sub(b Counters) Counters {
+	return Counters{
+		Instr: c.Instr - b.Instr, Flops: c.Flops - b.Flops,
+		Reads: c.Reads - b.Reads, Writes: c.Writes - b.Writes,
+		SharedReads: c.SharedReads - b.SharedReads, SharedWrites: c.SharedWrites - b.SharedWrites,
+		Barriers: c.Barriers - b.Barriers, Locks: c.Locks - b.Locks,
+		Pauses: c.Pauses - b.Pauses, SyncWait: c.SyncWait - b.SyncWait,
+	}
+}
+
+// Aggregate sums counters over processors.
+func Aggregate(cs []Counters) Counters {
+	var a Counters
+	for _, c := range cs {
+		a.Instr += c.Instr
+		a.Flops += c.Flops
+		a.Reads += c.Reads
+		a.Writes += c.Writes
+		a.SharedReads += c.SharedReads
+		a.SharedWrites += c.SharedWrites
+		a.Barriers += c.Barriers
+		a.Locks += c.Locks
+		a.Pauses += c.Pauses
+		a.SyncWait += c.SyncWait
+	}
+	return a
+}
+
+// String summarizes a stats snapshot for debugging.
+func (s Stats) String() string {
+	a := Aggregate(s.Procs)
+	return fmt.Sprintf("T=%d instr=%d flops=%d reads=%d writes=%d", s.Time, a.Instr, a.Flops, a.Reads, a.Writes)
+}

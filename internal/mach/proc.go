@@ -1,0 +1,89 @@
+package mach
+
+// Proc is one simulated processor. All methods must be called only from
+// the goroutine running that processor's code.
+type Proc struct {
+	ID int
+
+	m    *Machine
+	time uint64 // logical PRAM clock
+	c    Counters
+}
+
+// Time returns the processor's logical clock (cycles since machine start).
+func (p *Proc) Time() uint64 { return p.time }
+
+// Instr accounts n non-memory instructions (one cycle each under PRAM).
+func (p *Proc) Instr(n int) {
+	p.c.Instr += uint64(n)
+	p.time += uint64(n)
+	p.publish()
+}
+
+// Flop accounts n floating-point operations; flops are instructions too.
+func (p *Proc) Flop(n int) {
+	p.c.Flops += uint64(n)
+	p.c.Instr += uint64(n)
+	p.time += uint64(n)
+	p.publish()
+}
+
+// Read issues a load from byte address a.
+func (p *Proc) Read(a Addr) {
+	p.c.Instr++
+	p.c.Reads++
+	p.time++
+	p.publish()
+	if p.m.isShared(a.Line(p.m.memCfg.LineSize)) {
+		p.c.SharedReads++
+	}
+	if p.m.sys != nil {
+		p.m.sys.AccessAt(p.ID, a, false, p.time)
+	}
+	if p.m.rec != nil {
+		p.m.rec.Record(p.ID, a, false)
+	}
+}
+
+// Write issues a store to byte address a.
+func (p *Proc) Write(a Addr) {
+	p.c.Instr++
+	p.c.Writes++
+	p.time++
+	p.publish()
+	if p.m.isShared(a.Line(p.m.memCfg.LineSize)) {
+		p.c.SharedWrites++
+	}
+	if p.m.sys != nil {
+		p.m.sys.AccessAt(p.ID, a, true, p.time)
+	}
+	if p.m.rec != nil {
+		p.m.rec.Record(p.ID, a, true)
+	}
+}
+
+// ReadN issues n consecutive word loads starting at a.
+func (p *Proc) ReadN(a Addr, n int) {
+	for i := 0; i < n; i++ {
+		p.Read(a + Addr(i*WordBytes))
+	}
+}
+
+// WriteN issues n consecutive word stores starting at a.
+func (p *Proc) WriteN(a Addr, n int) {
+	for i := 0; i < n; i++ {
+		p.Write(a + Addr(i*WordBytes))
+	}
+}
+
+// WordBytes re-exports the simulated word size for applications.
+const WordBytes = 8
+
+// wait advances the clock to t, accounting the difference as sync wait.
+func (p *Proc) wait(t uint64) {
+	if t > p.time {
+		p.c.SyncWait += t - p.time
+		p.time = t
+		p.publish()
+	}
+}

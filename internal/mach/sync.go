@@ -1,0 +1,141 @@
+package mach
+
+import "sync"
+
+// Barrier is a reusable all-processor barrier with PRAM time semantics:
+// every participant leaves with its clock advanced to the maximum arrival
+// clock, and the difference is accounted as synchronization wait time.
+type Barrier struct {
+	n int
+
+	mu          sync.Mutex
+	cv          *sync.Cond
+	arrived     int
+	gen         uint64
+	maxTime     uint64
+	releaseTime uint64
+}
+
+// NewBarrier returns a barrier for all processors of the machine.
+func (m *Machine) NewBarrier() *Barrier { return NewBarrier(m.Procs()) }
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cv = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have arrived.
+func (b *Barrier) Wait(p *Proc) { b.wait(p, nil) }
+
+// wait implements Wait; when onRelease is non-nil the last arriver invokes
+// it with the release time while every other participant is still blocked
+// under the barrier mutex — a race-free point for global actions like
+// measurement resets (Machine.Epoch).
+func (b *Barrier) wait(p *Proc, onRelease func(releaseTime uint64)) {
+	b.mu.Lock()
+	p.c.Barriers++
+	if p.time > b.maxTime {
+		b.maxTime = p.time
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.releaseTime = b.maxTime
+		b.arrived = 0
+		b.maxTime = 0
+		b.gen++
+		p.wait(b.releaseTime)
+		if onRelease != nil {
+			onRelease(b.releaseTime)
+		}
+		b.cv.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	gen := b.gen
+	p.park()
+	for gen == b.gen {
+		b.cv.Wait()
+	}
+	p.unpark()
+	p.wait(b.releaseTime)
+	b.mu.Unlock()
+}
+
+// Lock is a mutual-exclusion lock with PRAM serialization: an acquirer
+// whose clock is behind the previous critical section's release time is
+// delayed (and the delay accounted as sync wait), so lock contention shows
+// up as serialization exactly as in the paper's speedup model. The zero
+// value is an unlocked Lock.
+type Lock struct {
+	mu          sync.Mutex
+	lastRelease uint64
+}
+
+// Acquire takes the lock.
+func (l *Lock) Acquire(p *Proc) {
+	l.mu.Lock()
+	p.c.Locks++
+	p.wait(l.lastRelease)
+}
+
+// Release drops the lock, publishing the releaser's clock.
+func (l *Lock) Release(p *Proc) {
+	if p.time > l.lastRelease {
+		l.lastRelease = p.time
+	}
+	l.mu.Unlock()
+}
+
+// Flag is a one-shot flag ("pause" in SPLASH-2 terminology): waiters block
+// until some processor sets it, and leave with their clocks advanced to
+// the setter's clock. The zero value is an unset Flag.
+type Flag struct {
+	mu      sync.Mutex
+	cv      *sync.Cond
+	set     bool
+	setTime uint64
+}
+
+// MakeFlags allocates n flags (e.g. one per block column in Cholesky).
+func MakeFlags(n int) []Flag { return make([]Flag, n) }
+
+func (f *Flag) cond() *sync.Cond {
+	if f.cv == nil {
+		f.cv = sync.NewCond(&f.mu)
+	}
+	return f.cv
+}
+
+// Set raises the flag, waking all waiters. Setting twice is a no-op.
+func (f *Flag) Set(p *Proc) {
+	f.mu.Lock()
+	if !f.set {
+		f.set = true
+		f.setTime = p.time
+		f.cond().Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+// Wait blocks until the flag is set, accounting the wait as a pause.
+func (f *Flag) Wait(p *Proc) {
+	f.mu.Lock()
+	p.c.Pauses++
+	cv := f.cond()
+	p.park()
+	for !f.set {
+		cv.Wait()
+	}
+	p.unpark()
+	p.wait(f.setTime)
+	f.mu.Unlock()
+}
+
+// IsSet reports whether the flag has been raised (no time accounting).
+func (f *Flag) IsSet() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.set
+}

@@ -1,0 +1,185 @@
+package mach
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TaskQueues implements the distributed task queues with task stealing
+// used by Radiosity, Raytrace, Volrend and Cholesky: one queue per
+// processor, locally pushed and popped LIFO, stolen FIFO from victims
+// scanned round-robin. Queue slots and head/tail words live in simulated
+// shared memory (homed at the owning processor), so queue operations
+// generate the communication that stealing causes in the real programs.
+//
+// Timing model: dequeues of distinct tasks are logically independent, so
+// queue mutual exclusion is real-time only (a Go mutex) and does not
+// propagate release times between processors the way a data lock does —
+// otherwise an owner's local pops would drag every thief's clock forward
+// and fabricate serialization. Instead each task carries the logical time
+// it was pushed: an executor resumes at max(own clock, push time), which
+// is the true dependence. Idle processors block until a push or final
+// completion and charge the wait as synchronization time (the paper's
+// "user defined synchronization" category for Radiosity).
+type TaskQueues struct {
+	m           *Machine
+	slots       []*IntArray // per-proc circular buffers of task ids
+	stamps      []*IntArray // logical push times, parallel to slots
+	heads       *IntArray   // per-proc head index (steal end)
+	tails       *IntArray   // per-proc tail index (local end)
+	qmu         []sync.Mutex
+	sizes       []atomic.Int64 // lock-free emptiness probe mirror
+	outstanding atomic.Int64
+	capacity    int
+
+	evMu      sync.Mutex
+	evCond    *sync.Cond
+	version   uint64
+	eventTime uint64
+}
+
+// Modeled instruction costs: examining one remote queue while stealing,
+// and the atomic lock/unlock pair around a queue operation.
+const (
+	probeCost  = 4
+	lockOpCost = 2
+)
+
+// NewTaskQueues creates per-processor queues with the given capacity each.
+func (m *Machine) NewTaskQueues(capacity int) *TaskQueues {
+	t := &TaskQueues{m: m, capacity: capacity}
+	t.evCond = sync.NewCond(&t.evMu)
+	n := m.Procs()
+	t.slots = make([]*IntArray, n)
+	t.stamps = make([]*IntArray, n)
+	for i := 0; i < n; i++ {
+		t.slots[i] = m.NewInt(capacity, true, Owner(i))
+		t.stamps[i] = m.NewInt(capacity, true, Owner(i))
+	}
+	// head/tail counters padded to one line apiece to avoid false sharing
+	// between owners — the applications pad their queue headers similarly.
+	pad := m.LineSize() / WordBytes
+	t.heads = m.NewInt(n*pad, true, Interleaved())
+	t.tails = m.NewInt(n*pad, true, Interleaved())
+	t.qmu = make([]sync.Mutex, n)
+	t.sizes = make([]atomic.Int64, n)
+	return t
+}
+
+func (t *TaskQueues) pad() int { return t.m.LineSize() / WordBytes }
+
+// signal records a queue event (push, or last completion) at the caller's
+// logical time and wakes blocked thieves.
+func (t *TaskQueues) signal(p *Proc) {
+	t.evMu.Lock()
+	t.version++
+	if p.time > t.eventTime {
+		t.eventTime = p.time
+	}
+	t.evCond.Broadcast()
+	t.evMu.Unlock()
+}
+
+// Push enqueues a task on p's own queue.
+func (t *TaskQueues) Push(p *Proc, task int) {
+	t.outstanding.Add(1)
+	q := p.ID
+	t.qmu[q].Lock()
+	p.c.Locks++
+	p.Instr(lockOpCost)
+	tail := t.tails.Get(p, q*t.pad())
+	head := t.heads.Get(p, q*t.pad())
+	if tail-head >= t.capacity {
+		t.qmu[q].Unlock()
+		panic("mach: task queue overflow; increase capacity")
+	}
+	t.slots[q].Set(p, tail%t.capacity, task)
+	t.stamps[q].Set(p, tail%t.capacity, int(p.time))
+	t.tails.Set(p, q*t.pad(), tail+1)
+	t.sizes[q].Add(1)
+	t.qmu[q].Unlock()
+	t.signal(p)
+}
+
+// Done marks one previously popped task complete. PopOrSteal only reports
+// global exhaustion when every pushed task has been marked Done, so tasks
+// that spawn subtasks (Radiosity) terminate correctly.
+func (t *TaskQueues) Done(p *Proc) {
+	if t.outstanding.Add(-1) == 0 {
+		t.signal(p)
+	}
+}
+
+// PopOrSteal dequeues from p's own queue, stealing from others when empty.
+// It returns ok=false only when all tasks everywhere are complete.
+func (t *TaskQueues) PopOrSteal(p *Proc) (task int, ok bool) {
+	for {
+		p.throttle()
+		t.evMu.Lock()
+		v := t.version
+		t.evMu.Unlock()
+
+		if task, ok := t.tryPop(p, p.ID, true); ok {
+			return task, true
+		}
+		n := t.m.Procs()
+		for i := 1; i < n; i++ {
+			victim := (p.ID + i) % n
+			p.Instr(probeCost)
+			if t.sizes[victim].Load() == 0 {
+				continue
+			}
+			if task, ok := t.tryPop(p, victim, false); ok {
+				return task, true
+			}
+		}
+		if t.outstanding.Load() == 0 {
+			// All work complete: idle until the finishing event.
+			t.evMu.Lock()
+			p.wait(t.eventTime)
+			t.evMu.Unlock()
+			return 0, false
+		}
+		// Tasks are in flight elsewhere: block until a push or completion,
+		// then resume at the waking event's logical time.
+		t.evMu.Lock()
+		p.park()
+		for t.version == v && t.outstanding.Load() != 0 {
+			t.evCond.Wait()
+		}
+		p.unpark()
+		p.wait(t.eventTime)
+		t.evMu.Unlock()
+	}
+}
+
+// tryPop removes one task from queue q: LIFO from the local end for the
+// owner, FIFO from the steal end for thieves. The executor's clock
+// advances to the task's push time (its true dependence).
+func (t *TaskQueues) tryPop(p *Proc, q int, local bool) (int, bool) {
+	t.qmu[q].Lock()
+	defer t.qmu[q].Unlock()
+	p.c.Locks++
+	p.Instr(lockOpCost)
+	head := t.heads.Get(p, q*t.pad())
+	tail := t.tails.Get(p, q*t.pad())
+	if head == tail {
+		return 0, false
+	}
+	var slot int
+	if local {
+		tail--
+		slot = tail % t.capacity
+		t.tails.Set(p, q*t.pad(), tail)
+	} else {
+		slot = head % t.capacity
+		t.heads.Set(p, q*t.pad(), head+1)
+	}
+	task := t.slots[q].Get(p, slot)
+	p.wait(uint64(t.stamps[q].Get(p, slot)))
+	t.sizes[q].Add(-1)
+	return task, true
+}
+
+// Outstanding returns the number of pushed-but-not-Done tasks (tests).
+func (t *TaskQueues) Outstanding() int64 { return t.outstanding.Load() }

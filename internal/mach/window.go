@@ -1,0 +1,87 @@
+package mach
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Logical-clock window throttling.
+//
+// Simulated processors are goroutines whose real-time scheduling is
+// unrelated to their logical clocks: on a host with few cores, one
+// goroutine can race ahead in real time and — through dynamic decisions
+// like task stealing — absorb work that another processor would have
+// executed much earlier in logical time, collapsing the simulated
+// parallelism. The classic conservative fix is a simulation window: a
+// processor whose logical clock is more than `window` cycles ahead of the
+// slowest *active* processor yields until the laggards catch up.
+// Processors blocked at synchronization points (barriers, flags, empty
+// task queues) or finished with their phase are "parked" and excluded
+// from the minimum, so the window can always advance.
+//
+// Throttling happens only at safe points where the caller holds no locks
+// (the top of TaskQueues.PopOrSteal); clock publication is a cheap atomic
+// store on every instruction.
+
+// defaultWindow is the allowed clock divergence in cycles: large enough
+// to keep real concurrency, small enough that stealing decisions stay
+// close to what a logically-synchronous machine would do.
+const defaultWindow = 4096
+
+// windowState is embedded in Machine.
+type windowState struct {
+	clocks []atomic.Uint64
+	parked []atomic.Bool
+	window uint64
+}
+
+func (w *windowState) init(procs int) {
+	w.clocks = make([]atomic.Uint64, procs)
+	w.parked = make([]atomic.Bool, procs)
+	w.window = defaultWindow
+	for i := range w.parked {
+		w.parked[i].Store(true) // parked until a Run body starts
+	}
+}
+
+// publish records p's logical clock for window computations.
+func (p *Proc) publish() { p.m.win.clocks[p.ID].Store(p.time) }
+
+// park marks p as blocked at a synchronization point (excluded from the
+// window minimum); unpark re-activates it.
+func (p *Proc) park() { p.m.win.parked[p.ID].Store(true) }
+
+func (p *Proc) unpark() {
+	p.m.win.parked[p.ID].Store(false)
+	p.publish()
+}
+
+// minActiveClock returns the minimum published clock over non-parked
+// processors; ok=false when every processor is parked.
+func (m *Machine) minActiveClock() (min uint64, ok bool) {
+	min = ^uint64(0)
+	for i := range m.win.clocks {
+		if m.win.parked[i].Load() {
+			continue
+		}
+		if c := m.win.clocks[i].Load(); c < min {
+			min = c
+		}
+		ok = true
+	}
+	return min, ok
+}
+
+// throttle blocks p (in real time only) while its logical clock is more
+// than the window ahead of the slowest active processor. Must be called
+// only when p holds no locks.
+func (p *Proc) throttle() {
+	p.publish()
+	for {
+		min, ok := p.m.minActiveClock()
+		if !ok || p.time <= min+p.m.win.window {
+			return
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}

@@ -1,0 +1,125 @@
+package mach
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMinActiveClockExcludesParked(t *testing.T) {
+	m := MustNew(Config{Procs: 3, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: CountOnly})
+	m.win.clocks[0].Store(100)
+	m.win.clocks[1].Store(50)
+	m.win.clocks[2].Store(10)
+	m.win.parked[0].Store(false)
+	m.win.parked[1].Store(false)
+	m.win.parked[2].Store(true) // parked laggard must not hold the window
+	min, ok := m.minActiveClock()
+	if !ok || min != 50 {
+		t.Fatalf("min=%d ok=%v, want 50", min, ok)
+	}
+	m.win.parked[0].Store(true)
+	m.win.parked[1].Store(true)
+	if _, ok := m.minActiveClock(); ok {
+		t.Fatal("all parked reported active")
+	}
+}
+
+func TestThrottleReleasesWhenLaggardAdvances(t *testing.T) {
+	m := MustNew(Config{Procs: 2, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: CountOnly})
+	fast := m.procs[0]
+	slow := m.procs[1]
+	fast.unpark()
+	slow.unpark()
+	fast.time = defaultWindow * 3 // far ahead
+	slow.time = 0
+	slow.publish()
+
+	done := make(chan struct{})
+	go func() {
+		fast.throttle()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("throttle returned while laggard was behind")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Advance the laggard: throttle must release.
+	slow.time = defaultWindow * 3
+	slow.publish()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("throttle never released after laggard caught up")
+	}
+}
+
+func TestThrottleReleasesWhenLaggardParks(t *testing.T) {
+	m := MustNew(Config{Procs: 2, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: CountOnly})
+	fast := m.procs[0]
+	slow := m.procs[1]
+	fast.unpark()
+	slow.unpark()
+	fast.time = defaultWindow * 5
+	slow.time = 0
+	slow.publish()
+
+	done := make(chan struct{})
+	go func() {
+		fast.throttle()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	slow.park() // blocked at a barrier: excluded from the window
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("throttle never released after laggard parked")
+	}
+}
+
+func TestMinProcNeverThrottles(t *testing.T) {
+	m := MustNew(Config{Procs: 2, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: CountOnly})
+	p := m.procs[0]
+	p.unpark()
+	m.procs[1].unpark()
+	m.win.clocks[1].Store(defaultWindow * 10) // other is far ahead
+	p.time = 5
+	doneCh := make(chan struct{})
+	go func() {
+		p.throttle() // the minimum proc must pass immediately
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(time.Second):
+		t.Fatal("minimum-clock processor was throttled")
+	}
+}
+
+func TestRunBodiesUnparkAndPark(t *testing.T) {
+	m := MustNew(Config{Procs: 2, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: CountOnly})
+	for i := range m.win.parked {
+		if !m.win.parked[i].Load() {
+			t.Fatal("procs not parked before Run")
+		}
+	}
+	var mu sync.Mutex
+	states := map[int]bool{}
+	m.Run(func(p *Proc) {
+		mu.Lock()
+		states[p.ID] = m.win.parked[p.ID].Load()
+		mu.Unlock()
+	})
+	for id, parked := range states {
+		if parked {
+			t.Fatalf("proc %d parked while running body", id)
+		}
+	}
+	for i := range m.win.parked {
+		if !m.win.parked[i].Load() {
+			t.Fatalf("proc %d not re-parked after Run", i)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package memsys simulates the memory system of a cache-coherent
+// shared-address-space multiprocessor with physically distributed memory:
+// one processor per node, a single-level cache per processor kept coherent
+// by a full-map directory running the Illinois (MESI) protocol with
+// replacement hints, exactly as described in §2.2 of the SPLASH-2 paper.
+//
+// Timing follows the paper's PRAM model: the memory system never delays a
+// reference. What memsys produces is the architecturally relevant
+// characterization — cache misses decomposed by cause (cold, capacity,
+// true sharing, false sharing) and network traffic decomposed by category
+// (remote shared/cold/capacity/writeback data, remote overhead, local data)
+// — for whatever reference stream the simulated processors issue.
+package memsys
+
+// Addr is a byte address in the simulated shared address space.
+type Addr uint64
+
+// WordBytes is the size of a simulated machine word. The SPLASH-2 codes are
+// double-precision dominated, so one word holds one scalar.
+const WordBytes = 8
+
+// Word returns the word index containing a.
+func (a Addr) Word() uint64 { return uint64(a) / WordBytes }
+
+// Line returns the cache line index containing a for the given line size.
+func (a Addr) Line(lineSize int) uint64 { return uint64(a) / uint64(lineSize) }

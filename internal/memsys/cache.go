@@ -1,0 +1,265 @@
+package memsys
+
+// LineState is the Illinois-protocol state of a line in one cache:
+// dirty (Modified), shared (Shared), valid-exclusive (Exclusive), and
+// invalid — the four states named in §2.2 of the paper.
+type LineState uint8
+
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive // valid-exclusive: clean, only copy
+	Modified  // dirty
+)
+
+// String implements fmt.Stringer for LineState.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// way is one entry of a set-associative cache set.
+type way struct {
+	line  uint64
+	stamp uint64 // LRU timestamp; higher = more recently used
+	state LineState
+}
+
+// fnode is one entry of a fully associative cache's LRU list.
+type fnode struct {
+	line       uint64
+	state      LineState
+	prev, next *fnode
+}
+
+// cache models one processor's single-level cache with LRU replacement.
+// Set-associative caches keep per-way LRU timestamps; fully associative
+// caches keep an exact LRU list over a hash index.
+type cache struct {
+	ways    int
+	sets    int
+	entries []way // set i occupies entries[i*ways : (i+1)*ways]
+	stamp   uint64
+
+	full  bool
+	cap   int
+	index map[uint64]*fnode
+	head  *fnode // most recently used
+	tail  *fnode // least recently used
+}
+
+func newCache(cfg Config) *cache {
+	c := &cache{full: cfg.Assoc == FullyAssoc}
+	if c.full {
+		c.cap = cfg.lines()
+		c.index = make(map[uint64]*fnode, c.cap)
+		return c
+	}
+	c.ways = cfg.ways()
+	c.sets = cfg.sets()
+	c.entries = make([]way, c.sets*c.ways)
+	return c
+}
+
+// lookup returns the state of line, touching it for LRU. Invalid means miss.
+func (c *cache) lookup(line uint64) LineState {
+	if c.full {
+		n := c.index[line]
+		if n == nil {
+			return Invalid
+		}
+		c.moveToFront(n)
+		return n.state
+	}
+	set := c.set(line)
+	for i := range set {
+		if set[i].line == line && set[i].state != Invalid {
+			c.stamp++
+			set[i].stamp = c.stamp
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// peek returns the state of line without touching LRU.
+func (c *cache) peek(line uint64) LineState {
+	if c.full {
+		if n := c.index[line]; n != nil {
+			return n.state
+		}
+		return Invalid
+	}
+	set := c.set(line)
+	for i := range set {
+		if set[i].line == line && set[i].state != Invalid {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// setState changes the state of a resident line. The line must be present.
+func (c *cache) setState(line uint64, st LineState) {
+	if c.full {
+		c.index[line].state = st
+		return
+	}
+	set := c.set(line)
+	for i := range set {
+		if set[i].line == line && set[i].state != Invalid {
+			set[i].state = st
+			return
+		}
+	}
+	panic("memsys: setState on non-resident line")
+}
+
+// invalidate drops line from the cache if present.
+func (c *cache) invalidate(line uint64) {
+	if c.full {
+		if n := c.index[line]; n != nil {
+			c.unlink(n)
+			delete(c.index, line)
+		}
+		return
+	}
+	set := c.set(line)
+	for i := range set {
+		if set[i].line == line && set[i].state != Invalid {
+			set[i].state = Invalid
+			return
+		}
+	}
+}
+
+// insert places line with the given state, evicting the LRU victim of its
+// set if necessary. It reports the victim line and state when an eviction
+// of a valid line occurred.
+func (c *cache) insert(line uint64, st LineState) (victim uint64, vstate LineState, evicted bool) {
+	if c.full {
+		if n := c.index[line]; n != nil { // re-insert after upgrade path
+			n.state = st
+			c.moveToFront(n)
+			return 0, Invalid, false
+		}
+		if len(c.index) >= c.cap {
+			v := c.tail
+			c.unlink(v)
+			delete(c.index, v.line)
+			victim, vstate, evicted = v.line, v.state, true
+		}
+		n := &fnode{line: line, state: st}
+		c.pushFront(n)
+		c.index[line] = n
+		return victim, vstate, evicted
+	}
+
+	set := c.set(line)
+	for i := range set {
+		if set[i].line == line && set[i].state != Invalid {
+			set[i].state = st
+			c.stamp++
+			set[i].stamp = c.stamp
+			return 0, Invalid, false
+		}
+	}
+	// Prefer an invalid slot, else evict the LRU valid slot.
+	slot := -1
+	for i := range set {
+		if set[i].state == Invalid {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		oldest := ^uint64(0)
+		for i := range set {
+			if set[i].stamp < oldest {
+				oldest = set[i].stamp
+				slot = i
+			}
+		}
+		victim, vstate, evicted = set[slot].line, set[slot].state, true
+	}
+	c.stamp++
+	set[slot] = way{line: line, stamp: c.stamp, state: st}
+	return victim, vstate, evicted
+}
+
+// resident returns the number of valid lines (used by invariant tests).
+func (c *cache) resident() int {
+	if c.full {
+		return len(c.index)
+	}
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// forEach visits every valid line (used by invariant tests).
+func (c *cache) forEach(f func(line uint64, st LineState)) {
+	if c.full {
+		for l, n := range c.index {
+			f(l, n.state)
+		}
+		return
+	}
+	for i := range c.entries {
+		if c.entries[i].state != Invalid {
+			f(c.entries[i].line, c.entries[i].state)
+		}
+	}
+}
+
+func (c *cache) set(line uint64) []way {
+	s := int(line % uint64(c.sets))
+	return c.entries[s*c.ways : (s+1)*c.ways]
+}
+
+func (c *cache) moveToFront(n *fnode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *cache) pushFront(n *fnode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *cache) unlink(n *fnode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

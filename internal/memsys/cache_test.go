@@ -1,0 +1,193 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cacheCfg(size, assoc, line int) Config {
+	return Config{Procs: 1, CacheSize: size, Assoc: assoc, LineSize: line, OverheadBytes: 8}
+}
+
+func TestCacheInsertLookup(t *testing.T) {
+	for _, assoc := range []int{1, 2, 4, FullyAssoc} {
+		c := newCache(cacheCfg(1024, assoc, 64))
+		if st := c.lookup(5); st != Invalid {
+			t.Fatalf("assoc=%d: empty cache lookup = %v", assoc, st)
+		}
+		c.insert(5, Shared)
+		if st := c.lookup(5); st != Shared {
+			t.Fatalf("assoc=%d: lookup after insert = %v", assoc, st)
+		}
+		c.setState(5, Modified)
+		if st := c.peek(5); st != Modified {
+			t.Fatalf("assoc=%d: peek after setState = %v", assoc, st)
+		}
+		c.invalidate(5)
+		if st := c.lookup(5); st != Invalid {
+			t.Fatalf("assoc=%d: lookup after invalidate = %v", assoc, st)
+		}
+	}
+}
+
+func TestCacheLRUEvictionDirectMapped(t *testing.T) {
+	// 4 lines of 64B, direct mapped => lines 0 and 4 conflict.
+	c := newCache(cacheCfg(256, 1, 64))
+	c.insert(0, Modified)
+	victim, vstate, evicted := c.insert(4, Shared)
+	if !evicted || victim != 0 || vstate != Modified {
+		t.Fatalf("expected eviction of line 0 (M), got victim=%d state=%v evicted=%v", victim, vstate, evicted)
+	}
+	if c.peek(0) != Invalid || c.peek(4) != Shared {
+		t.Fatalf("post-eviction states wrong: %v %v", c.peek(0), c.peek(4))
+	}
+}
+
+func TestCacheLRUOrderSetAssociative(t *testing.T) {
+	// One set of 4 ways (fully sized as 4 lines, 4-way).
+	c := newCache(cacheCfg(256, 4, 64))
+	for i := uint64(0); i < 4; i++ {
+		c.insert(i*1, Shared) // all map to set (line % 1 == 0): sets=1
+	}
+	// Touch line 0 so line 1 becomes LRU.
+	c.lookup(0)
+	victim, _, evicted := c.insert(100, Shared)
+	if !evicted || victim != 1 {
+		t.Fatalf("expected LRU victim 1, got %d (evicted=%v)", victim, evicted)
+	}
+}
+
+func TestCacheFullyAssociativeExactLRU(t *testing.T) {
+	c := newCache(cacheCfg(4*64, FullyAssoc, 64))
+	for i := uint64(0); i < 4; i++ {
+		c.insert(i, Shared)
+	}
+	c.lookup(0)
+	c.lookup(1)
+	// LRU order now: 2 (oldest), 3, 0, 1.
+	victim, _, evicted := c.insert(99, Shared)
+	if !evicted || victim != 2 {
+		t.Fatalf("expected victim 2, got %d evicted=%v", victim, evicted)
+	}
+	victim, _, evicted = c.insert(98, Shared)
+	if !evicted || victim != 3 {
+		t.Fatalf("expected victim 3, got %d evicted=%v", victim, evicted)
+	}
+}
+
+func TestCacheReinsertDoesNotEvict(t *testing.T) {
+	for _, assoc := range []int{2, FullyAssoc} {
+		c := newCache(cacheCfg(256, assoc, 64))
+		c.insert(7, Shared)
+		_, _, evicted := c.insert(7, Modified)
+		if evicted {
+			t.Fatalf("assoc=%d: reinsert evicted", assoc)
+		}
+		if c.peek(7) != Modified {
+			t.Fatalf("assoc=%d: reinsert did not update state", assoc)
+		}
+		if c.resident() != 1 {
+			t.Fatalf("assoc=%d: resident=%d after reinsert", assoc, c.resident())
+		}
+	}
+}
+
+func TestCacheInvalidSlotPreferred(t *testing.T) {
+	c := newCache(cacheCfg(256, 4, 64))
+	for i := uint64(0); i < 4; i++ {
+		c.insert(i, Shared)
+	}
+	c.invalidate(2)
+	_, _, evicted := c.insert(50, Shared)
+	if evicted {
+		t.Fatal("insert into set with invalid slot should not evict")
+	}
+	if c.resident() != 4 {
+		t.Fatalf("resident=%d, want 4", c.resident())
+	}
+}
+
+// Property: the cache never holds more valid lines than its capacity, and
+// every line reported resident is found by peek. Both associativities are
+// driven with the same random trace.
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(seed int64, assocSel uint8) bool {
+		assocs := []int{1, 2, 4, FullyAssoc}
+		assoc := assocs[int(assocSel)%len(assocs)]
+		c := newCache(cacheCfg(512, assoc, 64)) // 8 lines
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			line := uint64(rng.Intn(32))
+			switch rng.Intn(4) {
+			case 0:
+				c.insert(line, Shared)
+			case 1:
+				c.insert(line, Modified)
+			case 2:
+				c.invalidate(line)
+			case 3:
+				c.lookup(line)
+			}
+			if c.resident() > 8 {
+				return false
+			}
+			ok := true
+			c.forEach(func(l uint64, st LineState) {
+				if c.peek(l) != st {
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a fully associative cache of N lines always retains the N most
+// recently used lines of any trace.
+func TestCacheFullyAssocRetainsMRUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const capLines = 8
+		c := newCache(cacheCfg(capLines*64, FullyAssoc, 64))
+		rng := rand.New(rand.NewSource(seed))
+		var order []uint64 // most recent last, unique
+		touch := func(l uint64) {
+			for i, x := range order {
+				if x == l {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+			order = append(order, l)
+		}
+		for i := 0; i < 300; i++ {
+			l := uint64(rng.Intn(20))
+			if c.peek(l) != Invalid {
+				c.lookup(l)
+			} else {
+				c.insert(l, Shared)
+			}
+			touch(l)
+			// The last min(len(order), capLines) touched lines must be resident.
+			start := 0
+			if len(order) > capLines {
+				start = len(order) - capLines
+			}
+			for _, want := range order[start:] {
+				if c.peek(want) == Invalid {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package memsys
+
+// MissKind classifies a cache miss following the extension of the
+// classification in [DSR+93] used by the paper (§2.2): cold misses are a
+// processor's first reference to a line; true sharing misses fetch a word
+// written by another processor since this processor last held it (a
+// definition independent of finite capacity, associativity, and false
+// sharing — §6); false sharing misses re-fetch an invalidated line whose
+// accessed word was not remotely written; everything else is a
+// capacity/conflict miss.
+type MissKind uint8
+
+const (
+	MissCold MissKind = iota
+	MissTrue
+	MissFalse
+	MissCapacity
+	numMissKinds
+)
+
+// String implements fmt.Stringer for MissKind.
+func (k MissKind) String() string {
+	switch k {
+	case MissCold:
+		return "cold"
+	case MissTrue:
+		return "true-sharing"
+	case MissFalse:
+		return "false-sharing"
+	case MissCapacity:
+		return "capacity"
+	}
+	return "unknown"
+}
+
+// ProcStats accumulates per-processor reference and miss counts.
+type ProcStats struct {
+	Reads    uint64
+	Writes   uint64
+	Misses   [numMissKinds]uint64
+	Upgrades uint64 // write hits to Shared lines (invalidating, no data fetch)
+}
+
+// Refs returns the total number of references issued.
+func (p ProcStats) Refs() uint64 { return p.Reads + p.Writes }
+
+// TotalMisses returns the number of misses of all kinds.
+func (p ProcStats) TotalMisses() uint64 {
+	var t uint64
+	for _, m := range p.Misses {
+		t += m
+	}
+	return t
+}
+
+// MissRate returns misses per reference (0 when no references were issued).
+func (p ProcStats) MissRate() float64 {
+	if r := p.Refs(); r > 0 {
+		return float64(p.TotalMisses()) / float64(r)
+	}
+	return 0
+}
+
+// Traffic accumulates network and local-memory traffic in bytes, decomposed
+// into the categories of Figure 4 of the paper: remote data by miss type
+// plus writebacks, remote overhead (request, invalidation, acknowledgment
+// and replacement-hint packets plus data headers), and local data. The
+// true-sharing data traffic — the paper's approximation of inherent
+// communication — is tracked separately and overlaps the other categories.
+type Traffic struct {
+	LocalData       uint64
+	RemoteCold      uint64
+	RemoteShared    uint64 // true + false sharing miss fills crossing nodes
+	RemoteCapacity  uint64
+	RemoteWriteback uint64
+	RemoteOverhead  uint64
+	TrueSharingData uint64 // local + remote data moved by true sharing misses
+}
+
+// Remote returns total internode traffic (data + overhead).
+func (t Traffic) Remote() uint64 {
+	return t.RemoteCold + t.RemoteShared + t.RemoteCapacity + t.RemoteWriteback + t.RemoteOverhead
+}
+
+// Total returns all traffic including local data.
+func (t Traffic) Total() uint64 { return t.Remote() + t.LocalData }
+
+// Stats is a snapshot of a memory system's counters.
+type Stats struct {
+	Procs   []ProcStats
+	Traffic Traffic
+
+	// NodeServed is the total data bytes served by each node's memory (or
+	// owning cache); NodePeak the maximum served by a node within any
+	// window of consecutive accesses — the hotspot indicator: a node whose
+	// peak far exceeds the mean is a temporal hotspot even if totals are
+	// uniform (§3's motivation for the FFT's staggered transposes).
+	NodeServed []uint64
+	NodePeak   []uint64
+}
+
+// HotspotRatio returns max(NodePeak) / mean(NodePeak), ≥ 1 when any node
+// served bursts; 0 when nothing was served.
+func (s Stats) HotspotRatio() float64 {
+	var sum, max uint64
+	for _, v := range s.NodePeak {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.NodePeak))
+	return float64(max) / mean
+}
+
+// Aggregate sums the per-processor counters.
+func (s Stats) Aggregate() ProcStats {
+	var a ProcStats
+	for _, p := range s.Procs {
+		a.Reads += p.Reads
+		a.Writes += p.Writes
+		a.Upgrades += p.Upgrades
+		for k := range p.Misses {
+			a.Misses[k] += p.Misses[k]
+		}
+	}
+	return a
+}
+
+// MissRate returns the aggregate miss rate across processors.
+func (s Stats) MissRate() float64 { return s.Aggregate().MissRate() }

@@ -1,0 +1,538 @@
+package memsys
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HomeFn maps a cache line index to the node whose local memory holds it.
+// Data placement (§2.2: "data are distributed among the processing nodes
+// according to the guidelines stated in each application") is decided by
+// the allocator in package mach and communicated to memsys through this
+// function. It is called with the system's internal lock held and must not
+// call back into the System.
+type HomeFn func(line uint64) int
+
+// dirEntry is one full-map directory entry. sharers is the exact set of
+// caches holding the line (replacement hints keep it exact, §2.2); owner is
+// the cache holding the line Exclusive or Modified, or -1.
+type dirEntry struct {
+	sharers uint64
+	owner   int8
+}
+
+// wordInfo records the last writer of a word and when the write happened,
+// for true/false sharing classification. time==0 means never written.
+type wordInfo struct {
+	time   uint64
+	writer int8
+}
+
+// Per-processor line history codes packed into the low bits of a seq stamp.
+const (
+	histNone    = 0 // never cached by this processor
+	histPresent = 1
+	histEvicted = 2
+	histInval   = 3
+	histMask    = 3
+)
+
+// System simulates the multiprocessor memory system. All methods are safe
+// for concurrent use by the processor goroutines; every reference is
+// processed atomically under one lock, which is correct under PRAM timing
+// (the interleaving of references, not their latency, is all that matters).
+type System struct {
+	cfg  Config
+	home HomeFn
+
+	mu     sync.Mutex
+	caches []*cache
+	dir    []dirEntry
+	words  []wordInfo
+	hist   [][]uint64 // [proc][line] packed history
+	seq    uint64
+
+	procs   []ProcStats
+	traffic Traffic
+
+	// Per-node service counters for hotspot analysis (§3: the FFT's
+	// staggered transposes exist to avoid memory hotspotting): total data
+	// bytes served by each node, and the peak served within any window of
+	// hotspotWindow logical cycles. Logical-time windows make the metric
+	// deterministic for deterministic programs (requestor clocks do not
+	// depend on goroutine scheduling).
+	nodeServed []uint64
+	nodePeak   []uint64
+	nodeWindow []uint64
+	nodeWinID  []uint64
+
+	// accessTime is the requestor's logical clock for the access being
+	// processed (set under the lock; seq is used when no clock is known,
+	// e.g. trace replay).
+	accessTime uint64
+}
+
+// hotspotWindow is the burst-detection granularity in logical cycles.
+const hotspotWindow = 512
+
+// New creates a memory system. cfg is validated after defaults are applied.
+func New(cfg Config, home HomeFn) (*System, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if home == nil {
+		return nil, fmt.Errorf("memsys: nil HomeFn")
+	}
+	s := &System{cfg: cfg, home: home}
+	s.caches = make([]*cache, cfg.Procs)
+	s.hist = make([][]uint64, cfg.Procs)
+	for i := range s.caches {
+		s.caches[i] = newCache(cfg)
+	}
+	s.procs = make([]ProcStats, cfg.Procs)
+	s.nodeServed = make([]uint64, cfg.Procs)
+	s.nodePeak = make([]uint64, cfg.Procs)
+	s.nodeWindow = make([]uint64, cfg.Procs)
+	s.nodeWinID = make([]uint64, cfg.Procs)
+	return s, nil
+}
+
+// Config returns the configuration in effect (with defaults applied).
+func (s *System) Config() Config { return s.cfg }
+
+// Reserve pre-sizes internal tables for an address space of the given
+// number of words, avoiding repeated growth during simulation.
+func (s *System) Reserve(words uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.growWords(words)
+}
+
+func (s *System) growWords(words uint64) {
+	if uint64(len(s.words)) < words {
+		nw := make([]wordInfo, words)
+		copy(nw, s.words)
+		s.words = nw
+	}
+	lines := (words*WordBytes + uint64(s.cfg.LineSize) - 1) / uint64(s.cfg.LineSize)
+	if uint64(len(s.dir)) < lines {
+		nd := make([]dirEntry, lines)
+		for i := range nd {
+			nd[i].owner = -1
+		}
+		copy(nd, s.dir)
+		s.dir = nd
+		for p := range s.hist {
+			nh := make([]uint64, lines)
+			copy(nh, s.hist[p])
+			s.hist[p] = nh
+		}
+	}
+}
+
+// Access simulates one memory reference by processor p to byte address a.
+// It returns the miss kind and whether the reference hit in the cache.
+// The global sequence number stands in for the requestor clock in hotspot
+// windowing; use AccessAt when the requestor's logical time is known.
+func (s *System) Access(p int, a Addr, write bool) (hit bool, kind MissKind) {
+	return s.access(p, a, write, 0)
+}
+
+// AccessAt is Access with the requestor's logical clock, which makes the
+// per-node hotspot windows deterministic for deterministic programs.
+func (s *System) AccessAt(p int, a Addr, write bool, now uint64) (hit bool, kind MissKind) {
+	return s.access(p, a, write, now)
+}
+
+func (s *System) access(p int, a Addr, write bool, now uint64) (hit bool, kind MissKind) {
+	line := a.Line(s.cfg.LineSize)
+	word := a.Word()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if word >= uint64(len(s.words)) {
+		s.growWords(word + 1)
+	}
+	s.seq++
+	if now == 0 {
+		now = s.seq
+	}
+	s.accessTime = now
+
+	st := &s.procs[p]
+	if write {
+		st.Writes++
+	} else {
+		st.Reads++
+	}
+
+	c := s.caches[p]
+	switch state := c.lookup(line); state {
+	case Modified:
+		if write {
+			s.recordWrite(p, word)
+		}
+		return true, 0
+	case Exclusive:
+		if write {
+			// Illinois silent upgrade: the directory already records p as
+			// owner, memory becomes stale without any message.
+			c.setState(line, Modified)
+			s.recordWrite(p, word)
+		}
+		return true, 0
+	case Shared:
+		if !write {
+			return true, 0
+		}
+		s.upgrade(p, line)
+		s.recordWrite(p, word)
+		return true, 0
+	}
+
+	// Miss path.
+	kind = s.classify(p, line, word)
+	st.Misses[kind]++
+	s.fill(p, line, kind, write)
+	if write {
+		s.recordWrite(p, word)
+	}
+	return false, kind
+}
+
+// rollWindow folds every node's open window into its peak.
+func (s *System) rollWindow() {
+	for i := range s.nodeWindow {
+		if s.nodeWindow[i] > s.nodePeak[i] {
+			s.nodePeak[i] = s.nodeWindow[i]
+		}
+		s.nodeWindow[i] = 0
+	}
+}
+
+// serve accounts data bytes served by a node's memory or cache, windowed
+// by the requestor's logical time.
+func (s *System) serve(node int, n uint64) {
+	s.nodeServed[node] += n
+	win := s.accessTime / hotspotWindow
+	if win != s.nodeWinID[node] {
+		if s.nodeWindow[node] > s.nodePeak[node] {
+			s.nodePeak[node] = s.nodeWindow[node]
+		}
+		s.nodeWindow[node] = 0
+		s.nodeWinID[node] = win
+	}
+	s.nodeWindow[node] += n
+}
+
+// recordWrite stamps the word's last writer for sharing classification.
+func (s *System) recordWrite(p int, word uint64) {
+	s.words[word] = wordInfo{time: s.seq, writer: int8(p)}
+}
+
+// classify determines the miss kind per the extended [DSR+93] scheme.
+func (s *System) classify(p int, line, word uint64) MissKind {
+	h := s.hist[p][line]
+	if h == histNone {
+		return MissCold
+	}
+	lostTime := h >> 2
+	wi := s.words[word]
+	// A write by another processor can only happen while this processor
+	// does not hold the line, so comparing against the loss time is exact.
+	if wi.time != 0 && int(wi.writer) != p && wi.time >= lostTime {
+		return MissTrue
+	}
+	if h&histMask == histInval {
+		return MissFalse
+	}
+	return MissCapacity
+}
+
+// upgrade handles a write hit to a Shared line: invalidate all other
+// sharers through the home directory, no data transfer.
+func (s *System) upgrade(p int, line uint64) {
+	home := s.home(line)
+	d := &s.dir[line]
+	s.procs[p].Upgrades++
+	if home != p {
+		s.traffic.RemoteOverhead += uint64(s.cfg.OverheadBytes) // upgrade request
+	}
+	s.invalidateSharers(p, line, d, home)
+	d.sharers = 1 << uint(p)
+	d.owner = int8(p)
+	s.caches[p].setState(line, Modified)
+}
+
+// invalidateSharers sends invalidations to every sharer other than p.
+// Invalidations travel home→sharer and acknowledgments sharer→requestor.
+func (s *System) invalidateSharers(p int, line uint64, d *dirEntry, home int) {
+	ob := uint64(s.cfg.OverheadBytes)
+	for q := 0; q < s.cfg.Procs; q++ {
+		if q == p || d.sharers&(1<<uint(q)) == 0 {
+			continue
+		}
+		// Without replacement hints the sharer list can be stale: the
+		// invalidation and acknowledgment messages are still sent (that is
+		// the cost the hints avoid) but a departed copy has nothing to
+		// invalidate and its loss history must not be rewritten.
+		if s.caches[q].peek(line) != Invalid {
+			s.caches[q].invalidate(line)
+			s.hist[q][line] = s.seq<<2 | histInval
+		}
+		if q != home {
+			s.traffic.RemoteOverhead += ob // invalidation
+		}
+		if q != p {
+			s.traffic.RemoteOverhead += ob // acknowledgment
+		}
+	}
+}
+
+// fill services a miss: obtains the line (from home memory or a remote
+// dirty cache), adjusts directory and peer cache states, accounts traffic,
+// inserts the line, and handles the victim.
+func (s *System) fill(p int, line uint64, kind MissKind, write bool) {
+	home := s.home(line)
+	d := &s.dir[line]
+	ob := uint64(s.cfg.OverheadBytes)
+	ls := uint64(s.cfg.LineSize)
+
+	if home != p {
+		s.traffic.RemoteOverhead += ob // request to home
+	}
+
+	var newState LineState
+	switch {
+	case d.owner >= 0:
+		// Line held Exclusive or Modified by q.
+		q := int(d.owner)
+		qstate := s.caches[q].peek(line)
+		if q != home {
+			s.traffic.RemoteOverhead += ob // forward home→owner
+		}
+		if qstate == Modified {
+			// Cache-to-cache transfer q→p (q != p always on a miss).
+			s.addData(kind, ls, true)
+			s.serve(q, ls)
+			s.traffic.RemoteOverhead += ob // data header
+			if write {
+				// Ownership migrates; memory stays stale.
+				s.caches[q].invalidate(line)
+				s.hist[q][line] = s.seq<<2 | histInval
+				d.sharers = 1 << uint(p)
+				d.owner = int8(p)
+				newState = Modified
+			} else {
+				// Sharing writeback q→home brings memory up to date.
+				if q != home {
+					s.traffic.RemoteWriteback += ls
+					s.traffic.RemoteOverhead += ob // writeback header
+				} else {
+					s.traffic.LocalData += ls
+				}
+				s.caches[q].setState(line, Shared)
+				d.sharers |= 1 << uint(q)
+				d.sharers |= 1 << uint(p)
+				d.owner = -1
+				newState = Shared
+			}
+		} else {
+			// Owner holds it Exclusive (clean): memory is valid.
+			if q != home {
+				s.traffic.RemoteOverhead += ob // downgrade ack owner→home
+			}
+			if write {
+				s.caches[q].invalidate(line)
+				s.hist[q][line] = s.seq<<2 | histInval
+				d.sharers = 1 << uint(p)
+				d.owner = int8(p)
+				newState = Modified
+			} else {
+				s.caches[q].setState(line, Shared)
+				d.sharers |= 1 << uint(q)
+				d.sharers |= 1 << uint(p)
+				d.owner = -1
+				newState = Shared
+			}
+			s.memoryData(p, home, kind, ls, ob)
+		}
+	default:
+		// Clean: data comes from home memory.
+		if write {
+			s.invalidateSharers(p, line, d, home)
+			d.sharers = 1 << uint(p)
+			d.owner = int8(p)
+			newState = Modified
+		} else if d.sharers == 0 {
+			// Illinois valid-exclusive: sole copy, loaded clean.
+			d.sharers = 1 << uint(p)
+			d.owner = int8(p)
+			newState = Exclusive
+		} else {
+			d.sharers |= 1 << uint(p)
+			newState = Shared
+		}
+		s.memoryData(p, home, kind, ls, ob)
+	}
+
+	s.hist[p][line] = s.seq<<2 | histPresent
+	victim, vstate, evicted := s.caches[p].insert(line, newState)
+	if evicted {
+		s.evict(p, victim, vstate)
+	}
+}
+
+// memoryData accounts the line transfer home→p.
+func (s *System) memoryData(p, home int, kind MissKind, ls, ob uint64) {
+	s.serve(home, ls)
+	if home != p {
+		s.addData(kind, ls, true)
+		s.traffic.RemoteOverhead += ob // data header
+	} else {
+		s.addData(kind, ls, false)
+	}
+}
+
+// addData attributes data bytes to the miss-kind category, and to the
+// true-sharing traffic metric when applicable.
+func (s *System) addData(kind MissKind, n uint64, remote bool) {
+	if kind == MissTrue {
+		s.traffic.TrueSharingData += n
+	}
+	if !remote {
+		s.traffic.LocalData += n
+		return
+	}
+	switch kind {
+	case MissCold:
+		s.traffic.RemoteCold += n
+	case MissTrue, MissFalse:
+		s.traffic.RemoteShared += n
+	default:
+		s.traffic.RemoteCapacity += n
+	}
+}
+
+// evict handles replacement of a victim line from p's cache.
+func (s *System) evict(p int, line uint64, vstate LineState) {
+	home := s.home(line)
+	d := &s.dir[line]
+	ob := uint64(s.cfg.OverheadBytes)
+	ls := uint64(s.cfg.LineSize)
+
+	switch vstate {
+	case Modified:
+		d.sharers &^= 1 << uint(p)
+		d.owner = -1
+		if home != p {
+			s.traffic.RemoteWriteback += ls
+			s.traffic.RemoteOverhead += ob // writeback header
+		} else {
+			s.traffic.LocalData += ls
+		}
+	case Exclusive:
+		d.sharers &^= 1 << uint(p)
+		d.owner = -1
+		if home != p {
+			s.traffic.RemoteOverhead += ob // clean-exclusive notification
+		}
+	case Shared:
+		// Replacement hint keeps the home's sharer list exact (§2.2);
+		// without it the directory remembers a departed sharer.
+		if !s.cfg.NoReplacementHints {
+			d.sharers &^= 1 << uint(p)
+			if home != p {
+				s.traffic.RemoteOverhead += ob
+			}
+		}
+	}
+	s.hist[p][line] = s.seq<<2 | histEvicted
+}
+
+// Stats returns a snapshot of all counters.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rollWindow()
+	out := Stats{
+		Procs:      make([]ProcStats, len(s.procs)),
+		Traffic:    s.traffic,
+		NodeServed: append([]uint64(nil), s.nodeServed...),
+		NodePeak:   append([]uint64(nil), s.nodePeak...),
+	}
+	copy(out.Procs, s.procs)
+	return out
+}
+
+// ResetStats zeroes all counters while leaving cache and directory state
+// warm — used to "start measurements after initialization and cold start"
+// for applications that run many time-steps (§2.2).
+func (s *System) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.procs {
+		s.procs[i] = ProcStats{}
+	}
+	s.traffic = Traffic{}
+	for i := range s.nodeServed {
+		s.nodeServed[i] = 0
+		s.nodePeak[i] = 0
+		s.nodeWindow[i] = 0
+	}
+}
+
+// CheckInvariants validates protocol invariants across caches and
+// directory; it is used by tests and returns a descriptive error on the
+// first violation found.
+func (s *System) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	holders := make(map[uint64]uint64) // line -> bitset from caches
+	dirtyCount := make(map[uint64]int)
+	for p, c := range s.caches {
+		var err error
+		c.forEach(func(line uint64, st LineState) {
+			if err != nil {
+				return
+			}
+			holders[line] |= 1 << uint(p)
+			if st == Modified || st == Exclusive {
+				dirtyCount[line]++
+				if line < uint64(len(s.dir)) && int(s.dir[line].owner) != p {
+					err = fmt.Errorf("line %d: cache %d holds %v but directory owner is %d", line, p, st, s.dir[line].owner)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	exact := !s.cfg.NoReplacementHints
+	for line, bits := range holders {
+		if dirtyCount[line] > 1 {
+			return fmt.Errorf("line %d: %d exclusive/modified copies", line, dirtyCount[line])
+		}
+		if line < uint64(len(s.dir)) && s.dir[line].sharers&bits != bits {
+			return fmt.Errorf("line %d: directory sharers %b miss cache holders %b", line, s.dir[line].sharers, bits)
+		}
+		if exact && line < uint64(len(s.dir)) && s.dir[line].sharers != bits {
+			return fmt.Errorf("line %d: directory sharers %b != cache holders %b", line, s.dir[line].sharers, bits)
+		}
+	}
+	for line := range s.dir {
+		d := s.dir[line]
+		if exact && d.sharers != 0 && holders[uint64(line)] != d.sharers {
+			return fmt.Errorf("line %d: directory sharers %b but holders %b", line, d.sharers, holders[uint64(line)])
+		}
+		if d.owner >= 0 {
+			st := s.caches[d.owner].peek(uint64(line))
+			if st != Modified && st != Exclusive {
+				return fmt.Errorf("line %d: directory owner %d holds state %v", line, d.owner, st)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package memsys
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Trace is a recorded global reference interleaving — processor, address,
+// read/write for every access — together with the home/sharing map of the
+// address space that produced it.
+//
+// This makes the paper's methodology literal: §2.2 adopts PRAM timing
+// precisely so that "the execution path of the program [does not] change"
+// when architectural parameters are varied. Replaying one recorded trace
+// against many cache configurations guarantees identical reference
+// streams across a whole Figure-3 sweep, and is an order of magnitude
+// faster than re-running the program, exactly like driving the cache
+// simulator from a reference generator (Tango-Lite).
+type Trace struct {
+	// events packs one access per entry: addr<<8 | proc<<1 | write.
+	events []uint64
+
+	// Home map of the recording machine, at its line granularity.
+	homeLineSize int
+	homes        []int32
+}
+
+// traceEvent packs an access. Processor id 127 is reserved as the
+// measurement-reset marker (mach.Epoch boundaries replay as ResetStats).
+func traceEvent(proc int, a Addr, write bool) uint64 {
+	e := uint64(a)<<8 | uint64(proc)<<1
+	if write {
+		e |= 1
+	}
+	return e
+}
+
+// resetMarker flags an epoch boundary in the stream.
+const resetMarker = uint64(127) << 1
+
+func (t *Trace) decode(i int) (proc int, a Addr, write bool) {
+	e := t.events[i]
+	return int(e >> 1 & 0x7f), Addr(e >> 8), e&1 == 1
+}
+
+// Len returns the number of recorded references.
+func (t *Trace) Len() int { return len(t.events) }
+
+// HomeFn adapts the recorded home map to any replay line size: the home
+// of a byte address is looked up at the recording granularity.
+func (t *Trace) HomeFn(lineSize int) HomeFn {
+	return func(line uint64) int {
+		recLine := line * uint64(lineSize) / uint64(t.homeLineSize)
+		if recLine < uint64(len(t.homes)) {
+			return int(t.homes[recLine])
+		}
+		return 0
+	}
+}
+
+// Recorder accumulates a Trace. Appends are serialized by a mutex so the
+// recorded interleaving is a legal global order (the same guarantee the
+// memory-system lock provides during full simulation).
+type Recorder struct {
+	mu sync.Mutex
+	tr Trace
+}
+
+// NewRecorder creates a recorder for a machine whose home map has the
+// given line granularity.
+func NewRecorder(homeLineSize int) *Recorder {
+	return &Recorder{tr: Trace{homeLineSize: homeLineSize}}
+}
+
+// Record appends one access.
+func (r *Recorder) Record(proc int, a Addr, write bool) {
+	if proc >= 127 {
+		panic("memsys: trace supports at most 126 processors")
+	}
+	r.mu.Lock()
+	r.tr.events = append(r.tr.events, traceEvent(proc, a, write))
+	r.mu.Unlock()
+}
+
+// RecordReset appends a measurement-reset marker (epoch boundary).
+func (r *Recorder) RecordReset() {
+	r.mu.Lock()
+	r.tr.events = append(r.tr.events, resetMarker)
+	r.mu.Unlock()
+}
+
+// Finish attaches the home map and returns the completed trace. The
+// recorder must not be used afterwards.
+func (r *Recorder) Finish(homes []int32) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tr.homes = append([]int32(nil), homes...)
+	return &r.tr
+}
+
+// Replay feeds the trace through a fresh memory system with the given
+// configuration and returns the resulting statistics.
+func Replay(t *Trace, cfg Config) (Stats, error) {
+	cfg = cfg.WithDefaults()
+	need := t.MaxProc() + 1
+	for _, h := range t.homes {
+		if int(h)+1 > need {
+			need = int(h) + 1
+		}
+	}
+	if cfg.Procs < need {
+		return Stats{}, fmt.Errorf("memsys: trace needs ≥ %d processors, replay machine has %d", need, cfg.Procs)
+	}
+	sys, err := New(cfg, t.HomeFn(cfg.LineSize))
+	if err != nil {
+		return Stats{}, err
+	}
+	// Pre-size tables from the trace's address range.
+	var maxAddr Addr
+	for i := range t.events {
+		if a := Addr(t.events[i] >> 8); a > maxAddr {
+			maxAddr = a
+		}
+	}
+	sys.Reserve(uint64(maxAddr)/WordBytes + 1)
+	for i := range t.events {
+		if t.events[i] == resetMarker {
+			sys.ResetStats()
+			continue
+		}
+		proc, a, write := t.decode(i)
+		sys.Access(proc, a, write)
+	}
+	return sys.Stats(), nil
+}
+
+// traceMagic identifies the serialized format.
+const traceMagic = 0x53504c32 // "SPL2"
+
+// WriteTo serializes the trace (little-endian binary): magic, line size,
+// home count, homes, event count, events. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(uint32(traceMagic)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(t.homeLineSize)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(t.homes))); err != nil {
+		return n, err
+	}
+	if err := write(t.homes); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(t.events))); err != nil {
+		return n, err
+	}
+	if err := write(t.events); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var magic, lineSize uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("memsys: bad trace magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &lineSize); err != nil {
+		return nil, err
+	}
+	var nh uint64
+	if err := binary.Read(r, binary.LittleEndian, &nh); err != nil {
+		return nil, err
+	}
+	t := &Trace{homeLineSize: int(lineSize), homes: make([]int32, nh)}
+	if err := binary.Read(r, binary.LittleEndian, t.homes); err != nil {
+		return nil, err
+	}
+	var ne uint64
+	if err := binary.Read(r, binary.LittleEndian, &ne); err != nil {
+		return nil, err
+	}
+	t.events = make([]uint64, ne)
+	if err := binary.Read(r, binary.LittleEndian, t.events); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MaxProc returns the highest processor id appearing in the trace.
+func (t *Trace) MaxProc() int {
+	max := 0
+	for i := range t.events {
+		if t.events[i] == resetMarker {
+			continue
+		}
+		if p := int(t.events[i] >> 1 & 0x7f); p > max {
+			max = p
+		}
+	}
+	return max
+}

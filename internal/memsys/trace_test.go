@@ -1,0 +1,154 @@
+package memsys
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildTrace(seed int64, procs, events int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	rec := NewRecorder(64)
+	for i := 0; i < events; i++ {
+		rec.Record(rng.Intn(procs), Addr(rng.Intn(4096))&^7, rng.Intn(3) == 0)
+	}
+	homes := make([]int32, 64)
+	for i := range homes {
+		homes[i] = int32(i % procs)
+	}
+	return rec.Finish(homes)
+}
+
+func TestTraceRoundTripSerialization(t *testing.T) {
+	tr := buildTrace(1, 4, 500)
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() || back.homeLineSize != tr.homeLineSize {
+		t.Fatalf("round trip mismatch: %d/%d events", back.Len(), tr.Len())
+	}
+	for i := range tr.events {
+		if tr.events[i] != back.events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	for i := range tr.homes {
+		if tr.homes[i] != back.homes[i] {
+			t.Fatalf("home %d differs", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// Property: replaying a trace through a memory system produces exactly the
+// same statistics as feeding the same accesses directly.
+func TestReplayEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const procs = 4
+		rng := rand.New(rand.NewSource(seed))
+		rec := NewRecorder(64)
+		homes := make([]int32, 64)
+		for i := range homes {
+			homes[i] = int32(i % procs)
+		}
+		cfg := Config{Procs: procs, CacheSize: 2048, Assoc: 2, LineSize: 64, OverheadBytes: 8}
+		direct, err := New(cfg, func(line uint64) int {
+			if line < uint64(len(homes)) {
+				return int(homes[line])
+			}
+			return 0
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 1200; i++ {
+			p := rng.Intn(procs)
+			a := Addr(rng.Intn(64*48)) &^ 7
+			w := rng.Intn(3) == 0
+			direct.Access(p, a, w)
+			rec.Record(p, a, w)
+			if i == 600 {
+				direct.ResetStats()
+				rec.RecordReset()
+			}
+		}
+		tr := rec.Finish(homes)
+		replayed, err := Replay(tr, cfg)
+		if err != nil {
+			return false
+		}
+		want := direct.Stats()
+		if want.Traffic != replayed.Traffic {
+			return false
+		}
+		for p := range want.Procs {
+			if want.Procs[p] != replayed.Procs[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayAcrossLineSizes(t *testing.T) {
+	tr := buildTrace(7, 4, 2000)
+	var prevRefs uint64
+	for _, ls := range []int{16, 64, 256} {
+		st, err := Replay(tr, Config{Procs: 4, CacheSize: 4096, Assoc: 2, LineSize: ls, OverheadBytes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := st.Aggregate().Refs()
+		if prevRefs != 0 && refs != prevRefs {
+			t.Fatalf("reference count changed across line sizes: %d vs %d", refs, prevRefs)
+		}
+		prevRefs = refs
+	}
+}
+
+func TestReplayRejectsTooFewProcs(t *testing.T) {
+	tr := buildTrace(3, 8, 100)
+	if _, err := Replay(tr, Config{Procs: 2, CacheSize: 2048, Assoc: 2, LineSize: 64, OverheadBytes: 8}); err == nil {
+		t.Fatal("trace with 8 processors replayed on 2")
+	}
+}
+
+func TestTraceMaxProcSkipsMarkers(t *testing.T) {
+	rec := NewRecorder(64)
+	rec.Record(3, 0, false)
+	rec.RecordReset()
+	tr := rec.Finish(nil)
+	if got := tr.MaxProc(); got != 3 {
+		t.Fatalf("MaxProc=%d, want 3", got)
+	}
+}
+
+func TestRecorderRejectsHugeProcIDs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for proc 127")
+		}
+	}()
+	NewRecorder(64).Record(127, 0, false)
+}

@@ -1,0 +1,213 @@
+// Package textplot renders the characterization results as terminal
+// charts — line charts for the miss-rate and speedup figures and stacked
+// horizontal bars for the traffic breakdowns — standing in for the
+// paper's figures (and for its online interactive graphing tool).
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// markers distinguish overlapping series in a line chart.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~', '^', '='}
+
+// LineChart draws series against shared x labels on a character grid.
+// Heights and widths are in character cells; the y axis is linear from 0
+// (or the data minimum, if negative) to the data maximum.
+func LineChart(w io.Writer, title string, xLabels []string, series []Series, width, height int) {
+	if len(series) == 0 || len(xLabels) == 0 || width < 8 || height < 3 {
+		return
+	}
+	minV, maxV := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+			if v < minV {
+				minV = v
+			}
+		}
+	}
+	if maxV <= minV {
+		maxV = minV + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	cell := func(v float64) int {
+		frac := (v - minV) / (maxV - minV)
+		row := int(math.Round(frac * float64(height-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return height - 1 - row
+	}
+	xpos := func(i int) int {
+		if len(xLabels) == 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(xLabels) - 1)
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		prevR, prevC := -1, -1
+		for i, v := range s.Values {
+			if i >= len(xLabels) {
+				break
+			}
+			r, c := cell(v), xpos(i)
+			if prevC >= 0 {
+				drawSegment(grid, prevR, prevC, r, c, '.')
+			}
+			grid[r][c] = m
+			prevR, prevC = r, c
+		}
+	}
+
+	fmt.Fprintln(w, title)
+	yTop := fmt.Sprintf("%.3g", maxV)
+	yBot := fmt.Sprintf("%.3g", minV)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	// X labels: first, middle, last.
+	xl := make([]byte, width)
+	for i := range xl {
+		xl[i] = ' '
+	}
+	place := func(i int) {
+		lbl := xLabels[i]
+		c := xpos(i)
+		if c+len(lbl) > width {
+			c = width - len(lbl)
+		}
+		copy(xl[c:], lbl)
+	}
+	place(0)
+	if len(xLabels) > 2 {
+		place(len(xLabels) / 2)
+	}
+	if len(xLabels) > 1 {
+		place(len(xLabels) - 1)
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", pad), string(xl))
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", pad), strings.Join(legend, "   "))
+}
+
+// drawSegment connects two cells with a light trail (never overwriting
+// markers already placed).
+func drawSegment(grid [][]byte, r0, c0, r1, c1 int, ch byte) {
+	steps := abs(c1-c0) + abs(r1-r0)
+	if steps == 0 {
+		return
+	}
+	for s := 1; s < steps; s++ {
+		r := r0 + (r1-r0)*s/steps
+		c := c0 + (c1-c0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+}
+
+// Segment is one component of a stacked bar.
+type Segment struct {
+	Label string
+	Value float64
+}
+
+// barGlyphs fills stacked bars, one glyph per segment position.
+var barGlyphs = []byte{'#', '=', ':', '+', 'o', '.', '~'}
+
+// StackedBars draws horizontal stacked bars, one per row, sharing a scale.
+func StackedBars(w io.Writer, title string, rows []string, segments [][]Segment, width int) {
+	if len(rows) == 0 || len(rows) != len(segments) || width < 10 {
+		return
+	}
+	var maxTotal float64
+	for _, segs := range segments {
+		total := 0.0
+		for _, s := range segs {
+			total += s.Value
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	rowPad := 0
+	for _, r := range rows {
+		if len(r) > rowPad {
+			rowPad = len(r)
+		}
+	}
+	fmt.Fprintln(w, title)
+	for i, segs := range segments {
+		var bar strings.Builder
+		total := 0.0
+		for si, s := range segs {
+			cells := int(math.Round(s.Value / maxTotal * float64(width)))
+			bar.Write(bytesRepeat(barGlyphs[si%len(barGlyphs)], cells))
+			total += s.Value
+		}
+		fmt.Fprintf(w, "%-*s |%-*s| %.3g\n", rowPad, rows[i], width, bar.String(), total)
+	}
+	// Legend from the first row's labels.
+	var legend []string
+	for si, s := range segments[0] {
+		legend = append(legend, fmt.Sprintf("%c %s", barGlyphs[si%len(barGlyphs)], s.Label))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", rowPad), strings.Join(legend, "  "))
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

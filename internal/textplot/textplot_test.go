@@ -1,0 +1,90 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasics(t *testing.T) {
+	var buf bytes.Buffer
+	LineChart(&buf, "speedup", []string{"1", "2", "4", "8"}, []Series{
+		{Name: "fft", Values: []float64{1, 2, 4, 8}},
+		{Name: "lu", Values: []float64{1, 1.8, 3, 4.4}},
+	}, 40, 10)
+	out := buf.String()
+	for _, want := range []string{"speedup", "* fft", "o lu", "8", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + height rows + axis + labels + legend.
+	if len(lines) != 1+10+1+1+1 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestLineChartMonotoneSeriesTopRight(t *testing.T) {
+	var buf bytes.Buffer
+	LineChart(&buf, "t", []string{"a", "b", "c"}, []Series{
+		{Name: "up", Values: []float64{0, 5, 10}},
+	}, 30, 8)
+	lines := strings.Split(buf.String(), "\n")
+	top := lines[1]
+	bottom := lines[8]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max value not on top row: %q", top)
+	}
+	if !strings.HasPrefix(strings.TrimLeft(bottom[strings.Index(bottom, "|")+1:], " "), "") && !strings.Contains(bottom, "*") {
+		t.Fatalf("min value not on bottom row: %q", bottom)
+	}
+}
+
+func TestLineChartDegenerateInputs(t *testing.T) {
+	var buf bytes.Buffer
+	LineChart(&buf, "t", nil, []Series{{Name: "x", Values: []float64{1}}}, 40, 10)
+	LineChart(&buf, "t", []string{"a"}, nil, 40, 10)
+	LineChart(&buf, "t", []string{"a"}, []Series{{Name: "x", Values: []float64{1}}}, 2, 1)
+	if buf.Len() != 0 {
+		t.Fatal("degenerate inputs produced output")
+	}
+	// Constant series must not divide by zero.
+	LineChart(&buf, "t", []string{"a", "b"}, []Series{{Name: "x", Values: []float64{0, 0}}}, 20, 5)
+	if buf.Len() == 0 {
+		t.Fatal("constant series produced no output")
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	var buf bytes.Buffer
+	StackedBars(&buf, "traffic", []string{"fft", "lu"}, [][]Segment{
+		{{Label: "remote", Value: 2}, {Label: "local", Value: 1}},
+		{{Label: "remote", Value: 0.5}, {Label: "local", Value: 0.2}},
+	}, 30)
+	out := buf.String()
+	for _, want := range []string{"traffic", "fft", "lu", "# remote", "= local", "3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bars missing %q:\n%s", want, out)
+		}
+	}
+	// The larger row must use more filled cells.
+	lines := strings.Split(out, "\n")
+	fill := func(s string) int { return strings.Count(s, "#") + strings.Count(s, "=") }
+	if fill(lines[1]) <= fill(lines[2]) {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestStackedBarsDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	StackedBars(&buf, "t", nil, nil, 30)
+	StackedBars(&buf, "t", []string{"a"}, [][]Segment{{}, {}}, 30) // length mismatch
+	if buf.Len() != 0 {
+		t.Fatal("degenerate inputs produced output")
+	}
+	StackedBars(&buf, "t", []string{"a"}, [][]Segment{{{Label: "x", Value: 0}}}, 30)
+	if buf.Len() == 0 {
+		t.Fatal("all-zero bars produced no output")
+	}
+}

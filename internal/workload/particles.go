@@ -1,0 +1,130 @@
+package workload
+
+import "math"
+
+// Body is a point mass used by the N-body applications.
+type Body struct {
+	X, Y, Z    float64
+	VX, VY, VZ float64
+	Mass       float64
+}
+
+// Plummer3D samples n bodies from a Plummer model — the distribution the
+// Barnes-Hut application uses for its galaxy inputs. Positions are scaled
+// into roughly the unit cube around the origin.
+func Plummer3D(n int, seed uint64) []Body {
+	rng := NewRNG(seed)
+	bodies := make([]Body, n)
+	for i := range bodies {
+		// Radius from the Plummer cumulative mass profile.
+		m := rng.Range(0.01, 0.99)
+		r := 1.0 / math.Sqrt(math.Pow(m, -2.0/3.0)-1.0)
+		if r > 8 {
+			r = 8
+		}
+		x, y, z := randomDirection(rng)
+		b := &bodies[i]
+		b.X, b.Y, b.Z = r*x, r*y, r*z
+		// Velocities: isotropic with dispersion falling off with radius.
+		v := 0.1 / math.Pow(1+r*r, 0.25)
+		vx, vy, vz := randomDirection(rng)
+		b.VX, b.VY, b.VZ = v*vx, v*vy, v*vz
+		b.Mass = 1.0 / float64(n)
+	}
+	return bodies
+}
+
+// Uniform2D scatters n bodies uniformly in the unit square, the input
+// style of the 2-D adaptive FMM.
+func Uniform2D(n int, seed uint64) []Body {
+	rng := NewRNG(seed)
+	bodies := make([]Body, n)
+	for i := range bodies {
+		b := &bodies[i]
+		b.X = rng.Float64()
+		b.Y = rng.Float64()
+		b.VX = rng.Range(-0.05, 0.05)
+		b.VY = rng.Range(-0.05, 0.05)
+		b.Mass = 1.0 / float64(n)
+	}
+	return bodies
+}
+
+// Clustered2D places n bodies in a few gaussian clusters, exercising the
+// adaptive (non-uniform) tree structure of FMM and Barnes.
+func Clustered2D(n, clusters int, seed uint64) []Body {
+	rng := NewRNG(seed)
+	if clusters < 1 {
+		clusters = 1
+	}
+	centers := make([][2]float64, clusters)
+	for i := range centers {
+		centers[i] = [2]float64{rng.Range(0.2, 0.8), rng.Range(0.2, 0.8)}
+	}
+	bodies := make([]Body, n)
+	for i := range bodies {
+		c := centers[rng.Intn(clusters)]
+		b := &bodies[i]
+		b.X = clamp01(c[0] + 0.05*rng.Normal())
+		b.Y = clamp01(c[1] + 0.05*rng.Normal())
+		b.Mass = 1.0 / float64(n)
+	}
+	return bodies
+}
+
+// WaterLattice places n water molecules on a cubic lattice with slight
+// jitter inside a box of the given side length (Å), the standard initial
+// condition of the Water codes.
+func WaterLattice(n int, side float64, seed uint64) []Body {
+	rng := NewRNG(seed)
+	dim := int(math.Ceil(math.Cbrt(float64(n))))
+	spacing := side / float64(dim)
+	bodies := make([]Body, 0, n)
+	for ix := 0; ix < dim && len(bodies) < n; ix++ {
+		for iy := 0; iy < dim && len(bodies) < n; iy++ {
+			for iz := 0; iz < dim && len(bodies) < n; iz++ {
+				bodies = append(bodies, Body{
+					X:    (float64(ix) + 0.5 + 0.1*rng.Range(-1, 1)) * spacing,
+					Y:    (float64(iy) + 0.5 + 0.1*rng.Range(-1, 1)) * spacing,
+					Z:    (float64(iz) + 0.5 + 0.1*rng.Range(-1, 1)) * spacing,
+					Mass: 18.0,
+				})
+			}
+		}
+	}
+	return bodies
+}
+
+func randomDirection(rng *RNG) (x, y, z float64) {
+	for {
+		x = rng.Range(-1, 1)
+		y = rng.Range(-1, 1)
+		z = rng.Range(-1, 1)
+		r2 := x*x + y*y + z*z
+		if r2 > 1e-8 && r2 <= 1 {
+			r := math.Sqrt(r2)
+			return x / r, y / r, z / r
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0.01 {
+		return 0.01
+	}
+	if v > 0.99 {
+		return 0.99
+	}
+	return v
+}
+
+// Keys generates n pseudo-random non-negative integer keys bounded by max,
+// the Radix sort input.
+func Keys(n int, max int, seed uint64) []int {
+	rng := NewRNG(seed)
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Intn(max)
+	}
+	return keys
+}

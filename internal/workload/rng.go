@@ -1,0 +1,56 @@
+// Package workload generates the synthetic inputs that stand in for the
+// SPLASH-2 input files (particle distributions for Barnes/FMM, a sparse
+// SPD matrix replacing tk15.O for Cholesky, a sphere-cluster scene
+// replacing "car" for Raytrace, a density volume replacing "head" for
+// Volrend, key streams for Radix), plus a deterministic RNG so every
+// experiment is reproducible.
+package workload
+
+import "math"
+
+// RNG is a small deterministic xorshift64* generator. The experiments must
+// be exactly reproducible across runs and processor counts, so all input
+// generation uses this rather than math/rand.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a generator; seed 0 is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a standard normal variate (Box–Muller).
+func (r *RNG) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Range returns a uniform value in [lo,hi).
+func (r *RNG) Range(lo, hi float64) float64 { return lo + (hi-lo)*r.Float64() }

@@ -1,0 +1,177 @@
+package workload
+
+import "math"
+
+// Sphere is one primitive of a raytracing scene.
+type Sphere struct {
+	X, Y, Z float64
+	Radius  float64
+	// Surface properties: diffuse color component and reflectivity.
+	Diffuse float64
+	Reflect float64
+}
+
+// Scene is the input to the Raytrace application: a cluster of reflective
+// spheres above a large ground sphere, with a point light. It substitutes
+// for the paper's "car" model: comparable object count, mixed reflective
+// and diffuse surfaces, unpredictable secondary-ray directions.
+type Scene struct {
+	Spheres []Sphere
+	LightX  float64
+	LightY  float64
+	LightZ  float64
+	// Bounds of the interesting region, used to build the uniform grid.
+	Min, Max [3]float64
+}
+
+// GenScene builds a scene with n spheres clustered in the unit cube.
+func GenScene(n int, seed uint64) *Scene {
+	rng := NewRNG(seed)
+	s := &Scene{LightX: 0.5, LightY: 2.0, LightZ: -0.5}
+	// Ground: one huge sphere acting as a floor below y=0.
+	s.Spheres = append(s.Spheres, Sphere{X: 0.5, Y: -100, Z: 0.5, Radius: 100, Diffuse: 0.8, Reflect: 0.1})
+	for i := 1; i < n; i++ {
+		r := rng.Range(0.02, 0.08)
+		s.Spheres = append(s.Spheres, Sphere{
+			X:       rng.Range(0.1, 0.9),
+			Y:       rng.Range(r, 0.6),
+			Z:       rng.Range(0.1, 0.9),
+			Radius:  r,
+			Diffuse: rng.Range(0.3, 0.9),
+			Reflect: rng.Range(0.0, 0.6),
+		})
+	}
+	s.Min = [3]float64{0, 0, 0}
+	s.Max = [3]float64{1, 1, 1}
+	return s
+}
+
+// Volume is the input to the Volrend application: a cube of voxel
+// densities. GenVolume substitutes for the "head" data set with nested
+// ellipsoidal shells (skin/skull/brain-like density bands) plus noise, so
+// rays see the same kind of coherent opaque surfaces with empty space
+// around them.
+type Volume struct {
+	Dim    int // voxels per side
+	Voxels []float64
+}
+
+// At returns the density at voxel (x,y,z); out-of-range coordinates are 0.
+func (v *Volume) At(x, y, z int) float64 {
+	if x < 0 || y < 0 || z < 0 || x >= v.Dim || y >= v.Dim || z >= v.Dim {
+		return 0
+	}
+	return v.Voxels[(z*v.Dim+y)*v.Dim+x]
+}
+
+// Index returns the linear voxel index of (x,y,z).
+func (v *Volume) Index(x, y, z int) int { return (z*v.Dim+y)*v.Dim + x }
+
+// GenVolume builds a dim³ volume of nested ellipsoid shells.
+func GenVolume(dim int, seed uint64) *Volume {
+	rng := NewRNG(seed)
+	v := &Volume{Dim: dim, Voxels: make([]float64, dim*dim*dim)}
+	c := float64(dim-1) / 2
+	for z := 0; z < dim; z++ {
+		for y := 0; y < dim; y++ {
+			for x := 0; x < dim; x++ {
+				// Normalized ellipsoidal radius (slightly squashed in z).
+				dx := (float64(x) - c) / c
+				dy := (float64(y) - c) / c
+				dz := (float64(z) - c) / (c * 0.85)
+				r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				var d float64
+				switch {
+				case r > 0.95:
+					d = 0 // empty space
+				case r > 0.85:
+					d = 0.35 // skin-like shell
+				case r > 0.70:
+					d = 0.9 // skull-like dense shell
+				case r > 0.25:
+					d = 0.15 // soft interior
+				default:
+					d = 0.5 // dense core
+				}
+				if d > 0 {
+					d += 0.05 * rng.Range(-1, 1)
+					if d < 0 {
+						d = 0
+					}
+				}
+				v.Voxels[v.Index(x, y, z)] = d
+			}
+		}
+	}
+	return v
+}
+
+// Polygon is an input surface for Radiosity: an axis-aligned rectangle
+// with an emission and reflectance, described by its corner, two edge
+// vectors, and area.
+type Polygon struct {
+	// Corner and edges (axis aligned in the generated room).
+	CX, CY, CZ float64
+	E1         [3]float64
+	E2         [3]float64
+	Emission   float64
+	Reflect    float64
+}
+
+// Area returns the polygon area (|E1|·|E2| for rectangles).
+func (p *Polygon) Area() float64 {
+	l1 := math.Sqrt(p.E1[0]*p.E1[0] + p.E1[1]*p.E1[1] + p.E1[2]*p.E1[2])
+	l2 := math.Sqrt(p.E2[0]*p.E2[0] + p.E2[1]*p.E2[1] + p.E2[2]*p.E2[2])
+	return l1 * l2
+}
+
+// Center returns the polygon's centroid.
+func (p *Polygon) Center() (x, y, z float64) {
+	return p.CX + (p.E1[0]+p.E2[0])/2, p.CY + (p.E1[1]+p.E2[1])/2, p.CZ + (p.E1[2]+p.E2[2])/2
+}
+
+// GenRoom builds the Radiosity input: the six walls of a unit room (split
+// into panels), a ceiling light panel, and a few box-like occluders —
+// structurally equivalent to the paper's "room" model.
+func GenRoom(panels int, seed uint64) []Polygon {
+	rng := NewRNG(seed)
+	if panels < 1 {
+		panels = 1
+	}
+	var polys []Polygon
+	step := 1.0 / float64(panels)
+	wall := func(f func(u, v float64) (x, y, z float64, e1, e2 [3]float64), refl float64) {
+		for i := 0; i < panels; i++ {
+			for j := 0; j < panels; j++ {
+				x, y, z, e1, e2 := f(float64(i)*step, float64(j)*step)
+				polys = append(polys, Polygon{CX: x, CY: y, CZ: z, E1: e1, E2: e2, Reflect: refl})
+			}
+		}
+	}
+	sx := [3]float64{step, 0, 0}
+	sy := [3]float64{0, step, 0}
+	sz := [3]float64{0, 0, step}
+	wall(func(u, v float64) (float64, float64, float64, [3]float64, [3]float64) { return u, 0, v, sx, sz }, 0.7) // floor
+	wall(func(u, v float64) (float64, float64, float64, [3]float64, [3]float64) { return u, 1, v, sx, sz }, 0.8) // ceiling
+	wall(func(u, v float64) (float64, float64, float64, [3]float64, [3]float64) { return u, v, 0, sx, sy }, 0.6)
+	wall(func(u, v float64) (float64, float64, float64, [3]float64, [3]float64) { return u, v, 1, sx, sy }, 0.6)
+	wall(func(u, v float64) (float64, float64, float64, [3]float64, [3]float64) { return 0, u, v, sy, sz }, 0.6)
+	wall(func(u, v float64) (float64, float64, float64, [3]float64, [3]float64) { return 1, u, v, sy, sz }, 0.6)
+	// Light panel in the middle of the ceiling.
+	polys = append(polys, Polygon{
+		CX: 0.4, CY: 0.999, CZ: 0.4,
+		E1: [3]float64{0.2, 0, 0}, E2: [3]float64{0, 0, 0.2},
+		Emission: 100, Reflect: 0,
+	})
+	// A couple of occluder tops at random positions.
+	for k := 0; k < 2; k++ {
+		x := rng.Range(0.1, 0.7)
+		z := rng.Range(0.1, 0.7)
+		polys = append(polys, Polygon{
+			CX: x, CY: 0.3, CZ: z,
+			E1: [3]float64{0.2, 0, 0}, E2: [3]float64{0, 0, 0.2},
+			Reflect: 0.5,
+		})
+	}
+	return polys
+}

@@ -1,0 +1,149 @@
+package workload
+
+// BlockSparse is a symmetric positive-definite matrix stored as a sparse
+// lower-triangular pattern of dense B×B blocks — the representation the
+// blocked sparse Cholesky kernel factors. It substitutes for the paper's
+// tk15.O circuit matrix: same structural character (narrow band plus
+// scattered sub-diagonal coupling blocks, SPD by construction).
+type BlockSparse struct {
+	N int // block dimension: N×N blocks
+	B int // scalar block size: each block is B×B
+
+	// Cols[j] lists the block rows i ≥ j with a stored block in column j,
+	// sorted ascending; Cols[j][0] == j always (diagonal block).
+	Cols [][]int
+
+	// Blocks maps i*N+j to the B×B block values in row-major order.
+	Blocks map[int][]float64
+}
+
+// Key returns the Blocks map key for block (i,j).
+func (a *BlockSparse) Key(i, j int) int { return i*a.N + j }
+
+// Block returns the values of block (i,j), or nil if absent.
+func (a *BlockSparse) Block(i, j int) []float64 { return a.Blocks[a.Key(i, j)] }
+
+// Order returns the scalar dimension N*B.
+func (a *BlockSparse) Order() int { return a.N * a.B }
+
+// GenBlockSPD generates an SPD block-sparse matrix by constructing a
+// sparse lower-triangular factor L (band of width 1 plus `extra` random
+// sub-diagonal blocks per column) and forming A = L·Lᵀ at block level.
+// Because A is formed from a factor, the kernel's own factorization can be
+// verified against ‖A − L̂L̂ᵀ‖.
+func GenBlockSPD(nblocks, bsize, extra int, seed uint64) *BlockSparse {
+	rng := NewRNG(seed)
+	L := &BlockSparse{N: nblocks, B: bsize, Blocks: map[int][]float64{}, Cols: make([][]int, nblocks)}
+
+	// Pattern: diagonal + immediate sub-diagonal + random extras.
+	for j := 0; j < nblocks; j++ {
+		rows := map[int]bool{j: true}
+		if j+1 < nblocks {
+			rows[j+1] = true
+		}
+		for e := 0; e < extra; e++ {
+			if j+2 < nblocks {
+				rows[j+2+rng.Intn(nblocks-j-2)] = true
+			}
+		}
+		for i := range rows {
+			L.Cols[j] = append(L.Cols[j], i)
+		}
+		sortInts(L.Cols[j])
+	}
+
+	// Values: diagonal blocks unit-lower-triangular with dominant positive
+	// diagonal; off-diagonal blocks small, keeping A well conditioned.
+	for j := 0; j < nblocks; j++ {
+		for _, i := range L.Cols[j] {
+			blk := make([]float64, bsize*bsize)
+			if i == j {
+				for r := 0; r < bsize; r++ {
+					for c := 0; c < r; c++ {
+						blk[r*bsize+c] = 0.1 * rng.Range(-1, 1)
+					}
+					blk[r*bsize+r] = rng.Range(1.0, 2.0)
+				}
+			} else {
+				for k := range blk {
+					blk[k] = 0.1 * rng.Range(-1, 1)
+				}
+			}
+			L.Blocks[L.Key(i, j)] = blk
+		}
+	}
+
+	return multiplyLLT(L)
+}
+
+// multiplyLLT forms A = L·Lᵀ (lower triangle only) at block granularity.
+func multiplyLLT(L *BlockSparse) *BlockSparse {
+	n, b := L.N, L.B
+	A := &BlockSparse{N: n, B: b, Blocks: map[int][]float64{}, Cols: make([][]int, n)}
+	// A(i,j) = Σ_k L(i,k)·L(j,k)ᵀ for k ≤ j ≤ i.
+	for k := 0; k < n; k++ {
+		rows := L.Cols[k]
+		for _, j := range rows {
+			Ljk := L.Block(j, k)
+			for _, i := range rows {
+				if i < j {
+					continue
+				}
+				Lik := L.Block(i, k)
+				dst := A.Blocks[A.Key(i, j)]
+				if dst == nil {
+					dst = make([]float64, b*b)
+					A.Blocks[A.Key(i, j)] = dst
+				}
+				// dst += Lik · Ljkᵀ
+				for r := 0; r < b; r++ {
+					for c := 0; c < b; c++ {
+						s := 0.0
+						for t := 0; t < b; t++ {
+							s += Lik[r*b+t] * Ljk[c*b+t]
+						}
+						dst[r*b+c] += s
+					}
+				}
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if A.Blocks[A.Key(i, j)] != nil {
+				A.Cols[j] = append(A.Cols[j], i)
+			}
+		}
+	}
+	return A
+}
+
+// Dense expands the full symmetric matrix for verification (small orders).
+func (a *BlockSparse) Dense() []float64 {
+	n := a.Order()
+	out := make([]float64, n*n)
+	for j := 0; j < a.N; j++ {
+		for _, i := range a.Cols[j] {
+			blk := a.Block(i, j)
+			for r := 0; r < a.B; r++ {
+				for c := 0; c < a.B; c++ {
+					v := blk[r*a.B+c]
+					out[(i*a.B+r)*n+(j*a.B+c)] = v
+					out[(j*a.B+c)*n+(i*a.B+r)] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NonzeroBlocks returns the number of stored (lower-triangle) blocks.
+func (a *BlockSparse) NonzeroBlocks() int { return len(a.Blocks) }
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed produced zero state")
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		v := r.Range(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Range out of range: %v", v)
+		}
+		n := r.Intn(17)
+		if n < 0 || n >= 17 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.05 || math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal moments off: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestPlummer3D(t *testing.T) {
+	bodies := Plummer3D(500, 1)
+	if len(bodies) != 500 {
+		t.Fatalf("n=%d", len(bodies))
+	}
+	var totalMass float64
+	for _, b := range bodies {
+		totalMass += b.Mass
+		r := math.Sqrt(b.X*b.X + b.Y*b.Y + b.Z*b.Z)
+		if r > 8.01 {
+			t.Fatalf("body outside truncation radius: %v", r)
+		}
+	}
+	if math.Abs(totalMass-1) > 1e-9 {
+		t.Fatalf("total mass %v", totalMass)
+	}
+}
+
+func TestUniformAndClustered2D(t *testing.T) {
+	for _, bodies := range [][]Body{Uniform2D(300, 2), Clustered2D(300, 4, 3)} {
+		for _, b := range bodies {
+			if b.X < 0 || b.X > 1 || b.Y < 0 || b.Y > 1 {
+				t.Fatalf("body out of unit square: %+v", b)
+			}
+		}
+	}
+}
+
+func TestWaterLattice(t *testing.T) {
+	mols := WaterLattice(64, 12.0, 5)
+	if len(mols) != 64 {
+		t.Fatalf("n=%d", len(mols))
+	}
+	for _, m := range mols {
+		if m.X < 0 || m.X > 12 || m.Y < 0 || m.Y > 12 || m.Z < 0 || m.Z > 12 {
+			t.Fatalf("molecule outside box: %+v", m)
+		}
+	}
+	// Minimum separation on a jittered lattice must stay positive.
+	for i := range mols {
+		for j := i + 1; j < len(mols); j++ {
+			dx, dy, dz := mols[i].X-mols[j].X, mols[i].Y-mols[j].Y, mols[i].Z-mols[j].Z
+			if dx*dx+dy*dy+dz*dz < 0.25 {
+				t.Fatalf("molecules %d,%d too close", i, j)
+			}
+		}
+	}
+}
+
+func TestGenBlockSPDStructure(t *testing.T) {
+	a := GenBlockSPD(8, 4, 1, 9)
+	if a.N != 8 || a.B != 4 {
+		t.Fatalf("dims: %d %d", a.N, a.B)
+	}
+	for j := 0; j < a.N; j++ {
+		if len(a.Cols[j]) == 0 || a.Cols[j][0] != j {
+			t.Fatalf("column %d missing diagonal block: %v", j, a.Cols[j])
+		}
+		for k := 1; k < len(a.Cols[j]); k++ {
+			if a.Cols[j][k] <= a.Cols[j][k-1] {
+				t.Fatalf("column %d rows not sorted: %v", j, a.Cols[j])
+			}
+		}
+		for _, i := range a.Cols[j] {
+			if a.Block(i, j) == nil {
+				t.Fatalf("pattern lists (%d,%d) but block missing", i, j)
+			}
+		}
+	}
+}
+
+// Property: generated matrices are SPD — verified by running a dense
+// Cholesky on the expanded matrix and checking all pivots are positive.
+func TestGenBlockSPDIsPositiveDefinite(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := GenBlockSPD(6, 3, 1, seed)
+		d := a.Dense()
+		n := a.Order()
+		// In-place dense Cholesky.
+		for k := 0; k < n; k++ {
+			if d[k*n+k] <= 0 {
+				return false
+			}
+			d[k*n+k] = math.Sqrt(d[k*n+k])
+			for i := k + 1; i < n; i++ {
+				d[i*n+k] /= d[k*n+k]
+			}
+			for j := k + 1; j < n; j++ {
+				for i := j; i < n; i++ {
+					d[i*n+j] -= d[i*n+k] * d[j*n+k]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseSymmetric(t *testing.T) {
+	a := GenBlockSPD(5, 2, 1, 4)
+	d := a.Dense()
+	n := a.Order()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d[i*n+j] != d[j*n+i] {
+				t.Fatalf("dense not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGenScene(t *testing.T) {
+	s := GenScene(16, 3)
+	if len(s.Spheres) != 16 {
+		t.Fatalf("spheres=%d", len(s.Spheres))
+	}
+	for _, sp := range s.Spheres[1:] {
+		if sp.Radius <= 0 {
+			t.Fatalf("non-positive radius: %+v", sp)
+		}
+		if sp.X < 0 || sp.X > 1 || sp.Z < 0 || sp.Z > 1 {
+			t.Fatalf("sphere outside cluster bounds: %+v", sp)
+		}
+	}
+}
+
+func TestGenVolume(t *testing.T) {
+	v := GenVolume(16, 6)
+	if len(v.Voxels) != 16*16*16 {
+		t.Fatalf("voxel count %d", len(v.Voxels))
+	}
+	if v.At(-1, 0, 0) != 0 || v.At(0, 0, 16) != 0 {
+		t.Fatal("out-of-range access not zero")
+	}
+	// Corners are outside the ellipsoid: empty. Center is dense.
+	if v.At(0, 0, 0) != 0 {
+		t.Fatal("corner voxel not empty")
+	}
+	if v.At(8, 8, 8) <= 0 {
+		t.Fatal("center voxel empty")
+	}
+}
+
+func TestGenRoom(t *testing.T) {
+	polys := GenRoom(2, 8)
+	// 6 walls × 2×2 panels + light + 2 occluders.
+	if len(polys) != 6*4+3 {
+		t.Fatalf("polygon count %d", len(polys))
+	}
+	emitters := 0
+	for i := range polys {
+		if polys[i].Area() <= 0 {
+			t.Fatalf("polygon %d has non-positive area", i)
+		}
+		if polys[i].Emission > 0 {
+			emitters++
+		}
+		x, y, z := polys[i].Center()
+		if x < -0.01 || x > 1.01 || y < -0.01 || y > 1.01 || z < -0.01 || z > 1.01 {
+			t.Fatalf("polygon %d center outside room: %v %v %v", i, x, y, z)
+		}
+	}
+	if emitters != 1 {
+		t.Fatalf("emitters=%d, want 1", emitters)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	keys := Keys(1000, 1<<16, 12)
+	for _, k := range keys {
+		if k < 0 || k >= 1<<16 {
+			t.Fatalf("key out of range: %d", k)
+		}
+	}
+	// Determinism.
+	again := Keys(1000, 1<<16, 12)
+	for i := range keys {
+		if keys[i] != again[i] {
+			t.Fatal("key stream not deterministic")
+		}
+	}
+}

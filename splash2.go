@@ -1,0 +1,219 @@
+// Package splash2 is a from-scratch Go reproduction of the SPLASH-2
+// benchmark suite and of the characterization methodology of "The SPLASH-2
+// Programs: Characterization and Methodological Considerations" (Woo,
+// Ohara, Torrie, Singh, Gupta — ISCA 1995).
+//
+// It provides:
+//
+//   - a simulated cache-coherent shared-address-space multiprocessor
+//     (directory-based Illinois protocol, PRAM timing, miss classification
+//     and traffic accounting),
+//   - all twelve SPLASH-2 programs implemented as real parallel algorithms
+//     against that machine, and
+//   - the characterization engine that regenerates every table and figure
+//     of the paper's evaluation.
+//
+// # Quick start
+//
+//	m, _ := splash2.NewMachine(splash2.Config{Procs: 8})
+//	r, _ := splash2.Build("fft", m, nil)
+//	r.Run(m)
+//	st := m.Snapshot()
+//	fmt.Printf("miss rate %.2f%%\n", 100*st.Mem.MissRate())
+//
+// The higher-level experiment drivers (Table1, Speedups, WorkingSets,
+// Traffic, LineSizeSweep, Report) run whole parameter sweeps; see
+// cmd/characterize for the full reproduction.
+package splash2
+
+import (
+	"io"
+
+	"splash2/internal/apps"
+	_ "splash2/internal/apps/all"
+	"splash2/internal/core"
+	"splash2/internal/mach"
+	"splash2/internal/memsys"
+)
+
+// Machine configuration and state. Zero-valued cache fields take the
+// paper's defaults: 1 MB 4-way set-associative caches with 64-byte lines
+// and 8-byte overhead packets.
+type (
+	// Config describes a simulated machine.
+	Config = mach.Config
+	// Machine is a simulated multiprocessor.
+	Machine = mach.Machine
+	// Stats is a measurement snapshot.
+	Stats = mach.Stats
+	// Counters are per-processor event counts (Table 1 columns).
+	Counters = mach.Counters
+	// MemStats are the memory-system counters (misses, traffic).
+	MemStats = memsys.Stats
+)
+
+// Memory models for Config.MemModel.
+const (
+	// FullMem simulates caches, directory, and traffic.
+	FullMem = mach.FullMem
+	// CountOnly skips cache simulation (PRAM timing is unaffected).
+	CountOnly = mach.CountOnly
+)
+
+// FullyAssoc selects a fully associative cache in Config.Assoc.
+const FullyAssoc = memsys.FullyAssoc
+
+// Miss kinds (indices into memsys.ProcStats.Misses).
+const (
+	MissCold     = memsys.MissCold
+	MissTrue     = memsys.MissTrue
+	MissFalse    = memsys.MissFalse
+	MissCapacity = memsys.MissCapacity
+)
+
+// NewMachine creates a simulated multiprocessor.
+func NewMachine(cfg Config) (*Machine, error) { return mach.New(cfg) }
+
+// AggregateCounters sums per-processor counters.
+func AggregateCounters(cs []Counters) Counters { return mach.Aggregate(cs) }
+
+// Programs lists the registered SPLASH-2 program names.
+func Programs() []string { return apps.Names() }
+
+// Program returns a registered program's metadata.
+func Program(name string) (*apps.App, error) { return apps.Get(name) }
+
+// Runner is a configured program instance.
+type Runner = apps.Runner
+
+// Build constructs a program on a machine with option overrides (missing
+// options take the program's scaled defaults).
+func Build(name string, m *Machine, opts map[string]int) (Runner, error) {
+	return apps.BuildWithDefaults(name, m, opts)
+}
+
+// Experiment drivers (one per paper table/figure) and their results.
+type (
+	// RunResult is one program execution under one configuration.
+	RunResult = core.RunResult
+	// Table1Row is the instruction-breakdown row of one program.
+	Table1Row = core.Table1Row
+	// SpeedupCurve is a Figure-1 speedup curve.
+	SpeedupCurve = core.SpeedupCurve
+	// SyncProfile is a Figure-2 synchronization profile.
+	SyncProfile = core.SyncProfile
+	// MissCurve is a Figure-3 miss-rate-vs-cache-size curve.
+	MissCurve = core.MissCurve
+	// Table2Row is a working-set summary row.
+	Table2Row = core.Table2Row
+	// TrafficPoint is a Figure-4/5/6 traffic breakdown point.
+	TrafficPoint = core.TrafficPoint
+	// Table3Row is a comm-to-comp growth row.
+	Table3Row = core.Table3Row
+	// LineSizePoint is a Figure-7/8 spatial-locality point.
+	LineSizePoint = core.LineSizePoint
+	// ReportOptions configures the full characterization.
+	ReportOptions = core.ReportOptions
+	// Scale selects default or sweep problem sizes.
+	Scale = core.Scale
+	// Results bundles a full characterization for machine-readable export.
+	Results = core.Results
+	// PruneAdvice is the §5 operating-point recommendation for one program.
+	PruneAdvice = core.PruneAdvice
+	// Trace is a recorded reference stream replayable through any cache
+	// configuration (see RecordTrace / ReplayTrace).
+	Trace = memsys.Trace
+	// MemConfig configures a memory system for trace replay.
+	MemConfig = memsys.Config
+)
+
+// Scales.
+const (
+	DefaultScale = core.DefaultScale
+	SweepScale   = core.SweepScale
+	// PaperScale selects the paper's published problem sizes (slow).
+	PaperScale = core.PaperScale
+)
+
+// Suite is the canonical program order of the paper's tables.
+var Suite = core.Suite
+
+// RunProgram executes one program on a fresh machine and returns its
+// measurement snapshot.
+func RunProgram(name string, cfg Config, opts map[string]int) (*RunResult, error) {
+	return core.Run(name, cfg, opts)
+}
+
+// RunProgramVerified additionally runs the program's correctness check.
+func RunProgramVerified(name string, cfg Config, opts map[string]int) (*RunResult, error) {
+	return core.RunVerified(name, cfg, opts)
+}
+
+// Table1 measures the instruction breakdown (paper Table 1).
+func Table1(appNames []string, procs int, scale Scale) ([]Table1Row, error) {
+	return core.Table1(appNames, procs, scale)
+}
+
+// Speedups measures PRAM speedups (paper Figure 1).
+func Speedups(appNames []string, procList []int, scale Scale) ([]SpeedupCurve, error) {
+	return core.Speedups(appNames, procList, scale)
+}
+
+// SyncProfiles measures synchronization time (paper Figure 2).
+func SyncProfiles(appNames []string, procs int, scale Scale) ([]SyncProfile, error) {
+	return core.SyncProfiles(appNames, procs, scale)
+}
+
+// WorkingSets sweeps miss rate vs cache size/associativity (Figure 3).
+func WorkingSets(appNames []string, procs int, cacheSizes, assocs []int, scale Scale) ([]MissCurve, error) {
+	return core.WorkingSets(appNames, procs, cacheSizes, assocs, scale)
+}
+
+// Table2 derives working-set rows from measured 4-way miss curves.
+func Table2(curves []MissCurve) []Table2Row { return core.Table2(curves) }
+
+// Traffic measures a program's traffic breakdown (Figures 4–6).
+func Traffic(app string, procList []int, cacheSize int, scale Scale, opts map[string]int) ([]TrafficPoint, error) {
+	return core.Traffic(app, procList, cacheSize, scale, opts)
+}
+
+// Table3 measures comm-to-comp growth between two processor counts.
+func Table3(appNames []string, lowP, highP int, scale Scale) ([]Table3Row, error) {
+	return core.Table3(appNames, lowP, highP, scale)
+}
+
+// LineSizeSweep measures spatial locality and false sharing (Figures 7–8).
+func LineSizeSweep(app string, procs, cacheSize int, lineSizes []int, scale Scale) ([]LineSizePoint, error) {
+	return core.LineSizeSweep(app, procs, cacheSize, lineSizes, scale)
+}
+
+// DefaultCacheSizes returns the paper's 1 KB–1 MB sweep points.
+func DefaultCacheSizes() []int { return core.DefaultCacheSizes() }
+
+// DefaultLineSizes returns the paper's 8 B–256 B sweep points.
+func DefaultLineSizes() []int { return core.DefaultLineSizes() }
+
+// Characterize runs the complete characterization (all tables and
+// figures), writing formatted results to w.
+func Characterize(w io.Writer, o ReportOptions) error { return core.Report(w, o) }
+
+// CollectResults runs the full characterization and returns raw data for
+// JSON/CSV export — the machine-readable twin of Characterize.
+func CollectResults(o ReportOptions) (*Results, error) { return core.CollectResults(o) }
+
+// Prune derives the §5 operating-point advice from a measured miss curve:
+// which cache sizes are knees, which are representative, which redundant.
+func Prune(c MissCurve) PruneAdvice { return core.Prune(c) }
+
+// BandwidthMBs converts a traffic point into the §6 per-processor
+// bandwidth estimate at the given issue rate (ops/s).
+func BandwidthMBs(t TrafficPoint, rateHz float64) float64 { return core.BandwidthMBs(t, rateHz) }
+
+// RecordTrace executes one program while capturing its global reference
+// stream; the trace replays through arbitrary cache configurations.
+func RecordTrace(app string, procs int, opts map[string]int) (*Trace, Stats, error) {
+	return core.RecordApp(app, procs, opts)
+}
+
+// ReplayTrace feeds a recorded trace through a fresh memory system.
+func ReplayTrace(t *Trace, cfg MemConfig) (MemStats, error) { return memsys.Replay(t, cfg) }

@@ -1,0 +1,137 @@
+package splash2_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"splash2"
+)
+
+func TestProgramsComplete(t *testing.T) {
+	names := splash2.Programs()
+	if len(names) != 12 {
+		t.Fatalf("suite has %d programs, want 12: %v", len(names), names)
+	}
+	for _, want := range splash2.Suite {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("program %s missing from registry", want)
+		}
+	}
+}
+
+func TestEveryProgramRunsAndVerifiesOnPublicAPI(t *testing.T) {
+	// Small-but-real configurations for a full-suite verification pass.
+	overrides := map[string]map[string]int{
+		"barnes":    {"n": 128, "steps": 1},
+		"cholesky":  {"nblocks": 10, "b": 4},
+		"fft":       {"n": 256},
+		"fmm":       {"n": 128, "steps": 1},
+		"lu":        {"n": 32, "b": 4},
+		"ocean":     {"n": 16, "steps": 1, "vcycles": 4},
+		"radiosity": {"panels": 1, "iters": 2},
+		"radix":     {"n": 1024, "radix": 32, "maxkey": 1 << 10},
+		"raytrace":  {"width": 16, "spheres": 8, "grid": 4, "tile": 4},
+		"volrend":   {"dim": 16, "width": 16, "frames": 1, "tile": 4},
+		"water-nsq": {"n": 64, "steps": 1},
+		"water-sp":  {"n": 125, "steps": 1},
+	}
+	for _, name := range splash2.Suite {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := splash2.Config{Procs: 4, CacheSize: 64 << 10, Assoc: 4, LineSize: 64}
+			res, err := splash2.RunProgramVerified(name, cfg, overrides[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := splash2.AggregateCounters(res.Stats.Procs)
+			if a.Instr == 0 || res.Stats.Time == 0 {
+				t.Fatalf("empty measurement: %+v", a)
+			}
+			mem := res.Stats.Mem.Aggregate()
+			if mem.Refs() == 0 {
+				t.Fatal("no simulated references")
+			}
+		})
+	}
+}
+
+func TestProgramMetadata(t *testing.T) {
+	kernels := map[string]bool{"cholesky": true, "fft": true, "lu": true, "radix": true}
+	for _, name := range splash2.Suite {
+		a, err := splash2.Program(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Kernel != kernels[name] {
+			t.Errorf("%s: kernel=%v, want %v", name, a.Kernel, kernels[name])
+		}
+		if a.Doc == "" || len(a.Defaults) == 0 {
+			t.Errorf("%s: missing metadata", name)
+		}
+	}
+}
+
+func TestDefaultSweepPoints(t *testing.T) {
+	cs := splash2.DefaultCacheSizes()
+	if cs[0] != 1<<10 || cs[len(cs)-1] != 1<<20 || len(cs) != 11 {
+		t.Fatalf("cache sizes %v", cs)
+	}
+	ls := splash2.DefaultLineSizes()
+	if ls[0] != 8 || ls[len(ls)-1] != 256 {
+		t.Fatalf("line sizes %v", ls)
+	}
+}
+
+func TestCharacterizeSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	var buf bytes.Buffer
+	err := splash2.Characterize(&buf, splash2.ReportOptions{
+		Apps:       []string{"radix"},
+		Procs:      4,
+		ProcList:   []int{1, 4},
+		Scale:      splash2.SweepScale,
+		CacheSizes: []int{16 << 10, 1 << 20},
+		LineSizes:  []int{64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{"Table 1", "Figure 1", "Figure 2", "Figure 3", "Table 2", "Figure 4", "Table 3", "Figure 5", "Figure 6", "Figure 7", "Figure 8"} {
+		if !strings.Contains(out, section) {
+			t.Fatalf("report missing %q", section)
+		}
+	}
+}
+
+func TestNoHintsAblationIncreasesOverheadOrEqual(t *testing.T) {
+	// Replay one recorded trace with and without hints so the reference
+	// stream is identical for both configurations.
+	tr, _, err := splash2.RecordTrace("ocean", 4, map[string]int{"n": 16, "steps": 2, "vcycles": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noHints bool) uint64 {
+		st, err := splash2.ReplayTrace(tr, splash2.MemConfig{
+			Procs: 4, CacheSize: 8 << 10, Assoc: 2, LineSize: 64, NoReplacementHints: noHints,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Traffic.RemoteOverhead
+	}
+	with := run(false)
+	without := run(true)
+	if without < with {
+		t.Fatalf("disabling replacement hints reduced overhead: %d < %d", without, with)
+	}
+}
