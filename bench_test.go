@@ -8,6 +8,7 @@ package splash2_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"splash2"
@@ -280,10 +281,10 @@ func BenchmarkTraceReplay(b *testing.B) {
 	b.ReportMetric(float64(tr.Len()), "refs-per-replay")
 }
 
-// BenchmarkFullReport exercises the complete characterization pipeline on
-// a two-program subset (the end-to-end cost of cmd/characterize).
-func BenchmarkFullReport(b *testing.B) {
-	o := splash2.ReportOptions{
+// benchReportOptions is the two-program characterization subset used by
+// the end-to-end pipeline benches (the cost of cmd/characterize).
+func benchReportOptions() splash2.ReportOptions {
+	return splash2.ReportOptions{
 		Apps:       []string{"fft", "lu"},
 		Procs:      4,
 		ProcList:   []int{1, 4},
@@ -291,9 +292,32 @@ func BenchmarkFullReport(b *testing.B) {
 		CacheSizes: []int{16 << 10, 1 << 20},
 		LineSizes:  []int{64},
 	}
+}
+
+// BenchmarkFullReport exercises the complete characterization pipeline
+// serially (one worker, no result cache) — the baseline for
+// BenchmarkCharacterizeParallel.
+func BenchmarkFullReport(b *testing.B) {
+	o := benchReportOptions()
+	o.Workers = 1
 	for i := 0; i < b.N; i++ {
 		if err := splash2.Characterize(io.Discard, o); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCharacterizeParallel runs the same pipeline with the
+// experiment scheduler at full width (GOMAXPROCS workers, no result
+// cache so every job really executes). Compare against
+// BenchmarkFullReport for the parallel speedup on this host.
+func BenchmarkCharacterizeParallel(b *testing.B) {
+	o := benchReportOptions()
+	o.Workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if err := splash2.Characterize(io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(o.Workers), "workers")
 }

@@ -6,53 +6,110 @@
 //
 //	characterize                      # full suite, sweep-scale problems, 32 procs
 //	characterize -scale default       # default (larger) problem sizes
+//	characterize -scale paper         # the paper's published sizes (slow)
 //	characterize -apps fft,lu -p 16
 //	characterize -all-assocs          # Figure 3 with 1/2/4-way and full
 //	characterize -plot                # ASCII charts alongside the tables
 //	characterize -format json|csv     # machine-readable results
+//	characterize -j 8                 # run experiments on 8 workers
+//	characterize -no-cache            # skip the on-disk result cache
+//	characterize -progress            # live per-experiment progress on stderr
+//
+// Results are cached on disk under <user cache dir>/splash2 (override
+// with -cache-dir), keyed by program, options, machine configuration and
+// suite version, so repeated runs only execute what changed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"splash2"
 )
+
+// parseProcList parses a comma-separated list of processor counts,
+// rejecting anything that is not a whole positive integer (Sscanf-style
+// parsing would silently accept trailing junk like "8abc"). The result
+// is deduplicated and sorted ascending so sweeps are well-ordered.
+func parseProcList(s string) ([]int, error) {
+	seen := make(map[int]bool)
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		p, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad -plist entry %q: not an integer", f)
+		}
+		if p < 1 {
+			return nil, fmt.Errorf("bad -plist entry %q: must be ≥ 1", f)
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
 
 func main() {
 	var (
 		appsFlag  = flag.String("apps", "", "comma-separated subset (default: full suite)")
 		procs     = flag.Int("p", 32, "processors for fixed-count experiments")
 		procList  = flag.String("plist", "1,2,4,8,16,32", "processor counts for scaling sweeps")
-		scaleName = flag.String("scale", "sweep", `problem sizes: "sweep" or "default"`)
+		scaleName = flag.String("scale", "sweep", `problem sizes: "sweep", "default" or "paper"`)
 		allAssocs = flag.Bool("all-assocs", false, "Figure 3 with all associativities")
 		plot      = flag.Bool("plot", false, "render ASCII charts alongside the tables")
 		format    = flag.String("format", "text", `output format: "text", "json" or "csv"`)
+		workers   = flag.Int("j", 0, "experiment-level parallelism (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache-dir", "", "result cache directory (default: <user cache dir>/splash2)")
+		noCache   = flag.Bool("no-cache", false, "disable the on-disk result cache")
+		progress  = flag.Bool("progress", false, "live per-experiment progress on stderr")
 	)
 	flag.Parse()
 
-	o := splash2.ReportOptions{Procs: *procs, AllAssocs: *allAssocs, Plot: *plot}
+	o := splash2.ReportOptions{Procs: *procs, AllAssocs: *allAssocs, Plot: *plot, Workers: *workers}
 	if *appsFlag != "" {
 		o.Apps = strings.Split(*appsFlag, ",")
 	}
-	for _, f := range strings.Split(*procList, ",") {
-		var p int
-		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &p); err != nil || p < 1 {
-			fmt.Fprintf(os.Stderr, "characterize: bad -plist entry %q\n", f)
-			os.Exit(2)
-		}
-		o.ProcList = append(o.ProcList, p)
+	var err error
+	if o.ProcList, err = parseProcList(*procList); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(2)
 	}
 	switch *scaleName {
 	case "sweep":
 		o.Scale = splash2.SweepScale
 	case "default":
 		o.Scale = splash2.DefaultScale
+	case "paper":
+		o.Scale = splash2.PaperScale
 	default:
 		fmt.Fprintf(os.Stderr, "characterize: unknown scale %q\n", *scaleName)
 		os.Exit(2)
+	}
+	switch {
+	case *noCache:
+		if *cacheDir != "" {
+			fmt.Fprintln(os.Stderr, "characterize: -no-cache and -cache-dir are mutually exclusive")
+			os.Exit(2)
+		}
+	case *cacheDir != "":
+		o.CacheDir = *cacheDir
+	default:
+		dir, err := splash2.DefaultCacheDir()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "characterize: no user cache dir, running uncached:", err)
+		} else {
+			o.CacheDir = dir
+		}
+	}
+	if *progress {
+		o.Progress = os.Stderr
 	}
 
 	switch *format {

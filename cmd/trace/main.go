@@ -96,6 +96,7 @@ func replay(args []string) {
 	line := fs.Int("line", 64, "line size in bytes")
 	procs := fs.Int("p", 0, "replay processors (default: trace's max + 1)")
 	sweep := fs.Bool("sweep", false, "replay the full 1K-1M cache-size sweep")
+	workers := fs.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "trace replay: -i required")
@@ -117,13 +118,18 @@ func replay(args []string) {
 	}
 
 	if *sweep {
+		sizes := splash2.DefaultCacheSizes()
+		cfgs := make([]splash2.MemConfig, len(sizes))
+		for i, cs := range sizes {
+			cfgs[i] = splash2.MemConfig{Procs: p, CacheSize: cs, Assoc: *assoc, LineSize: *line}
+		}
+		stats, err := splash2.ReplaySweep(tr, cfgs, *workers)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("%-10s %-10s\n", "cache", "miss rate")
-		for _, cs := range splash2.DefaultCacheSizes() {
-			st, err := splash2.ReplayTrace(tr, splash2.MemConfig{Procs: p, CacheSize: cs, Assoc: *assoc, LineSize: *line})
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%-10s %.3f%%\n", fmt.Sprintf("%dK", cs/1024), 100*st.MissRate())
+		for i, cs := range sizes {
+			fmt.Printf("%-10s %.3f%%\n", fmt.Sprintf("%dK", cs/1024), 100*stats[i].MissRate())
 		}
 		return
 	}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"splash2/internal/mach"
+	"splash2/internal/memsys"
+	"splash2/internal/runner"
+)
+
+// Engine executes the characterization experiments through the parallel
+// scheduler in internal/runner. Every experiment is a job keyed by its
+// content (program, options, machine configuration, experiment kind), so
+// identical experiments run once per engine even when several figures
+// need them (Table 1 and Figure 2 share runs; Table 3 reuses Figure 4's
+// points; the Figure 3 and Figure 7–8 sweeps share one recorded trace
+// per program), and an optional on-disk cache carries results across
+// processes. PRAM timing makes each experiment deterministic regardless
+// of scheduling, so an Engine at any parallelism produces results
+// deep-equal to the serial path.
+type Engine struct {
+	r   *runner.Runner
+	ctx context.Context
+}
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// Workers is the experiment-level parallelism; ≤ 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheDir roots the on-disk result cache; empty disables it.
+	CacheDir string
+	// Progress receives live job-completion lines; nil disables them.
+	Progress io.Writer
+	// Context cancels in-flight experiment graphs; nil means Background.
+	Context context.Context
+}
+
+// NewEngine creates an engine. It fails only when the cache directory
+// cannot be opened.
+func NewEngine(o EngineOptions) (*Engine, error) {
+	var cache *runner.Cache
+	if o.CacheDir != "" {
+		c, err := runner.OpenCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		cache = c
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Engine{
+		r:   runner.New(runner.Options{Workers: o.Workers, Cache: cache, Progress: o.Progress}),
+		ctx: ctx,
+	}, nil
+}
+
+// Counts returns the engine's cumulative scheduling counters (jobs
+// executed, cache hits, memo hits).
+func (e *Engine) Counts() runner.Counts { return e.r.Counts() }
+
+// DefaultCacheDir returns the default on-disk cache location
+// (<user cache dir>/splash2).
+func DefaultCacheDir() (string, error) { return runner.DefaultDir() }
+
+// serialEngine returns a fresh single-worker engine with no disk cache:
+// the exact serial semantics of the original inline loops. The
+// package-level generator functions go through it, so each call performs
+// real executions (no memo leaks across calls).
+func serialEngine() *Engine {
+	e, err := NewEngine(EngineOptions{Workers: 1})
+	if err != nil { // unreachable: no cache dir is opened
+		panic(err)
+	}
+	return e
+}
+
+// canonOpts normalizes option maps for hashing: empty and nil maps must
+// produce the same key.
+func canonOpts(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+// runIdent is the cache identity of a full-machine execution.
+type runIdent struct {
+	App      string         `json:"app"`
+	Opts     map[string]int `json:"opts"`
+	Mem      memsys.Config  `json:"mem"`
+	MemModel int            `json:"memModel"`
+}
+
+// traceIdent is the cache identity of a recorded reference trace (and of
+// every replay derived from it).
+type traceIdent struct {
+	App   string         `json:"app"`
+	Procs int            `json:"procs"`
+	Opts  map[string]int `json:"opts"`
+}
+
+// recordOut bundles what a record job produces: the trace plus the
+// recording run's counters.
+type recordOut struct {
+	Trace *memsys.Trace
+	Stats mach.Stats
+}
+
+// runJob schedules one full program execution (experiment kind "run").
+func (e *Engine) runJob(g *runner.Graph, app string, cfg mach.Config, over map[string]int) runner.Job[*RunResult] {
+	ident := runIdent{App: app, Opts: canonOpts(over), Mem: cfg.MemConfig(), MemModel: int(cfg.MemModel)}
+	return runner.Submit(g, runner.Spec{
+		Label: fmt.Sprintf("run %s p=%d cache=%dK/%d-way/%dB model=%d",
+			app, ident.Mem.Procs, ident.Mem.CacheSize/1024, ident.Mem.Assoc, ident.Mem.LineSize, cfg.MemModel),
+		Key: runner.KeyOf("run", ident),
+	}, func(ctx context.Context) (*RunResult, error) {
+		return Run(app, cfg, over)
+	})
+}
+
+// recordJob schedules one trace recording (kind "record"). It is lazy —
+// it runs only when an uncached replay demands the trace — and is never
+// written to the disk cache (traces are large; replay results are cached
+// instead), though it is memoized in memory so the Figure-3 and
+// Figure-7/8 sweeps share a single recording per program.
+func (e *Engine) recordJob(g *runner.Graph, id traceIdent) runner.Job[recordOut] {
+	return runner.Submit(g, runner.Spec{
+		Label:   fmt.Sprintf("record %s p=%d", id.App, id.Procs),
+		Key:     runner.KeyOf("record", id),
+		Lazy:    true,
+		NoStore: true,
+	}, func(ctx context.Context) (recordOut, error) {
+		tr, st, err := RecordApp(id.App, id.Procs, id.Opts)
+		return recordOut{Trace: tr, Stats: st}, err
+	})
+}
+
+// recordStatsJob schedules extraction of the recording run's counters
+// (kind "recordstats"). Unlike the trace itself these are small and
+// disk-cacheable, so a fully-cached line-size sweep never re-records.
+func (e *Engine) recordStatsJob(g *runner.Graph, rec runner.Job[recordOut], id traceIdent) runner.Job[mach.Stats] {
+	return runner.Submit(g, runner.Spec{
+		Label: fmt.Sprintf("recordstats %s p=%d", id.App, id.Procs),
+		Key:   runner.KeyOf("recordstats", id),
+		Deps:  []runner.Handle{rec},
+	}, func(ctx context.Context) (mach.Stats, error) {
+		out, err := rec.Result()
+		return out.Stats, err
+	})
+}
+
+// replayJob schedules one trace replay through a memory-system
+// configuration (kind "replay").
+func (e *Engine) replayJob(g *runner.Graph, rec runner.Job[recordOut], id traceIdent, mem memsys.Config) runner.Job[memsys.Stats] {
+	mem = mem.WithDefaults()
+	return runner.Submit(g, runner.Spec{
+		Label: fmt.Sprintf("replay %s %dK/%s/%dB", id.App, mem.CacheSize/1024, assocLabel(mem.Assoc), mem.LineSize),
+		Key:   runner.KeyOf("replay", id, mem),
+		Deps:  []runner.Handle{rec},
+	}, func(ctx context.Context) (memsys.Stats, error) {
+		out, err := rec.Result()
+		if err != nil {
+			return memsys.Stats{}, err
+		}
+		return memsys.Replay(out.Trace, mem)
+	})
+}
+
+// ReplaySweep replays an already-loaded trace (e.g. from a trace file)
+// through each configuration in parallel. Replays are keyed by a digest
+// of the trace content, so repeated sweeps over the same trace file are
+// served from the cache.
+func (e *Engine) ReplaySweep(tr *memsys.Trace, cfgs []memsys.Config) ([]memsys.Stats, error) {
+	h := sha256.New()
+	if _, err := tr.WriteTo(h); err != nil {
+		return nil, err
+	}
+	digest := hex.EncodeToString(h.Sum(nil))
+	g := e.r.NewGraph()
+	jobs := make([]runner.Job[memsys.Stats], len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg.WithDefaults()
+		jobs[i] = runner.Submit(g, runner.Spec{
+			Label: fmt.Sprintf("replay trace %dK/%s/%dB", cfg.CacheSize/1024, assocLabel(cfg.Assoc), cfg.LineSize),
+			Key:   runner.KeyOf("replayfile", digest, cfg),
+		}, func(ctx context.Context) (memsys.Stats, error) {
+			return memsys.Replay(tr, cfg)
+		})
+	}
+	if err := g.Wait(e.ctx); err != nil {
+		return nil, err
+	}
+	out := make([]memsys.Stats, len(cfgs))
+	for i, j := range jobs {
+		st, err := j.Result()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// ReplaySweep is the package-level serial form of Engine.ReplaySweep
+// with configurable parallelism and no disk cache.
+func ReplaySweep(tr *memsys.Trace, cfgs []memsys.Config, workers int) ([]memsys.Stats, error) {
+	e, err := NewEngine(EngineOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return e.ReplaySweep(tr, cfgs)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"splash2/internal/memsys"
+	"splash2/internal/runner"
+)
+
+// engineTestApps are programs whose full-memory metrics are bit-stable
+// run to run. radix is excluded: its concurrent permutation writes make
+// the global access interleaving — and hence miss classification —
+// scheduling-dependent even on the serial path.
+var engineTestApps = []string{"fft", "lu"}
+
+// engineTestOptions is a small but complete characterization: every
+// experiment kind (run, record, recordstats, replay) is exercised.
+func engineTestOptions() ReportOptions {
+	return ReportOptions{
+		Apps:       engineTestApps,
+		Procs:      4,
+		ProcList:   []int{1, 4},
+		Scale:      SweepScale,
+		CacheSizes: []int{16 << 10, 64 << 10},
+		LineSizes:  []int{64},
+	}
+}
+
+// TestParallelMatchesSerial is the PRAM determinism invariant: a
+// characterization scheduled on 8 workers must be deep-equal to the
+// single-worker serial run.
+func TestParallelMatchesSerial(t *testing.T) {
+	o := engineTestOptions()
+
+	o.Workers = 1
+	serial, err := CollectResults(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.Workers = 8
+	parallel, err := CollectResults(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel results diverge from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// collectWithEngine runs CollectResults through a fresh engine rooted at
+// dir and returns the results plus the engine's counters.
+func collectWithEngine(t *testing.T, dir string, o ReportOptions) (*Results, runner.Counts) {
+	t.Helper()
+	e, err := NewEngine(EngineOptions{Workers: 4, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.CollectResults(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, e.Counts()
+}
+
+// TestDiskCacheSecondRunExecutesNothing: a second process (modeled by a
+// fresh engine over the same cache directory) must be served entirely
+// from disk — zero jobs executed — and produce identical results. The
+// lazy trace recordings are never demanded when every replay hits.
+func TestDiskCacheSecondRunExecutesNothing(t *testing.T) {
+	dir := t.TempDir()
+	o := engineTestOptions()
+
+	first, c1 := collectWithEngine(t, dir, o)
+	if c1.Executed == 0 {
+		t.Fatal("first run executed nothing")
+	}
+
+	second, c2 := collectWithEngine(t, dir, o)
+	if c2.Executed != 0 {
+		t.Fatalf("second run executed %d jobs, want 0 (cache hits %d)", c2.Executed, c2.CacheHits)
+	}
+	if c2.CacheHits == 0 {
+		t.Fatal("second run reported no cache hits")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached results differ from computed results")
+	}
+}
+
+// TestDiskCacheSurvivesCorruption: garbled and truncated cache entries
+// must be treated as misses — recomputed, not trusted — and the run must
+// still match the original results.
+func TestDiskCacheSurvivesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	o := engineTestOptions()
+
+	first, _ := collectWithEngine(t, dir, o)
+
+	var n int
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		// Alternate corruption modes across the entries.
+		n++
+		if n%2 == 0 {
+			return os.WriteFile(path, []byte("{not json"), 0o644)
+		}
+		return os.Truncate(path, 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no cache files written")
+	}
+
+	again, c := collectWithEngine(t, dir, o)
+	if c.Executed == 0 {
+		t.Fatal("corrupted cache was not recomputed")
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("results after cache corruption differ")
+	}
+}
+
+// TestTraceSharedAcrossSweeps: the Figure-3 and Figure-7/8 sweeps must
+// share one recorded trace per program within an engine. After a
+// WorkingSets sweep, a LineSizeSweep over fresh configurations executes
+// only its own replays plus the recording-counters job — the trace
+// recording itself is served from the in-memory memo.
+func TestTraceSharedAcrossSweeps(t *testing.T) {
+	e, err := NewEngine(EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WorkingSets([]string{"fft"}, 4, []int{16 << 10}, []int{4}, SweepScale); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Counts().Executed
+
+	lineSizes := []int{32, 128} // configs disjoint from the sweep above
+	if _, err := e.LineSizeSweep("fft", 4, 64<<10, lineSizes, SweepScale); err != nil {
+		t.Fatal(err)
+	}
+	delta := e.Counts().Executed - before
+
+	want := int64(len(lineSizes) + 1) // replays + recordstats, no re-record
+	if delta != want {
+		t.Fatalf("line-size sweep executed %d jobs, want %d (recording not shared?)", delta, want)
+	}
+}
+
+// TestReplaySweepMatchesSerialReplay: the parallel trace-file sweep must
+// equal per-config serial replays of the same trace.
+func TestReplaySweepMatchesSerialReplay(t *testing.T) {
+	tr, _, err := RecordApp("fft", 4, SweepScale.Overrides("fft"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]memsys.Config, 0, 3)
+	for _, cs := range []int{16 << 10, 64 << 10, 1 << 20} {
+		cfgs = append(cfgs, memsys.Config{Procs: 4, CacheSize: cs, Assoc: 4, LineSize: 64})
+	}
+	par, err := ReplaySweep(tr, cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := ReplaySweep(tr, cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, ser) {
+		t.Fatal("parallel replay sweep diverges from serial")
+	}
+}

@@ -30,36 +30,45 @@ type Results struct {
 // CollectResults runs the full characterization and returns the raw data
 // (the machine-readable twin of Report).
 func CollectResults(o ReportOptions) (*Results, error) {
+	e, err := NewEngine(o.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	return e.CollectResults(o)
+}
+
+// CollectResults is the engine form of the package-level CollectResults.
+func (e *Engine) CollectResults(o ReportOptions) (*Results, error) {
 	o = o.WithDefaults()
 	res := &Results{Procs: o.Procs}
 	var err error
-	if res.Table1, err = Table1(o.Apps, o.Procs, o.Scale); err != nil {
+	if res.Table1, err = e.Table1(o.Apps, o.Procs, o.Scale); err != nil {
 		return nil, err
 	}
-	if res.Speedups, err = Speedups(o.Apps, o.ProcList, o.Scale); err != nil {
+	if res.Speedups, err = e.Speedups(o.Apps, o.ProcList, o.Scale); err != nil {
 		return nil, err
 	}
-	if res.Sync, err = SyncProfiles(o.Apps, o.Procs, o.Scale); err != nil {
+	if res.Sync, err = e.SyncProfiles(o.Apps, o.Procs, o.Scale); err != nil {
 		return nil, err
 	}
-	if res.MissCurves, err = WorkingSets(o.Apps, o.Procs, o.CacheSizes, []int{4}, o.Scale); err != nil {
+	if res.MissCurves, err = e.WorkingSets(o.Apps, o.Procs, o.CacheSizes, []int{4}, o.Scale); err != nil {
 		return nil, err
 	}
 	res.Table2 = Table2(res.MissCurves)
 	for _, c := range res.MissCurves {
 		res.PruneAdvice = append(res.PruneAdvice, Prune(c))
 	}
-	if res.Traffic, err = TrafficSuite(o.Apps, o.ProcList, 1<<20, o.Scale); err != nil {
+	if res.Traffic, err = e.TrafficSuite(o.Apps, o.ProcList, 1<<20, o.Scale); err != nil {
 		return nil, err
 	}
 	lowP := o.ProcList[0]
 	if lowP < 2 && len(o.ProcList) > 1 {
 		lowP = o.ProcList[1]
 	}
-	if res.Table3, err = Table3(o.Apps, lowP, o.ProcList[len(o.ProcList)-1], o.Scale); err != nil {
+	if res.Table3, err = e.Table3(o.Apps, lowP, o.ProcList[len(o.ProcList)-1], o.Scale); err != nil {
 		return nil, err
 	}
-	if res.LineSize, err = LineSizeSuite(o.Apps, o.Procs, 1<<20, o.LineSizes, o.Scale); err != nil {
+	if res.LineSize, err = e.LineSizeSuite(o.Apps, o.Procs, 1<<20, o.LineSizes, o.Scale); err != nil {
 		return nil, err
 	}
 	return res, nil

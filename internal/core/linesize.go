@@ -7,6 +7,7 @@ import (
 
 	"splash2/internal/mach"
 	"splash2/internal/memsys"
+	"splash2/internal/runner"
 )
 
 // LineSizePoint is one program's behaviour at one cache line size (paper
@@ -43,9 +44,43 @@ func DefaultLineSizes() []int { return []int{8, 16, 32, 64, 128, 256} }
 // once and its trace is replayed per line size, keeping the reference
 // stream identical across the sweep.
 func LineSizeSweep(app string, procs int, cacheSize int, lineSizes []int, scale Scale) ([]LineSizePoint, error) {
+	return serialEngine().LineSizeSweep(app, procs, cacheSize, lineSizes, scale)
+}
+
+// lineSizeJobs is the scheduled form of one program's line-size sweep: a
+// lazy record job feeding per-line-size replays, plus the small
+// disk-cacheable recording counters needed for normalization (so a
+// fully-cached sweep never re-records the trace).
+type lineSizeJobs struct {
+	stats   runner.Job[mach.Stats]
+	replays []runner.Job[memsys.Stats]
+}
+
+// LineSizeSweep schedules one program's Figure-7/8 sweep.
+func (e *Engine) LineSizeSweep(app string, procs int, cacheSize int, lineSizes []int, scale Scale) ([]LineSizePoint, error) {
+	g := e.r.NewGraph()
+	jobs := e.lineSizeJobs(g, app, procs, cacheSize, lineSizes, scale)
+	if err := g.Wait(e.ctx); err != nil {
+		return nil, err
+	}
+	return e.lineSizePoints(app, lineSizes, jobs)
+}
+
+func (e *Engine) lineSizeJobs(g *runner.Graph, app string, procs, cacheSize int, lineSizes []int, scale Scale) lineSizeJobs {
+	id := traceIdent{App: app, Procs: procs, Opts: canonOpts(scale.Overrides(app))}
+	rec := e.recordJob(g, id)
+	jobs := lineSizeJobs{stats: e.recordStatsJob(g, rec, id)}
+	for _, ls := range lineSizes {
+		jobs.replays = append(jobs.replays,
+			e.replayJob(g, rec, id, memsys.Config{Procs: procs, CacheSize: cacheSize, Assoc: 4, LineSize: ls}))
+	}
+	return jobs
+}
+
+func (e *Engine) lineSizePoints(app string, lineSizes []int, jobs lineSizeJobs) ([]LineSizePoint, error) {
 	var out []LineSizePoint
 	perFlop := flopBased(app)
-	trace, runStats, err := RecordApp(app, procs, scale.Overrides(app))
+	runStats, err := jobs.stats.Result()
 	if err != nil {
 		return nil, err
 	}
@@ -57,8 +92,8 @@ func LineSizeSweep(app string, procs int, cacheSize int, lineSizes []int, scale 
 	if denom == 0 {
 		denom = 1
 	}
-	for _, ls := range lineSizes {
-		st, err := memsys.Replay(trace, memsys.Config{Procs: procs, CacheSize: cacheSize, Assoc: 4, LineSize: ls})
+	for i, ls := range lineSizes {
+		st, err := jobs.replays[i].Result()
 		if err != nil {
 			return nil, err
 		}
@@ -85,9 +120,22 @@ func LineSizeSweep(app string, procs int, cacheSize int, lineSizes []int, scale 
 
 // LineSizeSuite runs the sweep for several programs.
 func LineSizeSuite(appNames []string, procs, cacheSize int, lineSizes []int, scale Scale) ([][]LineSizePoint, error) {
+	return serialEngine().LineSizeSuite(appNames, procs, cacheSize, lineSizes, scale)
+}
+
+// LineSizeSuite schedules every program's sweep in one graph.
+func (e *Engine) LineSizeSuite(appNames []string, procs, cacheSize int, lineSizes []int, scale Scale) ([][]LineSizePoint, error) {
+	g := e.r.NewGraph()
+	jobs := make([]lineSizeJobs, len(appNames))
+	for i, name := range appNames {
+		jobs[i] = e.lineSizeJobs(g, name, procs, cacheSize, lineSizes, scale)
+	}
+	if err := g.Wait(e.ctx); err != nil {
+		return nil, err
+	}
 	var out [][]LineSizePoint
-	for _, name := range appNames {
-		pts, err := LineSizeSweep(name, procs, cacheSize, lineSizes, scale)
+	for i, name := range appNames {
+		pts, err := e.lineSizePoints(name, lineSizes, jobs[i])
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,21 @@ type ReportOptions struct {
 	Plot       bool // render ASCII charts alongside the tables
 	CacheSizes []int
 	LineSizes  []int
+
+	// Workers is the experiment-level parallelism (0 = GOMAXPROCS).
+	// Results are identical at any setting: each experiment is
+	// deterministic under PRAM timing, so scheduling cannot change them.
+	Workers int
+	// CacheDir roots the content-addressed result cache; empty disables
+	// caching (cmd/characterize defaults it to <user cache dir>/splash2).
+	CacheDir string
+	// Progress receives live per-job completion lines (normally stderr).
+	Progress io.Writer
+}
+
+// engineOptions extracts the scheduler configuration.
+func (o ReportOptions) engineOptions() EngineOptions {
+	return EngineOptions{Workers: o.Workers, CacheDir: o.CacheDir, Progress: o.Progress}
 }
 
 // WithDefaults fills unset fields.
@@ -41,21 +56,33 @@ func (o ReportOptions) WithDefaults() ReportOptions {
 }
 
 // Report runs the complete characterization — every table and figure of
-// the paper — writing the formatted results to w.
+// the paper — writing the formatted results to w. Experiments are
+// scheduled through a runner configured by o.Workers, o.CacheDir and
+// o.Progress; identical experiments needed by several sections execute
+// once.
 func Report(w io.Writer, o ReportOptions) error {
+	e, err := NewEngine(o.engineOptions())
+	if err != nil {
+		return err
+	}
+	return e.Report(w, o)
+}
+
+// Report is the engine form of the package-level Report.
+func (e *Engine) Report(w io.Writer, o ReportOptions) error {
 	o = o.WithDefaults()
 
 	fmt.Fprintf(w, "SPLASH-2 characterization — %d processors, scale=%v\n\n", o.Procs, o.Scale)
 
 	fmt.Fprintln(w, "== Table 1: instruction breakdown ==")
-	t1, err := Table1(o.Apps, o.Procs, o.Scale)
+	t1, err := e.Table1(o.Apps, o.Procs, o.Scale)
 	if err != nil {
 		return err
 	}
 	RenderTable1(w, t1)
 
 	fmt.Fprintln(w, "\n== Figure 1: PRAM speedups ==")
-	sp, err := Speedups(o.Apps, o.ProcList, o.Scale)
+	sp, err := e.Speedups(o.Apps, o.ProcList, o.Scale)
 	if err != nil {
 		return err
 	}
@@ -74,7 +101,7 @@ func Report(w io.Writer, o ReportOptions) error {
 	}
 
 	fmt.Fprintf(w, "\n== Figure 2: time in synchronization (%d procs) ==\n", o.Procs)
-	sync, err := SyncProfiles(o.Apps, o.Procs, o.Scale)
+	sync, err := e.SyncProfiles(o.Apps, o.Procs, o.Scale)
 	if err != nil {
 		return err
 	}
@@ -85,7 +112,7 @@ func Report(w io.Writer, o ReportOptions) error {
 	if o.AllAssocs {
 		assocs = []int{1, 2, 4, memsys.FullyAssoc}
 	}
-	ws, err := WorkingSets(o.Apps, o.Procs, o.CacheSizes, assocs, o.Scale)
+	ws, err := e.WorkingSets(o.Apps, o.Procs, o.CacheSizes, assocs, o.Scale)
 	if err != nil {
 		return err
 	}
@@ -123,7 +150,7 @@ func Report(w io.Writer, o ReportOptions) error {
 	RenderPrune(w, advice)
 
 	fmt.Fprintln(w, "\n== Figure 4: traffic breakdown, 1 MB caches ==")
-	tr, err := TrafficSuite(o.Apps, o.ProcList, 1<<20, o.Scale)
+	tr, err := e.TrafficSuite(o.Apps, o.ProcList, 1<<20, o.Scale)
 	if err != nil {
 		return err
 	}
@@ -152,14 +179,14 @@ func Report(w io.Writer, o ReportOptions) error {
 	if lowP < 2 && len(o.ProcList) > 1 {
 		lowP = o.ProcList[1]
 	}
-	t3, err := Table3(o.Apps, lowP, o.ProcList[len(o.ProcList)-1], o.Scale)
+	t3, err := e.Table3(o.Apps, lowP, o.ProcList[len(o.ProcList)-1], o.Scale)
 	if err != nil {
 		return err
 	}
 	RenderTable3(w, t3)
 
 	fmt.Fprintln(w, "\n== Figure 5: Ocean traffic at two problem sizes ==")
-	oceanSmall, err := Traffic("ocean", o.ProcList, 1<<20, o.Scale, nil)
+	oceanSmall, err := e.Traffic("ocean", o.ProcList, 1<<20, o.Scale, nil)
 	if err != nil {
 		return err
 	}
@@ -167,7 +194,7 @@ func Report(w io.Writer, o ReportOptions) error {
 	if o.Scale == DefaultScale {
 		bigN = 128
 	}
-	oceanBig, err := Traffic("ocean", o.ProcList, 1<<20, o.Scale, map[string]int{"n": bigN})
+	oceanBig, err := e.Traffic("ocean", o.ProcList, 1<<20, o.Scale, map[string]int{"n": bigN})
 	if err != nil {
 		return err
 	}
@@ -176,14 +203,14 @@ func Report(w io.Writer, o ReportOptions) error {
 
 	fmt.Fprintln(w, "\n== Figure 6: traffic with 64 KB caches (working set does not fit) ==")
 	small := []string{"fft", "ocean", "radix", "raytrace"}
-	tr64, err := TrafficSuite(small, o.ProcList, 64<<10, o.Scale)
+	tr64, err := e.TrafficSuite(small, o.ProcList, 64<<10, o.Scale)
 	if err != nil {
 		return err
 	}
 	RenderTraffic(w, tr64)
 
 	fmt.Fprintln(w, "\n== Figure 7: miss decomposition vs line size (1 MB caches) ==")
-	lsz, err := LineSizeSuite(o.Apps, o.Procs, 1<<20, o.LineSizes, o.Scale)
+	lsz, err := e.LineSizeSuite(o.Apps, o.Procs, 1<<20, o.LineSizes, o.Scale)
 	if err != nil {
 		return err
 	}

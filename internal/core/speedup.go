@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"splash2/internal/mach"
+	"splash2/internal/runner"
 )
 
 // SpeedupCurve is one program's PRAM speedup over processor counts
@@ -20,12 +21,29 @@ type SpeedupCurve struct {
 
 // Speedups measures PRAM speedups for each program over procList.
 func Speedups(appNames []string, procList []int, scale Scale) ([]SpeedupCurve, error) {
+	return serialEngine().Speedups(appNames, procList, scale)
+}
+
+// Speedups schedules the program × processor-count grid as independent
+// jobs; curves are assembled in procList order once the graph completes.
+func (e *Engine) Speedups(appNames []string, procList []int, scale Scale) ([]SpeedupCurve, error) {
+	g := e.r.NewGraph()
+	jobs := make([][]runner.Job[*RunResult], len(appNames))
+	for ai, name := range appNames {
+		jobs[ai] = make([]runner.Job[*RunResult], len(procList))
+		for pi, p := range procList {
+			jobs[ai][pi] = e.runJob(g, name, mach.Config{Procs: p, MemModel: mach.CountOnly}, scale.Overrides(name))
+		}
+	}
+	if err := g.Wait(e.ctx); err != nil {
+		return nil, err
+	}
 	var out []SpeedupCurve
-	for _, name := range appNames {
+	for ai, name := range appNames {
 		curve := SpeedupCurve{App: name, Procs: procList}
 		var t1 float64
 		for i, p := range procList {
-			res, err := Run(name, mach.Config{Procs: p, MemModel: mach.CountOnly}, scale.Overrides(name))
+			res, err := jobs[ai][i].Result()
 			if err != nil {
 				return nil, err
 			}
@@ -80,9 +98,24 @@ type SyncProfile struct {
 
 // SyncProfiles measures Figure 2 for every program.
 func SyncProfiles(appNames []string, procs int, scale Scale) ([]SyncProfile, error) {
+	return serialEngine().SyncProfiles(appNames, procs, scale)
+}
+
+// SyncProfiles schedules one count-only run per program. These jobs hash
+// identically to Table 1's at the same processor count, so within an
+// engine each program executes once for both.
+func (e *Engine) SyncProfiles(appNames []string, procs int, scale Scale) ([]SyncProfile, error) {
+	g := e.r.NewGraph()
+	jobs := make([]runner.Job[*RunResult], len(appNames))
+	for i, name := range appNames {
+		jobs[i] = e.runJob(g, name, mach.Config{Procs: procs, MemModel: mach.CountOnly}, scale.Overrides(name))
+	}
+	if err := g.Wait(e.ctx); err != nil {
+		return nil, err
+	}
 	var out []SyncProfile
-	for _, name := range appNames {
-		res, err := Run(name, mach.Config{Procs: procs, MemModel: mach.CountOnly}, scale.Overrides(name))
+	for i, name := range appNames {
+		res, err := jobs[i].Result()
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"splash2/internal/mach"
+	"splash2/internal/runner"
 )
 
 // Table1Row is the instruction breakdown of one program (paper Table 1):
@@ -28,9 +29,23 @@ type Table1Row struct {
 // processors under the count-only memory model (PRAM timing is identical
 // and Table 1 needs no cache simulation).
 func Table1(appNames []string, procs int, scale Scale) ([]Table1Row, error) {
+	return serialEngine().Table1(appNames, procs, scale)
+}
+
+// Table1 schedules the per-program executions on the engine's worker
+// pool; runs are shared with Figures 1–2 through the result store.
+func (e *Engine) Table1(appNames []string, procs int, scale Scale) ([]Table1Row, error) {
+	g := e.r.NewGraph()
+	jobs := make([]runner.Job[*RunResult], len(appNames))
+	for i, name := range appNames {
+		jobs[i] = e.runJob(g, name, mach.Config{Procs: procs, MemModel: mach.CountOnly}, scale.Overrides(name))
+	}
+	if err := g.Wait(e.ctx); err != nil {
+		return nil, err
+	}
 	var rows []Table1Row
-	for _, name := range appNames {
-		res, err := Run(name, mach.Config{Procs: procs, MemModel: mach.CountOnly}, scale.Overrides(name))
+	for i, name := range appNames {
+		res, err := jobs[i].Result()
 		if err != nil {
 			return nil, err
 		}

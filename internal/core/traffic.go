@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"splash2/internal/mach"
+	"splash2/internal/runner"
 )
 
 // TrafficPoint is one program's traffic breakdown at one processor count
@@ -39,11 +40,37 @@ func (t TrafficPoint) Total() float64 { return t.Remote() + t.LocalData }
 // a given cache size (1 MB for Figure 4, 64 KB for Figure 6, two problem
 // sizes for Figure 5).
 func Traffic(app string, procList []int, cacheSize int, scale Scale, over map[string]int) ([]TrafficPoint, error) {
+	return serialEngine().Traffic(app, procList, cacheSize, scale, over)
+}
+
+// Traffic schedules one full-memory run per processor count. Runs are
+// keyed by configuration, so Table 3 and Figure 5 reuse Figure 4's
+// executions within an engine.
+func (e *Engine) Traffic(app string, procList []int, cacheSize int, scale Scale, over map[string]int) ([]TrafficPoint, error) {
+	g := e.r.NewGraph()
+	jobs := e.trafficJobs(g, app, procList, cacheSize, scale, over)
+	if err := g.Wait(e.ctx); err != nil {
+		return nil, err
+	}
+	return e.trafficPoints(app, procList, cacheSize, jobs)
+}
+
+// trafficJobs submits the per-processor-count runs behind Traffic.
+func (e *Engine) trafficJobs(g *runner.Graph, app string, procList []int, cacheSize int, scale Scale, over map[string]int) []runner.Job[*RunResult] {
+	jobs := make([]runner.Job[*RunResult], len(procList))
+	for i, p := range procList {
+		cfg := mach.Config{Procs: p, CacheSize: cacheSize, Assoc: 4, LineSize: 64}
+		jobs[i] = e.runJob(g, app, cfg, merged(scale, app, over))
+	}
+	return jobs
+}
+
+// trafficPoints normalizes completed runs into Figure-4 breakdowns.
+func (e *Engine) trafficPoints(app string, procList []int, cacheSize int, jobs []runner.Job[*RunResult]) ([]TrafficPoint, error) {
 	var out []TrafficPoint
 	perFlop := flopBased(app)
-	for _, p := range procList {
-		cfg := mach.Config{Procs: p, CacheSize: cacheSize, Assoc: 4, LineSize: 64}
-		res, err := Run(app, cfg, merged(scale, app, over))
+	for i, p := range procList {
+		res, err := jobs[i].Result()
 		if err != nil {
 			return nil, err
 		}
@@ -72,9 +99,23 @@ func Traffic(app string, procList []int, cacheSize int, scale Scale, over map[st
 
 // TrafficSuite measures Figure 4 (or Figure 6) for several programs.
 func TrafficSuite(appNames []string, procList []int, cacheSize int, scale Scale) ([][]TrafficPoint, error) {
+	return serialEngine().TrafficSuite(appNames, procList, cacheSize, scale)
+}
+
+// TrafficSuite schedules the whole program × processor-count grid as one
+// graph so every point runs concurrently.
+func (e *Engine) TrafficSuite(appNames []string, procList []int, cacheSize int, scale Scale) ([][]TrafficPoint, error) {
+	g := e.r.NewGraph()
+	jobs := make([][]runner.Job[*RunResult], len(appNames))
+	for i, name := range appNames {
+		jobs[i] = e.trafficJobs(g, name, procList, cacheSize, scale, nil)
+	}
+	if err := g.Wait(e.ctx); err != nil {
+		return nil, err
+	}
 	var out [][]TrafficPoint
-	for _, name := range appNames {
-		pts, err := Traffic(name, procList, cacheSize, scale, nil)
+	for i, name := range appNames {
+		pts, err := e.trafficPoints(name, procList, cacheSize, jobs[i])
 		if err != nil {
 			return nil, err
 		}
@@ -132,12 +173,20 @@ var table3Forms = map[string]string{
 
 // Table3 measures comm/comp at two processor counts and reports growth.
 func Table3(appNames []string, lowP, highP int, scale Scale) ([]Table3Row, error) {
+	return serialEngine().Table3(appNames, lowP, highP, scale)
+}
+
+// Table3 schedules the two-point traffic measurements for every
+// program; the runs hash identically to Figure 4's at the same counts,
+// so within an engine they are free.
+func (e *Engine) Table3(appNames []string, lowP, highP int, scale Scale) ([]Table3Row, error) {
+	groups, err := e.TrafficSuite(appNames, []int{lowP, highP}, 1<<20, scale)
+	if err != nil {
+		return nil, err
+	}
 	var out []Table3Row
-	for _, name := range appNames {
-		pts, err := Traffic(name, []int{lowP, highP}, 1<<20, scale, nil)
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range appNames {
+		pts := groups[i]
 		row := Table3Row{
 			App: name, AnalyticForm: table3Forms[name],
 			LowProcs: lowP, HighProcs: highP,

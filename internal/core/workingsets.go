@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"splash2/internal/memsys"
+	"splash2/internal/runner"
 )
 
 // MissCurve is one program's miss rate versus cache size at one
@@ -32,16 +33,34 @@ func DefaultCacheSizes() []int {
 // once; its recorded reference trace is replayed at every sweep point so
 // all points see the identical stream (§2.2's comparability argument).
 func WorkingSets(appNames []string, procs int, cacheSizes []int, assocs []int, scale Scale) ([]MissCurve, error) {
+	return serialEngine().WorkingSets(appNames, procs, cacheSizes, assocs, scale)
+}
+
+// WorkingSets schedules one lazy record job per program feeding the
+// assoc × cache-size replay jobs, so a program whose every sweep point
+// is served from the result cache is never re-executed at all.
+func (e *Engine) WorkingSets(appNames []string, procs int, cacheSizes []int, assocs []int, scale Scale) ([]MissCurve, error) {
+	g := e.r.NewGraph()
+	jobs := make(map[string][]runner.Job[memsys.Stats], len(appNames))
+	for _, name := range appNames {
+		id := traceIdent{App: name, Procs: procs, Opts: canonOpts(scale.Overrides(name))}
+		rec := e.recordJob(g, id)
+		for _, assoc := range assocs {
+			for _, cs := range cacheSizes {
+				jobs[name] = append(jobs[name],
+					e.replayJob(g, rec, id, memsys.Config{Procs: procs, CacheSize: cs, Assoc: assoc, LineSize: 64}))
+			}
+		}
+	}
+	if err := g.Wait(e.ctx); err != nil {
+		return nil, err
+	}
 	var out []MissCurve
 	for _, name := range appNames {
-		tr, _, err := RecordApp(name, procs, scale.Overrides(name))
-		if err != nil {
-			return nil, err
-		}
-		for _, assoc := range assocs {
+		for ai, assoc := range assocs {
 			curve := MissCurve{App: name, Assoc: assoc, CacheSizes: cacheSizes}
-			for _, cs := range cacheSizes {
-				st, err := memsys.Replay(tr, memsys.Config{Procs: procs, CacheSize: cs, Assoc: assoc, LineSize: 64})
+			for ci := range cacheSizes {
+				st, err := jobs[name][ai*len(cacheSizes)+ci].Result()
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the content-addressed on-disk result store. Each entry lives
+// at <dir>/<key[:2]>/<key[2:]>.json and wraps the experiment result in an
+// envelope carrying a checksum of the value bytes, so truncated or
+// corrupted files are detected on read and treated as misses (the entry
+// is removed and the experiment recomputed). Writes go through a
+// temporary file plus rename, so concurrent runs sharing a cache
+// directory never observe partial entries.
+type Cache struct {
+	dir string
+}
+
+// DefaultDir returns the default cache location, <user cache dir>/splash2
+// (e.g. ~/.cache/splash2 on Linux).
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("runner: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "splash2"), nil
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir. An empty
+// dir selects DefaultDir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		d, err := DefaultDir()
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// envelope is the on-disk entry format: the result value plus a SHA-256
+// of its bytes for integrity checking.
+type envelope struct {
+	Sum   string          `json:"sum"`
+	Value json.RawMessage `json:"value"`
+}
+
+func (c *Cache) path(k Key) string {
+	hx := k.String()
+	return filepath.Join(c.dir, hx[:2], hx[2:]+".json")
+}
+
+// Get loads the entry for k and decodes it with decode. Any failure —
+// missing file, unparsable envelope, checksum mismatch, decode error —
+// is a miss; damaged entries are removed so the recomputed result can be
+// stored cleanly.
+func (c *Cache) Get(k Key, decode func([]byte) (any, error)) (any, bool) {
+	if k.IsZero() {
+		return nil, false
+	}
+	path := c.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Sum == valueSum(env.Value) {
+		if v, err := decode(env.Value); err == nil {
+			return v, true
+		}
+	}
+	os.Remove(path) // corrupted or stale-format entry
+	return nil, false
+}
+
+// Put stores value (already-encoded result bytes) under k atomically.
+func (c *Cache) Put(k Key, value []byte) error {
+	if k.IsZero() {
+		return fmt.Errorf("runner: Put with zero key")
+	}
+	env, err := json.Marshal(envelope{Sum: valueSum(value), Value: value})
+	if err != nil {
+		return err
+	}
+	path := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(env); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+func valueSum(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}

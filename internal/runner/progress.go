@@ -1,0 +1,31 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// progress serializes live per-job completion lines onto one writer
+// (normally stderr). Only executed jobs are reported; cache and memo
+// hits appear in the graph summary instead.
+type progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	total int
+	done  int
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	return &progress{w: w, total: total}
+}
+
+func (p *progress) jobDone(label string) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	fmt.Fprintf(p.w, "[%d/%d] %s\n", p.done, p.total, label)
+}

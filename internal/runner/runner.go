@@ -1,0 +1,395 @@
+// Package runner is the parallel experiment scheduler behind the
+// characterization engine. The paper's methodology (§5) is an
+// embarrassingly parallel grid of independent experiments — programs ×
+// processor counts × cache sizes × associativities × line sizes — and
+// every experiment is deterministic under PRAM timing, so scheduling
+// order cannot change results. The runner exploits both properties:
+//
+//   - a job model with explicit dependencies, so a Figure-3 sweep is one
+//     lazy `record` job feeding N `replay` jobs off a shared trace
+//     instead of N full re-executions;
+//   - a worker pool (default runtime.GOMAXPROCS) with context
+//     cancellation, fail-fast error propagation, and live progress
+//     reporting;
+//   - a content-addressed result store: an in-memory memo deduplicates
+//     identical experiments within a run (Table 1 and Figure 2 share
+//     executions; Table 3 reuses Figure 4's points), and an optional
+//     on-disk cache (Cache) makes re-running a characterization after
+//     changing one flag compute only the delta.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Workers is the number of jobs executed concurrently; ≤ 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache is the on-disk result store; nil disables it.
+	Cache *Cache
+	// Progress receives one line per executed job plus a per-graph
+	// summary; nil disables reporting.
+	Progress io.Writer
+}
+
+// Counts reports what a Runner has done so far.
+type Counts struct {
+	// Submitted counts jobs submitted across all graphs, after key
+	// deduplication.
+	Submitted int64
+	// Executed counts jobs whose function actually ran.
+	Executed int64
+	// CacheHits counts jobs served from the on-disk cache.
+	CacheHits int64
+	// MemoHits counts jobs served from the in-memory memo.
+	MemoHits int64
+}
+
+// Runner schedules experiment graphs. It may run many graphs
+// sequentially; completed results are memoized across graphs, so a trace
+// recorded for Figure 3 is reused by the Figure 7–8 sweep.
+type Runner struct {
+	opts Options
+
+	memoMu sync.Mutex
+	memo   map[Key]any
+
+	submitted, executed, cacheHits, memoHits atomic.Int64
+}
+
+// New creates a Runner.
+func New(opts Options) *Runner {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{opts: opts, memo: map[Key]any{}}
+}
+
+// Workers returns the configured parallelism.
+func (r *Runner) Workers() int { return r.opts.Workers }
+
+// Counts returns cumulative scheduling counters.
+func (r *Runner) Counts() Counts {
+	return Counts{
+		Submitted: r.submitted.Load(),
+		Executed:  r.executed.Load(),
+		CacheHits: r.cacheHits.Load(),
+		MemoHits:  r.memoHits.Load(),
+	}
+}
+
+func (r *Runner) memoGet(k Key) (any, bool) {
+	r.memoMu.Lock()
+	defer r.memoMu.Unlock()
+	v, ok := r.memo[k]
+	return v, ok
+}
+
+func (r *Runner) memoPut(k Key, v any) {
+	r.memoMu.Lock()
+	r.memo[k] = v
+	r.memoMu.Unlock()
+}
+
+// job is the untyped scheduling unit.
+type job struct {
+	label   string
+	key     Key
+	lazy    bool
+	noStore bool
+	deps    []*job
+	run     func(ctx context.Context) (any, error)
+	decode  func([]byte) (any, error)
+
+	done   chan struct{} // closed on completion
+	result any
+	err    error
+
+	visited bool // resolve-phase mark
+}
+
+func (j *job) complete(v any, err error) {
+	j.result, j.err = v, err
+	close(j.done)
+}
+
+func (j *job) isDone() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Handle is the untyped view of a submitted job, used to declare
+// dependencies.
+type Handle interface{ raw() *job }
+
+// Job is a typed handle on a submitted job.
+type Job[T any] struct{ j *job }
+
+func (h Job[T]) raw() *job { return h.j }
+
+// Result returns the job's value after its graph completed. Calling it
+// on an incomplete job (before Wait, or after a failed Wait) returns an
+// error rather than blocking.
+func (h Job[T]) Result() (T, error) {
+	var zero T
+	if h.j == nil {
+		return zero, fmt.Errorf("runner: nil job")
+	}
+	if !h.j.isDone() {
+		return zero, fmt.Errorf("runner: job %q has not completed", h.j.label)
+	}
+	if h.j.err != nil {
+		return zero, h.j.err
+	}
+	v, ok := h.j.result.(T)
+	if !ok {
+		return zero, fmt.Errorf("runner: job %q holds %T, want %T", h.j.label, h.j.result, zero)
+	}
+	return v, nil
+}
+
+// Spec describes a job being submitted.
+type Spec struct {
+	// Label identifies the job in progress output and errors.
+	Label string
+	// Key is the job's content address; the zero Key disables caching,
+	// memoization and deduplication for this job.
+	Key Key
+	// Lazy jobs run only when a needed job depends on them — e.g. a trace
+	// `record` job that is skipped entirely when every dependent `replay`
+	// is served from the cache.
+	Lazy bool
+	// NoStore keeps the result out of the on-disk cache (it is still
+	// memoized in memory and deduplicated). Used for traces, which are
+	// too large to persist per configuration.
+	NoStore bool
+	// Deps must complete before this job runs. They must belong to the
+	// same graph or already be complete.
+	Deps []Handle
+}
+
+// Graph is one batch of jobs executed by a single Wait call.
+type Graph struct {
+	r  *Runner
+	mu sync.Mutex
+
+	jobs   []*job
+	byKey  map[Key]*job
+	waited bool
+	err    error
+}
+
+// NewGraph starts an empty job graph.
+func (r *Runner) NewGraph() *Graph {
+	return &Graph{r: r, byKey: map[Key]*job{}}
+}
+
+// Submit adds a job to the graph and returns its handle. Submitting a
+// key already present in the graph returns the existing job; a key whose
+// result is memoized from an earlier graph completes immediately.
+func Submit[T any](g *Graph, spec Spec, run func(ctx context.Context) (T, error)) Job[T] {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.waited {
+		panic("runner: Submit after Wait")
+	}
+	if !spec.Key.IsZero() {
+		if j, ok := g.byKey[spec.Key]; ok {
+			return Job[T]{j}
+		}
+	}
+	if spec.Label == "" && !spec.Key.IsZero() {
+		spec.Label = spec.Key.String()[:12]
+	}
+	j := &job{
+		label:   spec.Label,
+		key:     spec.Key,
+		lazy:    spec.Lazy,
+		noStore: spec.NoStore,
+		done:    make(chan struct{}),
+		run: func(ctx context.Context) (any, error) {
+			return run(ctx)
+		},
+		decode: func(b []byte) (any, error) {
+			var v T
+			err := json.Unmarshal(b, &v)
+			return v, err
+		},
+	}
+	for _, d := range spec.Deps {
+		j.deps = append(j.deps, d.raw())
+	}
+	g.r.submitted.Add(1)
+	if !spec.Key.IsZero() {
+		g.byKey[spec.Key] = j
+		if v, ok := g.r.memoGet(spec.Key); ok {
+			g.r.memoHits.Add(1)
+			j.complete(v, nil)
+		}
+	}
+	g.jobs = append(g.jobs, j)
+	return Job[T]{j}
+}
+
+// Wait resolves the graph (probing the cache for every demanded job,
+// skipping lazy jobs nobody needs) and executes the remainder on the
+// worker pool. The first job error cancels everything in flight and is
+// returned; ctx cancellation behaves the same way. Wait is idempotent:
+// repeated calls return the first outcome.
+func (g *Graph) Wait(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g.mu.Lock()
+	if g.waited {
+		defer g.mu.Unlock()
+		return g.err
+	}
+	g.waited = true
+	need := g.resolve()
+	g.mu.Unlock()
+
+	g.err = g.execute(ctx, need)
+	return g.err
+}
+
+// resolve walks from the demanded (non-lazy, incomplete) jobs, probing
+// the on-disk cache, and returns the jobs that must execute. A cache hit
+// stops the walk, so the dependencies of fully-cached sweeps are never
+// demanded.
+func (g *Graph) resolve() []*job {
+	var need []*job
+	var visit func(j *job)
+	visit = func(j *job) {
+		if j.visited {
+			return
+		}
+		j.visited = true
+		if j.isDone() {
+			return
+		}
+		if !j.noStore && g.r.opts.Cache != nil && !j.key.IsZero() {
+			if v, ok := g.r.opts.Cache.Get(j.key, j.decode); ok {
+				g.r.cacheHits.Add(1)
+				g.r.memoPut(j.key, v)
+				j.complete(v, nil)
+				return
+			}
+		}
+		need = append(need, j)
+		for _, d := range j.deps {
+			visit(d)
+		}
+	}
+	for _, j := range g.jobs {
+		if !j.lazy {
+			visit(j)
+		}
+	}
+	return need
+}
+
+// execute runs the needed jobs: one goroutine per job waiting on its
+// dependencies, gated by a semaphore of Workers slots.
+func (g *Graph) execute(parent context.Context, need []*job) error {
+	if len(need) == 0 {
+		g.report(0, 0)
+		return parent.Err()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+		fail     = func(err error) {
+			errOnce.Do(func() {
+				firstErr = err
+				cancel()
+			})
+		}
+		sem      = make(chan struct{}, g.r.opts.Workers)
+		wg       sync.WaitGroup
+		executed atomic.Int64
+	)
+	prog := newProgress(g.r.opts.Progress, len(need))
+	for _, j := range need {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			for _, d := range j.deps {
+				select {
+				case <-d.done:
+					if d.err != nil {
+						j.complete(nil, fmt.Errorf("dependency %s: %w", d.label, d.err))
+						return
+					}
+				case <-ctx.Done():
+					j.complete(nil, ctx.Err())
+					return
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				j.complete(nil, ctx.Err())
+				return
+			}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				j.complete(nil, ctx.Err())
+				return
+			}
+			v, err := j.run(ctx)
+			g.r.executed.Add(1)
+			executed.Add(1)
+			if err != nil {
+				j.complete(nil, fmt.Errorf("%s: %w", j.label, err))
+				fail(j.err)
+				return
+			}
+			j.complete(v, nil)
+			if !j.key.IsZero() {
+				g.r.memoPut(j.key, v)
+				if !j.noStore && g.r.opts.Cache != nil {
+					if data, err := json.Marshal(v); err == nil {
+						g.r.opts.Cache.Put(j.key, data) // best-effort
+					}
+				}
+			}
+			prog.jobDone(j.label)
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	g.report(len(need), int(executed.Load()))
+	return nil
+}
+
+// report emits the per-graph summary line.
+func (g *Graph) report(needed, executed int) {
+	w := g.r.opts.Progress
+	if w == nil {
+		return
+	}
+	served := len(g.jobs) - needed
+	fmt.Fprintf(w, "runner: %d jobs — %d executed, %d served from cache/memo (workers=%d)\n",
+		len(g.jobs), executed, served, g.r.opts.Workers)
+}

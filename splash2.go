@@ -190,6 +190,12 @@ func LineSizeSweep(app string, procs, cacheSize int, lineSizes []int, scale Scal
 // DefaultCacheSizes returns the paper's 1 KB–1 MB sweep points.
 func DefaultCacheSizes() []int { return core.DefaultCacheSizes() }
 
+// DefaultCacheDir returns the default on-disk result-cache root
+// (<user cache dir>/splash2). Experiment drivers use it when
+// ReportOptions.CacheDir is set; cached results carry the suite version
+// in their keys and are invalidated by bumping it.
+func DefaultCacheDir() (string, error) { return core.DefaultCacheDir() }
+
 // DefaultLineSizes returns the paper's 8 B–256 B sweep points.
 func DefaultLineSizes() []int { return core.DefaultLineSizes() }
 
@@ -217,3 +223,11 @@ func RecordTrace(app string, procs int, opts map[string]int) (*Trace, Stats, err
 
 // ReplayTrace feeds a recorded trace through a fresh memory system.
 func ReplayTrace(t *Trace, cfg MemConfig) (MemStats, error) { return memsys.Replay(t, cfg) }
+
+// ReplaySweep replays one recorded trace through each configuration,
+// scheduling the replays across workers goroutines (≤ 0 selects
+// GOMAXPROCS). Replay is read-only on the trace, and results are
+// identical to serial ReplayTrace calls.
+func ReplaySweep(t *Trace, cfgs []MemConfig, workers int) ([]MemStats, error) {
+	return core.ReplaySweep(t, cfgs, workers)
+}
