@@ -281,6 +281,85 @@ func BenchmarkTraceReplay(b *testing.B) {
 	b.ReportMetric(float64(tr.Len()), "refs-per-replay")
 }
 
+// benchSweepTrace records the fft reference stream the one-pass-sweep
+// benches replay, and returns it with the paper's 1 KB–1 MB sweep
+// configurations at 64-byte lines.
+func benchSweepTrace(b *testing.B, assoc int) (*splash2.Trace, []splash2.MemConfig) {
+	b.Helper()
+	tr, _, err := splash2.RecordTrace("fft", 8, map[string]int{"n": 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cfgs []splash2.MemConfig
+	for _, cs := range splash2.DefaultCacheSizes() {
+		cfgs = append(cfgs, splash2.MemConfig{Procs: 8, CacheSize: cs, Assoc: assoc, LineSize: 64})
+	}
+	return tr, cfgs
+}
+
+// BenchmarkReplay is the serial baseline for a Figure-3 column: one
+// full trace replay per cache size.
+func BenchmarkReplay(b *testing.B) {
+	tr, cfgs := benchSweepTrace(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			if _, err := splash2.ReplayTrace(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "configs")
+}
+
+// BenchmarkReplayMulti replays the same sweep fused: the trace is
+// decoded once and every configuration's system is fed per reference.
+func BenchmarkReplayMulti(b *testing.B) {
+	tr, cfgs := benchSweepTrace(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := splash2.ReplayTraceMulti(tr, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "configs")
+}
+
+// BenchmarkReplayFullyAssoc is the serial baseline the stack-distance
+// pass replaces: one fully-associative replay per cache size.
+func BenchmarkReplayFullyAssoc(b *testing.B) {
+	tr, cfgs := benchSweepTrace(b, splash2.FullyAssoc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			if _, err := splash2.ReplayTrace(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "configs")
+}
+
+// BenchmarkStackDistance answers the whole fully-associative sweep from
+// one stack-distance pass over the trace.
+func BenchmarkStackDistance(b *testing.B) {
+	tr, cfgs := benchSweepTrace(b, splash2.FullyAssoc)
+	maxSize := cfgs[len(cfgs)-1].CacheSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := splash2.StackDistances(tr, 64, maxSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			if _, err := sp.MissRate(cfg.CacheSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "configs")
+}
+
 // benchReportOptions is the two-program characterization subset used by
 // the end-to-end pipeline benches (the cost of cmd/characterize).
 func benchReportOptions() splash2.ReportOptions {

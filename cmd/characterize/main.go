@@ -14,16 +14,21 @@
 //	characterize -j 8                 # run experiments on 8 workers
 //	characterize -no-cache            # skip the on-disk result cache
 //	characterize -progress            # live per-experiment progress on stderr
+//	characterize -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Results are cached on disk under <user cache dir>/splash2 (override
 // with -cache-dir), keyed by program, options, machine configuration and
-// suite version, so repeated runs only execute what changed.
+// suite version, so repeated runs only execute what changed. Note that a
+// cached run executes no experiments, so when profiling pair the flags
+// with -no-cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,18 +62,26 @@ func parseProcList(s string) ([]int, error) {
 }
 
 func main() {
+	// All work happens in run so that deferred profile writers execute
+	// before the process exits (os.Exit skips defers).
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		appsFlag  = flag.String("apps", "", "comma-separated subset (default: full suite)")
-		procs     = flag.Int("p", 32, "processors for fixed-count experiments")
-		procList  = flag.String("plist", "1,2,4,8,16,32", "processor counts for scaling sweeps")
-		scaleName = flag.String("scale", "sweep", `problem sizes: "sweep", "default" or "paper"`)
-		allAssocs = flag.Bool("all-assocs", false, "Figure 3 with all associativities")
-		plot      = flag.Bool("plot", false, "render ASCII charts alongside the tables")
-		format    = flag.String("format", "text", `output format: "text", "json" or "csv"`)
-		workers   = flag.Int("j", 0, "experiment-level parallelism (0 = GOMAXPROCS)")
-		cacheDir  = flag.String("cache-dir", "", "result cache directory (default: <user cache dir>/splash2)")
-		noCache   = flag.Bool("no-cache", false, "disable the on-disk result cache")
-		progress  = flag.Bool("progress", false, "live per-experiment progress on stderr")
+		appsFlag   = flag.String("apps", "", "comma-separated subset (default: full suite)")
+		procs      = flag.Int("p", 32, "processors for fixed-count experiments")
+		procList   = flag.String("plist", "1,2,4,8,16,32", "processor counts for scaling sweeps")
+		scaleName  = flag.String("scale", "sweep", `problem sizes: "sweep", "default" or "paper"`)
+		allAssocs  = flag.Bool("all-assocs", false, "Figure 3 with all associativities")
+		plot       = flag.Bool("plot", false, "render ASCII charts alongside the tables")
+		format     = flag.String("format", "text", `output format: "text", "json" or "csv"`)
+		workers    = flag.Int("j", 0, "experiment-level parallelism (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "result cache directory (default: <user cache dir>/splash2)")
+		noCache    = flag.Bool("no-cache", false, "disable the on-disk result cache")
+		progress   = flag.Bool("progress", false, "live per-experiment progress on stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -79,7 +92,7 @@ func main() {
 	var err error
 	if o.ProcList, err = parseProcList(*procList); err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(2)
+		return 2
 	}
 	switch *scaleName {
 	case "sweep":
@@ -90,13 +103,13 @@ func main() {
 		o.Scale = splash2.PaperScale
 	default:
 		fmt.Fprintf(os.Stderr, "characterize: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		return 2
 	}
 	switch {
 	case *noCache:
 		if *cacheDir != "" {
 			fmt.Fprintln(os.Stderr, "characterize: -no-cache and -cache-dir are mutually exclusive")
-			os.Exit(2)
+			return 2
 		}
 	case *cacheDir != "":
 		o.CacheDir = *cacheDir
@@ -112,17 +125,45 @@ func main() {
 		o.Progress = os.Stderr
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "characterize:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "characterize:", err)
+			}
+		}()
+	}
+
 	switch *format {
 	case "text":
 		if err := splash2.Characterize(os.Stdout, o); err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
-			os.Exit(1)
+			return 1
 		}
 	case "json", "csv":
 		res, err := splash2.CollectResults(o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
-			os.Exit(1)
+			return 1
 		}
 		if *format == "json" {
 			err = res.WriteJSON(os.Stdout)
@@ -131,10 +172,11 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
-			os.Exit(1)
+			return 1
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "characterize: unknown format %q\n", *format)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

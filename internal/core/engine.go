@@ -156,23 +156,6 @@ func (e *Engine) recordStatsJob(g *runner.Graph, rec runner.Job[recordOut], id t
 	})
 }
 
-// replayJob schedules one trace replay through a memory-system
-// configuration (kind "replay").
-func (e *Engine) replayJob(g *runner.Graph, rec runner.Job[recordOut], id traceIdent, mem memsys.Config) runner.Job[memsys.Stats] {
-	mem = mem.WithDefaults()
-	return runner.Submit(g, runner.Spec{
-		Label: fmt.Sprintf("replay %s %dK/%s/%dB", id.App, mem.CacheSize/1024, assocLabel(mem.Assoc), mem.LineSize),
-		Key:   runner.KeyOf("replay", id, mem),
-		Deps:  []runner.Handle{rec},
-	}, func(ctx context.Context) (memsys.Stats, error) {
-		out, err := rec.Result()
-		if err != nil {
-			return memsys.Stats{}, err
-		}
-		return memsys.Replay(out.Trace, mem)
-	})
-}
-
 // ReplaySweep replays an already-loaded trace (e.g. from a trace file)
 // through each configuration in parallel. Replays are keyed by a digest
 // of the trace content, so repeated sweeps over the same trace file are

@@ -132,7 +132,7 @@ func TestDiskCacheSurvivesCorruption(t *testing.T) {
 // TestTraceSharedAcrossSweeps: the Figure-3 and Figure-7/8 sweeps must
 // share one recorded trace per program within an engine. After a
 // WorkingSets sweep, a LineSizeSweep over fresh configurations executes
-// only its own replays plus the recording-counters job — the trace
+// only its own fused sweep plus the recording-counters job — the trace
 // recording itself is served from the in-memory memo.
 func TestTraceSharedAcrossSweeps(t *testing.T) {
 	e, err := NewEngine(EngineOptions{Workers: 2})
@@ -150,7 +150,7 @@ func TestTraceSharedAcrossSweeps(t *testing.T) {
 	}
 	delta := e.Counts().Executed - before
 
-	want := int64(len(lineSizes) + 1) // replays + recordstats, no re-record
+	want := int64(2) // one fused lssweep + recordstats, no re-record
 	if delta != want {
 		t.Fatalf("line-size sweep executed %d jobs, want %d (recording not shared?)", delta, want)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -48,12 +49,12 @@ func LineSizeSweep(app string, procs int, cacheSize int, lineSizes []int, scale 
 }
 
 // lineSizeJobs is the scheduled form of one program's line-size sweep: a
-// lazy record job feeding per-line-size replays, plus the small
-// disk-cacheable recording counters needed for normalization (so a
+// lazy record job feeding one fused all-line-sizes replay, plus the
+// small disk-cacheable recording counters needed for normalization (so a
 // fully-cached sweep never re-records the trace).
 type lineSizeJobs struct {
-	stats   runner.Job[mach.Stats]
-	replays []runner.Job[memsys.Stats]
+	stats runner.Job[mach.Stats]
+	sweep runner.Job[[]memsys.Stats]
 }
 
 // LineSizeSweep schedules one program's Figure-7/8 sweep.
@@ -69,12 +70,24 @@ func (e *Engine) LineSizeSweep(app string, procs int, cacheSize int, lineSizes [
 func (e *Engine) lineSizeJobs(g *runner.Graph, app string, procs, cacheSize int, lineSizes []int, scale Scale) lineSizeJobs {
 	id := traceIdent{App: app, Procs: procs, Opts: canonOpts(scale.Overrides(app))}
 	rec := e.recordJob(g, id)
-	jobs := lineSizeJobs{stats: e.recordStatsJob(g, rec, id)}
-	for _, ls := range lineSizes {
-		jobs.replays = append(jobs.replays,
-			e.replayJob(g, rec, id, memsys.Config{Procs: procs, CacheSize: cacheSize, Assoc: 4, LineSize: ls}))
-	}
-	return jobs
+	// One job replays the whole sweep fused (kind "lssweep"): the trace is
+	// decoded once, every line size's system fed per reference.
+	sweep := runner.Submit(g, runner.Spec{
+		Label: fmt.Sprintf("lssweep %s %dK 4-way ×%d line sizes", app, cacheSize/1024, len(lineSizes)),
+		Key:   runner.KeyOf("lssweep", id, cacheSize, lineSizes),
+		Deps:  []runner.Handle{rec},
+	}, func(ctx context.Context) ([]memsys.Stats, error) {
+		out, err := rec.Result()
+		if err != nil {
+			return nil, err
+		}
+		cfgs := make([]memsys.Config, len(lineSizes))
+		for i, ls := range lineSizes {
+			cfgs[i] = memsys.Config{Procs: procs, CacheSize: cacheSize, Assoc: 4, LineSize: ls}
+		}
+		return memsys.ReplayMulti(out.Trace, cfgs)
+	})
+	return lineSizeJobs{stats: e.recordStatsJob(g, rec, id), sweep: sweep}
 }
 
 func (e *Engine) lineSizePoints(app string, lineSizes []int, jobs lineSizeJobs) ([]LineSizePoint, error) {
@@ -92,11 +105,12 @@ func (e *Engine) lineSizePoints(app string, lineSizes []int, jobs lineSizeJobs) 
 	if denom == 0 {
 		denom = 1
 	}
+	sweep, err := jobs.sweep.Result()
+	if err != nil {
+		return nil, err
+	}
 	for i, ls := range lineSizes {
-		st, err := jobs.replays[i].Result()
-		if err != nil {
-			return nil, err
-		}
+		st := sweep[i]
 		agg := st.Aggregate()
 		refs := float64(agg.Refs())
 		if refs == 0 {

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"splash2/internal/memsys"
+)
+
+// equivTestTrace records one program's reference stream at sweep scale
+// for the fused-replay equivalence tests. Each equivalence check must
+// compare both paths on the SAME trace: recording is scheduling-
+// dependent, so separate recordings are different interleavings.
+func equivTestTrace(t *testing.T, app string) *memsys.Trace {
+	t.Helper()
+	tr, _, err := RecordApp(app, 4, SweepScale.Overrides(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestReplayMultiMatchesReplayOnAppTraces: on real recorded application
+// traces (not just synthetic streams), the fused multi-configuration
+// replay must be deep-equal, configuration by configuration, to
+// independent serial replays.
+func TestReplayMultiMatchesReplayOnAppTraces(t *testing.T) {
+	cfgs := []memsys.Config{
+		{Procs: 4, CacheSize: 16 << 10, Assoc: 4, LineSize: 64},
+		{Procs: 4, CacheSize: 64 << 10, Assoc: 1, LineSize: 64},
+		{Procs: 4, CacheSize: 64 << 10, Assoc: memsys.FullyAssoc, LineSize: 64},
+		{Procs: 4, CacheSize: 64 << 10, Assoc: 4, LineSize: 16},
+		{Procs: 4, CacheSize: 64 << 10, Assoc: 4, LineSize: 256},
+	}
+	for _, app := range engineTestApps {
+		tr := equivTestTrace(t, app)
+		multi, err := memsys.ReplayMulti(tr, cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			single, err := memsys.Replay(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(multi[i], single) {
+				t.Errorf("%s cfg %d: fused replay diverges from serial replay", app, i)
+			}
+		}
+	}
+}
+
+// TestStackDistancesMatchReplayOnAppTraces: the one-pass stack-distance
+// profile must reproduce fully-associative Replay miss counts and rates
+// exactly on recorded application traces.
+func TestStackDistancesMatchReplayOnAppTraces(t *testing.T) {
+	sizes := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 1 << 20}
+	for _, app := range engineTestApps {
+		tr := equivTestTrace(t, app)
+		sp, err := memsys.StackDistances(tr, 64, sizes[len(sizes)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range sizes {
+			st, err := memsys.Replay(tr, memsys.Config{Procs: 4, CacheSize: cs, Assoc: memsys.FullyAssoc, LineSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			misses, err := sp.Misses(cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := st.Aggregate().TotalMisses(); misses != want {
+				t.Errorf("%s %dK: stack-distance misses %d, replay %d", app, cs/1024, misses, want)
+			}
+			rate, err := sp.MissRate(cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rate != st.MissRate() {
+				t.Errorf("%s %dK: stack-distance miss rate %v not bit-identical to replay %v", app, cs/1024, rate, st.MissRate())
+			}
+		}
+	}
+}
+
+// TestWorkingSetsMatchPerConfigReplays: the fused Figure-3 grid (stack
+// distances for fully-associative points, multi-replay for the
+// set-associative ones) must be bit-identical to the per-configuration
+// serial path it replaced. Both sides run on ONE recorded trace: program
+// scheduling is not deterministic, so two recordings of the same program
+// are distinct interleavings with (legitimately) different miss counts.
+func TestWorkingSetsMatchPerConfigReplays(t *testing.T) {
+	cacheSizes := []int{2 << 10, 8 << 10, 32 << 10, 128 << 10}
+	assocs := []int{1, 4, memsys.FullyAssoc}
+	const app = "fft"
+
+	tr := equivTestTrace(t, app)
+	grid, err := workingSetMissRates(tr, 4, cacheSizes, assocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ai, assoc := range assocs {
+		if len(grid[ai]) != len(cacheSizes) {
+			t.Fatalf("assoc=%d row has unexpected shape: %+v", assoc, grid[ai])
+		}
+		for si, cs := range cacheSizes {
+			st, err := memsys.Replay(tr, memsys.Config{Procs: 4, CacheSize: cs, Assoc: assoc, LineSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := 100 * st.MissRate(); grid[ai][si] != want {
+				t.Errorf("assoc=%d size=%dK: fused grid %v, serial replay %v", assoc, cs/1024, grid[ai][si], want)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -36,40 +37,111 @@ func WorkingSets(appNames []string, procs int, cacheSizes []int, assocs []int, s
 	return serialEngine().WorkingSets(appNames, procs, cacheSizes, assocs, scale)
 }
 
-// WorkingSets schedules one lazy record job per program feeding the
-// assoc × cache-size replay jobs, so a program whose every sweep point
-// is served from the result cache is never re-executed at all.
+// WorkingSets schedules one lazy record job per program feeding a single
+// fused sweep job, so a program whose grid is served from the result
+// cache is never re-executed at all, and an uncached grid costs one
+// multi-configuration pass over the trace instead of one replay per
+// point.
 func (e *Engine) WorkingSets(appNames []string, procs int, cacheSizes []int, assocs []int, scale Scale) ([]MissCurve, error) {
 	g := e.r.NewGraph()
-	jobs := make(map[string][]runner.Job[memsys.Stats], len(appNames))
+	sweeps := make(map[string]runner.Job[[][]float64], len(appNames))
 	for _, name := range appNames {
 		id := traceIdent{App: name, Procs: procs, Opts: canonOpts(scale.Overrides(name))}
 		rec := e.recordJob(g, id)
-		for _, assoc := range assocs {
-			for _, cs := range cacheSizes {
-				jobs[name] = append(jobs[name],
-					e.replayJob(g, rec, id, memsys.Config{Procs: procs, CacheSize: cs, Assoc: assoc, LineSize: 64}))
-			}
-		}
+		sweeps[name] = e.workingSetSweepJob(g, rec, id, cacheSizes, assocs)
 	}
 	if err := g.Wait(e.ctx); err != nil {
 		return nil, err
 	}
 	var out []MissCurve
 	for _, name := range appNames {
+		grid, err := sweeps[name].Result()
+		if err != nil {
+			return nil, err
+		}
 		for ai, assoc := range assocs {
-			curve := MissCurve{App: name, Assoc: assoc, CacheSizes: cacheSizes}
-			for ci := range cacheSizes {
-				st, err := jobs[name][ai*len(cacheSizes)+ci].Result()
-				if err != nil {
-					return nil, err
-				}
-				curve.MissRate = append(curve.MissRate, 100*st.MissRate())
-			}
-			out = append(out, curve)
+			out = append(out, MissCurve{App: name, Assoc: assoc, CacheSizes: cacheSizes, MissRate: grid[ai]})
 		}
 	}
 	return out, nil
+}
+
+// workingSetSweepJob schedules one program's whole Figure-3 grid as a
+// single job (kind "wsweep"): every assoc × cache-size point is computed
+// from the recorded trace in one pass — a stack-distance simulation
+// answers all fully-associative sizes at once and a fused multi-
+// configuration replay covers the set-associative points.
+func (e *Engine) workingSetSweepJob(g *runner.Graph, rec runner.Job[recordOut], id traceIdent, cacheSizes, assocs []int) runner.Job[[][]float64] {
+	return runner.Submit(g, runner.Spec{
+		Label: fmt.Sprintf("wsweep %s %d sizes × %d assocs", id.App, len(cacheSizes), len(assocs)),
+		Key:   runner.KeyOf("wsweep", id, cacheSizes, assocs, 64),
+		Deps:  []runner.Handle{rec},
+	}, func(ctx context.Context) ([][]float64, error) {
+		out, err := rec.Result()
+		if err != nil {
+			return nil, err
+		}
+		return workingSetMissRates(out.Trace, id.Procs, cacheSizes, assocs)
+	})
+}
+
+// workingSetMissRates computes the assoc-major miss-rate grid of a
+// Figure-3 sweep: grid[ai][ci] is the percentage miss rate with 64-byte
+// lines at assocs[ai], cacheSizes[ci] — numerically identical, point by
+// point, to replaying each configuration separately.
+func workingSetMissRates(tr *memsys.Trace, procs int, cacheSizes, assocs []int) ([][]float64, error) {
+	grid := make([][]float64, len(assocs))
+	for i := range grid {
+		grid[i] = make([]float64, len(cacheSizes))
+	}
+
+	// Set-associative points: one fused replay drives every configuration
+	// off a single decode of the trace.
+	var cfgs []memsys.Config
+	var at [][2]int
+	for ai, assoc := range assocs {
+		if assoc == memsys.FullyAssoc {
+			continue
+		}
+		for ci, cs := range cacheSizes {
+			cfgs = append(cfgs, memsys.Config{Procs: procs, CacheSize: cs, Assoc: assoc, LineSize: 64})
+			at = append(at, [2]int{ai, ci})
+		}
+	}
+	stats, err := memsys.ReplayMulti(tr, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range stats {
+		grid[at[i][0]][at[i][1]] = 100 * st.MissRate()
+	}
+
+	// Fully-associative points: one stack-distance pass answers all sizes.
+	var sp *memsys.StackProfile
+	for ai, assoc := range assocs {
+		if assoc != memsys.FullyAssoc {
+			continue
+		}
+		if sp == nil {
+			maxSize := 0
+			for _, cs := range cacheSizes {
+				if cs > maxSize {
+					maxSize = cs
+				}
+			}
+			if sp, err = memsys.StackDistances(tr, 64, maxSize); err != nil {
+				return nil, err
+			}
+		}
+		for ci, cs := range cacheSizes {
+			mr, err := sp.MissRate(cs)
+			if err != nil {
+				return nil, err
+			}
+			grid[ai][ci] = 100 * mr
+		}
+	}
+	return grid, nil
 }
 
 // assocLabel names an associativity.

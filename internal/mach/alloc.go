@@ -58,15 +58,22 @@ func (m *Machine) Alloc(words int, shared bool, place Placement) Addr {
 	m.allocMu.Lock()
 	base := m.nextLine
 	m.nextLine += uint64(lines)
+	// Appending may grow in place: slots beyond the published length are
+	// written only here (under allocMu) and readers never look past the
+	// length of the snapshot they loaded, so the lock-free lookups in
+	// homeOf/isShared stay race-free. The store publishes the new entries.
+	old := m.hm.Load()
+	homes, sharedMap := old.homes, old.shared
 	for i := 0; i < lines; i++ {
 		h := place(i, lines, m.cfg.Procs)
 		if h < 0 || h >= m.cfg.Procs {
 			m.allocMu.Unlock()
 			panic(fmt.Sprintf("mach: placement returned node %d of %d", h, m.cfg.Procs))
 		}
-		m.homes = append(m.homes, int32(h))
-		m.shared = append(m.shared, shared)
+		homes = append(homes, int32(h))
+		sharedMap = append(sharedMap, shared)
 	}
+	m.hm.Store(&homeMap{homes: homes, shared: sharedMap})
 	m.allocMu.Unlock()
 
 	if m.sys != nil {
@@ -77,7 +84,6 @@ func (m *Machine) Alloc(words int, shared bool, place Placement) Addr {
 
 // AllocatedWords returns the allocation high-water mark in words.
 func (m *Machine) AllocatedWords() uint64 {
-	m.allocMu.RLock()
-	defer m.allocMu.RUnlock()
-	return m.nextLine * uint64(m.memCfg.LineSize/WordBytes)
+	lines := uint64(len(m.hm.Load().homes))
+	return lines * uint64(m.memCfg.LineSize/WordBytes)
 }

@@ -21,6 +21,7 @@ package mach
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"splash2/internal/memsys"
 )
@@ -64,16 +65,24 @@ func (c Config) MemConfig() memsys.Config {
 	}.WithDefaults()
 }
 
+// homeMap is an immutable snapshot of the allocator's placement state:
+// per-line home node and shared flag. Alloc publishes a fresh snapshot
+// atomically after each allocation, so the memory system's per-reference
+// home and sharing lookups read it without taking any lock.
+type homeMap struct {
+	homes  []int32
+	shared []bool
+}
+
 // Machine is one simulated multiprocessor.
 type Machine struct {
 	cfg    Config
 	memCfg memsys.Config
 	sys    *memsys.System // nil under CountOnly
 
-	allocMu  sync.RWMutex
-	nextLine uint64 // allocation high-water mark, in lines
-	homes    []int32
-	shared   []bool
+	allocMu  sync.Mutex // serializes allocators; readers use hm
+	nextLine uint64     // allocation high-water mark, in lines
+	hm       atomic.Pointer[homeMap]
 
 	procs []*Proc
 
@@ -94,6 +103,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	cfg.Procs = mc.Procs
 	m := &Machine{cfg: cfg, memCfg: mc}
+	m.hm.Store(&homeMap{})
 	if cfg.MemModel == FullMem {
 		sys, err := memsys.New(mc, m.homeOf)
 		if err != nil {
@@ -129,21 +139,21 @@ func (m *Machine) Config() Config { return m.cfg }
 // LineSize returns the cache line size in bytes.
 func (m *Machine) LineSize() int { return m.memCfg.LineSize }
 
-// homeOf implements memsys.HomeFn.
+// homeOf implements memsys.HomeFn. It runs on every simulated cache
+// miss, so it reads the atomically published snapshot instead of
+// taking a lock.
 func (m *Machine) homeOf(line uint64) int {
-	m.allocMu.RLock()
-	defer m.allocMu.RUnlock()
-	if line < uint64(len(m.homes)) {
-		return int(m.homes[line])
+	hm := m.hm.Load()
+	if line < uint64(len(hm.homes)) {
+		return int(hm.homes[line])
 	}
 	return 0
 }
 
 // isShared reports whether the line was allocated as shared data.
 func (m *Machine) isShared(line uint64) bool {
-	m.allocMu.RLock()
-	defer m.allocMu.RUnlock()
-	return line < uint64(len(m.shared)) && m.shared[line]
+	hm := m.hm.Load()
+	return line < uint64(len(hm.shared)) && hm.shared[line]
 }
 
 // Run executes body once per processor, each on its own goroutine, and
@@ -184,9 +194,7 @@ func (m *Machine) FinishRecording() *memsys.Trace {
 	if m.rec == nil {
 		return nil
 	}
-	m.allocMu.RLock()
-	homes := append([]int32(nil), m.homes...)
-	m.allocMu.RUnlock()
+	homes := append([]int32(nil), m.hm.Load().homes...)
 	tr := m.rec.Finish(homes)
 	m.rec = nil
 	return tr

@@ -27,12 +27,18 @@ func (s LineState) String() string {
 	return "?"
 }
 
-// way is one entry of a set-associative cache set.
+// way is one entry of a set-associative cache set, packed to 16 bytes so
+// a 4-way set is exactly one 64-byte cache line. tag is (line+1)<<2 with
+// the Illinois state in the low two bits; 0 means invalid. Valid lines
+// are never in state Invalid, so the probe loop needs one masked compare
+// per way instead of a line match plus a state check.
 type way struct {
-	line  uint64
+	tag   uint64 // (line+1)<<2 | state, 0 = invalid
 	stamp uint64 // LRU timestamp; higher = more recently used
-	state LineState
 }
+
+// wayTag packs a line and state into a way tag.
+func wayTag(line uint64, st LineState) uint64 { return (line+1)<<2 | uint64(st) }
 
 // fnode is one entry of a fully associative cache's LRU list.
 type fnode struct {
@@ -47,7 +53,8 @@ type fnode struct {
 type cache struct {
 	ways    int
 	sets    int
-	entries []way // set i occupies entries[i*ways : (i+1)*ways]
+	setMask uint64 // sets-1 when sets is a power of two, else 0 (use modulo)
+	entries []way  // set i occupies entries[i*ways : (i+1)*ways]
 	stamp   uint64
 
 	full  bool
@@ -66,6 +73,9 @@ func newCache(cfg Config) *cache {
 	}
 	c.ways = cfg.ways()
 	c.sets = cfg.sets()
+	if c.sets&(c.sets-1) == 0 {
+		c.setMask = uint64(c.sets - 1)
+	}
 	c.entries = make([]way, c.sets*c.ways)
 	return c
 }
@@ -81,11 +91,12 @@ func (c *cache) lookup(line uint64) LineState {
 		return n.state
 	}
 	set := c.set(line)
+	want := (line + 1) << 2
 	for i := range set {
-		if set[i].line == line && set[i].state != Invalid {
+		if set[i].tag&^3 == want {
 			c.stamp++
 			set[i].stamp = c.stamp
-			return set[i].state
+			return LineState(set[i].tag & 3)
 		}
 	}
 	return Invalid
@@ -100,9 +111,10 @@ func (c *cache) peek(line uint64) LineState {
 		return Invalid
 	}
 	set := c.set(line)
+	want := (line + 1) << 2
 	for i := range set {
-		if set[i].line == line && set[i].state != Invalid {
-			return set[i].state
+		if set[i].tag&^3 == want {
+			return LineState(set[i].tag & 3)
 		}
 	}
 	return Invalid
@@ -115,9 +127,10 @@ func (c *cache) setState(line uint64, st LineState) {
 		return
 	}
 	set := c.set(line)
+	want := (line + 1) << 2
 	for i := range set {
-		if set[i].line == line && set[i].state != Invalid {
-			set[i].state = st
+		if set[i].tag&^3 == want {
+			set[i].tag = want | uint64(st)
 			return
 		}
 	}
@@ -134,9 +147,10 @@ func (c *cache) invalidate(line uint64) {
 		return
 	}
 	set := c.set(line)
+	want := (line + 1) << 2
 	for i := range set {
-		if set[i].line == line && set[i].state != Invalid {
-			set[i].state = Invalid
+		if set[i].tag&^3 == want {
+			set[i].tag = 0
 			return
 		}
 	}
@@ -165,9 +179,10 @@ func (c *cache) insert(line uint64, st LineState) (victim uint64, vstate LineSta
 	}
 
 	set := c.set(line)
+	want := (line + 1) << 2
 	for i := range set {
-		if set[i].line == line && set[i].state != Invalid {
-			set[i].state = st
+		if set[i].tag&^3 == want {
+			set[i].tag = want | uint64(st)
 			c.stamp++
 			set[i].stamp = c.stamp
 			return 0, Invalid, false
@@ -176,7 +191,7 @@ func (c *cache) insert(line uint64, st LineState) (victim uint64, vstate LineSta
 	// Prefer an invalid slot, else evict the LRU valid slot.
 	slot := -1
 	for i := range set {
-		if set[i].state == Invalid {
+		if set[i].tag == 0 {
 			slot = i
 			break
 		}
@@ -189,10 +204,10 @@ func (c *cache) insert(line uint64, st LineState) (victim uint64, vstate LineSta
 				slot = i
 			}
 		}
-		victim, vstate, evicted = set[slot].line, set[slot].state, true
+		victim, vstate, evicted = set[slot].tag>>2-1, LineState(set[slot].tag&3), true
 	}
 	c.stamp++
-	set[slot] = way{line: line, stamp: c.stamp, state: st}
+	set[slot] = way{tag: wayTag(line, st), stamp: c.stamp}
 	return victim, vstate, evicted
 }
 
@@ -203,7 +218,7 @@ func (c *cache) resident() int {
 	}
 	n := 0
 	for i := range c.entries {
-		if c.entries[i].state != Invalid {
+		if c.entries[i].tag != 0 {
 			n++
 		}
 	}
@@ -219,14 +234,19 @@ func (c *cache) forEach(f func(line uint64, st LineState)) {
 		return
 	}
 	for i := range c.entries {
-		if c.entries[i].state != Invalid {
-			f(c.entries[i].line, c.entries[i].state)
+		if t := c.entries[i].tag; t != 0 {
+			f(t>>2-1, LineState(t&3))
 		}
 	}
 }
 
 func (c *cache) set(line uint64) []way {
-	s := int(line % uint64(c.sets))
+	var s int
+	if c.setMask != 0 || c.sets == 1 {
+		s = int(line & c.setMask)
+	} else {
+		s = int(line % uint64(c.sets))
+	}
 	return c.entries[s*c.ways : (s+1)*c.ways]
 }
 

@@ -1,0 +1,353 @@
+package memsys
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements a Mattson-style LRU stack-distance simulation of a
+// recorded trace: one pass produces exact miss counts for EVERY
+// fully-associative cache size simultaneously, collapsing the
+// fully-associative half of a Figure-3 working-set sweep from one O(N)
+// replay per cache size to a single O(N log M) pass.
+//
+// The classic inclusion argument: an LRU stack orders each processor's
+// resident lines by recency, and a fully-associative LRU cache of
+// capacity C holds exactly the top C stack entries. A re-reference whose
+// line sits at depth d (d lines are more recent) therefore hits iff
+// d < C — so a per-depth histogram answers every capacity at once.
+//
+// Coherence folds in exactly because invalidations are capacity-
+// independent under the Illinois (MESI) protocol: after ANY write the
+// writer is the sole holder — a write hit on Modified/Exclusive has no
+// other holders to begin with, a write hit on Shared upgrades and
+// invalidates every other sharer, and a write miss invalidates the owner
+// and all sharers during the fill. A write by q thus removes the line
+// from every other processor's stack no matter the cache size, and a
+// subsequent re-reference by an invalidated processor misses at every
+// capacity — matching Replay, where that reference misses whether the
+// copy was invalidated (sharing miss) or already evicted (capacity
+// miss). Reads never remove lines: a read miss merely downgrades a dirty
+// owner to Shared, keeping it resident.
+//
+// Deletions need one refinement to keep the prefix invariant exact: an
+// invalidated entry leaves a HOLE at its stack position rather than
+// closing the gap. A capacity-C cache that held the line now runs one
+// slot short of C, which is precisely what a hole inside its top C slots
+// encodes: cache-C contents are the real entries among the top C slots.
+// Stack depth therefore counts holes as well as real entries, and the
+// invariant is maintained by two hole rules, each checkable prefix by
+// prefix against the per-cache insert/evict semantics:
+//
+//   - A new line (cold or invalidated copy) enters every cache; pushing
+//     it on the stack consumes the topmost hole. Caches whose top-C
+//     contained that hole (or one above it) were short a slot and insert
+//     without evicting; full caches have all their holes deeper and
+//     evict their bottom entry by the shift, as usual.
+//   - A re-reference at depth d moves to the front; if some hole lies
+//     above the line, the topmost hole migrates down to the line's old
+//     slot (caches that missed fill their free slot; caches that hit
+//     keep contents — and their hole — unchanged). With no hole above,
+//     the old slot closes, the classic Mattson transformation.
+//
+// Total miss counts are then exact for every capacity; only the
+// cold/sharing/capacity decomposition is capacity-dependent, and the
+// Figure-3 curves need only totals.
+
+// StackProfile is the result of one stack-distance pass: per-processor
+// reference counts and distance histograms from which the miss count of
+// a fully-associative LRU cache of any profiled size follows in O(1) per
+// processor. Query with Misses, ProcMisses or MissRate.
+type StackProfile struct {
+	lineSize int
+	maxLines int // largest answerable capacity, in lines
+	procs    []stackCounts
+}
+
+// stackCounts accumulates one processor's view of the stream.
+type stackCounts struct {
+	reads, writes uint64
+	cold          uint64 // first-touch references: miss at every capacity
+	coherence     uint64 // invalidated-copy re-fetches: miss at every capacity
+	// hist[d] counts re-references that found their line at stack depth d
+	// (d still-resident lines touched more recently): hits in any cache
+	// of more than d lines. hist[maxLines] aggregates depths ≥ maxLines,
+	// which miss at every answerable capacity.
+	hist []uint64
+}
+
+// fenwick is a binary indexed tree over access-slot indices, counting
+// which slots currently mark a stack-resident line. It gives O(log n)
+// depth queries under the arbitrary deletions coherence causes.
+type fenwick []int32
+
+func (f fenwick) add(i int, v int32) {
+	for ; i < len(f); i += i & -i {
+		f[i] += v
+	}
+}
+
+func (f fenwick) sum(i int) int32 {
+	var s int32
+	for ; i > 0; i -= i & -i {
+		s += f[i]
+	}
+	return s
+}
+
+// holeHeap is a max-heap of stack slot indices holding invalidation
+// holes; a miss insertion consumes the topmost (most recent) hole.
+type holeHeap []int
+
+func (h *holeHeap) push(v int) {
+	s := append(*h, v)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] >= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *holeHeap) popMax() int {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r, big := 2*i+1, 2*i+2, i
+		if l < len(s) && s[l] > s[big] {
+			big = l
+		}
+		if r < len(s) && s[r] > s[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		s[i], s[big] = s[big], s[i]
+		i = big
+	}
+	*h = s
+	return top
+}
+
+// Sentinel slot values for lines not currently on a processor's stack.
+const (
+	slotNever = -1 // never referenced by this processor
+	slotInval = -2 // removed by a coherence invalidation
+)
+
+// StackDistances runs the one-pass simulation of the trace at the given
+// line size. The profile answers any cache size from lineSize up to
+// maxCacheSize. Measurement-reset markers zero the counters while
+// leaving every stack warm, exactly like System.ResetStats.
+func StackDistances(t *Trace, lineSize, maxCacheSize int) (*StackProfile, error) {
+	if lineSize < WordBytes || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("memsys: line size must be a power of two ≥ %d, got %d", WordBytes, lineSize)
+	}
+	if maxCacheSize < lineSize {
+		return nil, fmt.Errorf("memsys: max cache size %d smaller than line size %d", maxCacheSize, lineSize)
+	}
+	shift := uint(bits.TrailingZeros(uint(lineSize)))
+	maxLines := maxCacheSize / lineSize
+
+	// One pre-scan: processor count, line-index range, and per-processor
+	// access counts (the Fenwick tree sizes).
+	var maxProc int
+	var maxLine uint64
+	counts := make([]int, 128)
+	for _, e := range t.events {
+		if e == resetMarker {
+			continue
+		}
+		p := int(e >> 1 & 0x7f)
+		counts[p]++
+		if p > maxProc {
+			maxProc = p
+		}
+		if l := (e >> 8) >> shift; l > maxLine {
+			maxLine = l
+		}
+	}
+	nproc := maxProc + 1
+	if nproc > 64 {
+		return nil, fmt.Errorf("memsys: at most 64 processors supported (sharer bitset), trace has %d", nproc)
+	}
+	lines := maxLine + 1
+
+	sp := &StackProfile{lineSize: lineSize, maxLines: maxLines, procs: make([]stackCounts, nproc)}
+	last := make([][]int64, nproc) // [proc][line] -> Fenwick slot or sentinel
+	trees := make([]fenwick, nproc)
+	holes := make([]holeHeap, nproc)
+	clock := make([]int, nproc)
+	for p := 0; p < nproc; p++ {
+		l := make([]int64, lines)
+		for i := range l {
+			l[i] = slotNever
+		}
+		last[p] = l
+		trees[p] = make(fenwick, counts[p]+1)
+		sp.procs[p].hist = make([]uint64, maxLines+1)
+	}
+	holders := make([]uint64, lines) // line -> bitset of stack-resident procs
+
+	for _, e := range t.events {
+		if e == resetMarker {
+			for p := range sp.procs {
+				c := &sp.procs[p]
+				c.reads, c.writes, c.cold, c.coherence = 0, 0, 0, 0
+				for i := range c.hist {
+					c.hist[i] = 0
+				}
+			}
+			continue
+		}
+		p := int(e >> 1 & 0x7f)
+		line := (e >> 8) >> shift
+		write := e&1 == 1
+
+		c := &sp.procs[p]
+		if write {
+			c.writes++
+		} else {
+			c.reads++
+		}
+
+		tree := trees[p]
+		slot := last[p][line]
+		clock[p]++
+		now := clock[p]
+		switch slot {
+		case slotNever, slotInval:
+			if slot == slotNever {
+				c.cold++
+			} else {
+				c.coherence++
+			}
+			// The line enters every cache; the insertion fills the
+			// frontmost freed slot, if an invalidation left one.
+			if len(holes[p]) > 0 {
+				tree.add(holes[p].popMax(), -1)
+			}
+		default:
+			// Depth = stack slots (resident lines AND holes) above this
+			// one; hit in any cache of more than depth lines.
+			d := int(tree.sum(now-1) - tree.sum(int(slot)))
+			if d > maxLines {
+				d = maxLines
+			}
+			c.hist[d]++
+			if len(holes[p]) > 0 && holes[p][0] > int(slot) {
+				// A hole sits above the line: caches that missed fill their
+				// freed slot, so the topmost hole migrates down to the old
+				// position (which stays occupied, now as a hole).
+				tree.add(holes[p].popMax(), -1)
+				holes[p].push(int(slot))
+			} else {
+				tree.add(int(slot), -1)
+			}
+		}
+		tree.add(now, 1)
+		last[p][line] = int64(now)
+		holders[line] |= 1 << uint(p)
+
+		if write {
+			// Illinois-MESI: after any write the writer is the sole holder —
+			// every other resident copy leaves its stack, its slot staying
+			// behind as a hole (see file comment).
+			for rem := holders[line] &^ (1 << uint(p)); rem != 0; rem &= rem - 1 {
+				q := bits.TrailingZeros64(rem)
+				holes[q].push(int(last[q][line]))
+				last[q][line] = slotInval
+			}
+			holders[line] = 1 << uint(p)
+		}
+	}
+	return sp, nil
+}
+
+// LineSize returns the line size the profile was built at.
+func (sp *StackProfile) LineSize() int { return sp.lineSize }
+
+// MaxCacheSize returns the largest answerable cache size in bytes.
+func (sp *StackProfile) MaxCacheSize() int { return sp.maxLines * sp.lineSize }
+
+// Procs returns the number of processors in the profiled trace.
+func (sp *StackProfile) Procs() int { return len(sp.procs) }
+
+// Refs returns the total references counted since the last reset marker.
+func (sp *StackProfile) Refs() uint64 {
+	var n uint64
+	for i := range sp.procs {
+		n += sp.procs[i].reads + sp.procs[i].writes
+	}
+	return n
+}
+
+// capacityLines validates a queried cache size and converts it to lines.
+func (sp *StackProfile) capacityLines(cacheSize int) (int, error) {
+	if cacheSize < sp.lineSize || cacheSize%sp.lineSize != 0 {
+		return 0, fmt.Errorf("memsys: cache size %d not a positive multiple of line size %d", cacheSize, sp.lineSize)
+	}
+	c := cacheSize / sp.lineSize
+	if c > sp.maxLines {
+		return 0, fmt.Errorf("memsys: cache size %d exceeds profiled maximum %d", cacheSize, sp.MaxCacheSize())
+	}
+	return c, nil
+}
+
+// ProcMisses returns processor p's exact miss count in a fully-
+// associative LRU cache of the given size — equal, reference for
+// reference, to Replay with Assoc=FullyAssoc and that CacheSize.
+func (sp *StackProfile) ProcMisses(p, cacheSize int) (uint64, error) {
+	capLines, err := sp.capacityLines(cacheSize)
+	if err != nil {
+		return 0, err
+	}
+	c := &sp.procs[p]
+	m := c.cold + c.coherence
+	for d := capLines; d <= sp.maxLines; d++ {
+		m += c.hist[d]
+	}
+	return m, nil
+}
+
+// Misses returns the total miss count across processors for a fully-
+// associative LRU cache of the given size.
+func (sp *StackProfile) Misses(cacheSize int) (uint64, error) {
+	var total uint64
+	for p := range sp.procs {
+		m, err := sp.ProcMisses(p, cacheSize)
+		if err != nil {
+			return 0, err
+		}
+		total += m
+	}
+	return total, nil
+}
+
+// MissRate returns misses per reference for a fully-associative LRU
+// cache of the given size. It performs the same integer sums and single
+// float division as Stats.MissRate, so the result is bit-identical to
+// replaying the trace at that size.
+func (sp *StackProfile) MissRate(cacheSize int) (float64, error) {
+	misses, err := sp.Misses(cacheSize)
+	if err != nil {
+		return 0, err
+	}
+	var refs uint64
+	for i := range sp.procs {
+		refs += sp.procs[i].reads + sp.procs[i].writes
+	}
+	if refs == 0 {
+		return 0, nil
+	}
+	return float64(misses) / float64(refs), nil
+}

@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -45,12 +46,24 @@ type System struct {
 	cfg  Config
 	home HomeFn
 
+	// lineShift converts byte addresses to line indices (LineSize is a
+	// validated power of two, so a shift replaces the division on the
+	// hottest path).
+	lineShift uint
+
 	mu     sync.Mutex
 	caches []*cache
 	dir    []dirEntry
 	words  []wordInfo
 	hist   [][]uint64 // [proc][line] packed history
 	seq    uint64
+
+	// Trace replay precomputes the word write history once for a whole
+	// multi-configuration sweep (it depends only on the event stream, never
+	// on cache parameters): when extWords is set, classify reads the
+	// caller-provided curWord instead of s.words, and s.words stays empty.
+	extWords bool
+	curWord  wordInfo
 
 	procs   []ProcStats
 	traffic Traffic
@@ -85,6 +98,7 @@ func New(cfg Config, home HomeFn) (*System, error) {
 		return nil, fmt.Errorf("memsys: nil HomeFn")
 	}
 	s := &System{cfg: cfg, home: home}
+	s.lineShift = uint(bits.TrailingZeros(uint(cfg.LineSize)))
 	s.caches = make([]*cache, cfg.Procs)
 	s.hist = make([][]uint64, cfg.Procs)
 	for i := range s.caches {
@@ -110,11 +124,17 @@ func (s *System) Reserve(words uint64) {
 }
 
 func (s *System) growWords(words uint64) {
-	if uint64(len(s.words)) < words {
+	if uint64(len(s.words)) < words && !s.extWords {
 		nw := make([]wordInfo, words)
 		copy(nw, s.words)
 		s.words = nw
 	}
+	s.growLines(words)
+}
+
+// growLines sizes the line-granular tables (directory, per-processor
+// history) for an address space of the given number of words.
+func (s *System) growLines(words uint64) {
 	lines := (words*WordBytes + uint64(s.cfg.LineSize) - 1) / uint64(s.cfg.LineSize)
 	if uint64(len(s.dir)) < lines {
 		nd := make([]dirEntry, lines)
@@ -146,12 +166,10 @@ func (s *System) AccessAt(p int, a Addr, write bool, now uint64) (hit bool, kind
 }
 
 func (s *System) access(p int, a Addr, write bool, now uint64) (hit bool, kind MissKind) {
-	line := a.Line(s.cfg.LineSize)
-	word := a.Word()
-
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	word := a.Word()
 	if word >= uint64(len(s.words)) {
 		s.growWords(word + 1)
 	}
@@ -160,7 +178,31 @@ func (s *System) access(p int, a Addr, write bool, now uint64) (hit bool, kind M
 		now = s.seq
 	}
 	s.accessTime = now
+	return s.accessCore(p, uint64(a)>>s.lineShift, word, write)
+}
 
+// useExternalWords switches the system to precomputed word-history mode:
+// the per-system words table is never allocated and classify consumes the
+// packed last-write value handed to each replayAccessExt call instead.
+func (s *System) useExternalWords() { s.extWords = true }
+
+// replayAccessExt is the single-threaded replay entry point. Trace
+// replay owns its System exclusively, so it skips the global mutex, and
+// the word's packed write history (seq<<7 | writer+1, 0 = never written)
+// arrives precomputed from one pass over the stream. Reserve must
+// already cover the trace's address range. State transitions are
+// identical to access with now==0.
+func (s *System) replayAccessExt(p int, a Addr, write bool, lw uint64) {
+	s.seq++
+	s.accessTime = s.seq
+	s.curWord = wordInfo{time: lw >> 7, writer: int8(lw&0x7f) - 1}
+	s.accessCore(p, uint64(a)>>s.lineShift, a.Word(), write)
+}
+
+// accessCore is the protocol engine shared by the locked and replay entry
+// points. The caller has sized the tables, advanced seq, and set
+// accessTime; it must hold mu or own the System exclusively.
+func (s *System) accessCore(p int, line, word uint64, write bool) (hit bool, kind MissKind) {
 	st := &s.procs[p]
 	if write {
 		st.Writes++
@@ -228,7 +270,12 @@ func (s *System) serve(node int, n uint64) {
 }
 
 // recordWrite stamps the word's last writer for sharing classification.
+// In external-words mode the history was precomputed for the whole
+// stream, so there is nothing to record.
 func (s *System) recordWrite(p int, word uint64) {
+	if s.extWords {
+		return
+	}
 	s.words[word] = wordInfo{time: s.seq, writer: int8(p)}
 }
 
@@ -239,7 +286,10 @@ func (s *System) classify(p int, line, word uint64) MissKind {
 		return MissCold
 	}
 	lostTime := h >> 2
-	wi := s.words[word]
+	wi := s.curWord
+	if !s.extWords {
+		wi = s.words[word]
+	}
 	// A write by another processor can only happen while this processor
 	// does not hold the line, so comparing against the loss time is exact.
 	if wi.time != 0 && int(wi.writer) != p && wi.time >= lostTime {
@@ -270,10 +320,8 @@ func (s *System) upgrade(p int, line uint64) {
 // Invalidations travel home→sharer and acknowledgments sharer→requestor.
 func (s *System) invalidateSharers(p int, line uint64, d *dirEntry, home int) {
 	ob := uint64(s.cfg.OverheadBytes)
-	for q := 0; q < s.cfg.Procs; q++ {
-		if q == p || d.sharers&(1<<uint(q)) == 0 {
-			continue
-		}
+	for rem := d.sharers &^ (1 << uint(p)); rem != 0; rem &= rem - 1 {
+		q := bits.TrailingZeros64(rem)
 		// Without replacement hints the sharer list can be stale: the
 		// invalidation and acknowledgment messages are still sent (that is
 		// the cost the hints avoid) but a departed copy has nothing to
@@ -285,9 +333,7 @@ func (s *System) invalidateSharers(p int, line uint64, d *dirEntry, home int) {
 		if q != home {
 			s.traffic.RemoteOverhead += ob // invalidation
 		}
-		if q != p {
-			s.traffic.RemoteOverhead += ob // acknowledgment
-		}
+		s.traffic.RemoteOverhead += ob // acknowledgment (q != p by construction)
 	}
 }
 
@@ -473,6 +519,12 @@ func (s *System) Stats() Stats {
 func (s *System) ResetStats() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.resetStatsLocked()
+}
+
+// resetStatsLocked is ResetStats for callers that hold mu or own the
+// System exclusively (trace replay).
+func (s *System) resetStatsLocked() {
 	for i := range s.procs {
 		s.procs[i] = ProcStats{}
 	}
@@ -490,18 +542,23 @@ func (s *System) ResetStats() {
 func (s *System) CheckInvariants() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	holders := make(map[uint64]uint64) // line -> bitset from caches
-	dirtyCount := make(map[uint64]int)
+	lines := uint64(len(s.dir))
+	holders := make([]uint64, lines) // line -> bitset of holding caches
+	dirty := make([]uint64, lines)   // line -> bitset of M/E holders
 	for p, c := range s.caches {
 		var err error
 		c.forEach(func(line uint64, st LineState) {
 			if err != nil {
 				return
 			}
+			if line >= lines {
+				err = fmt.Errorf("line %d: cached beyond directory (%d lines)", line, lines)
+				return
+			}
 			holders[line] |= 1 << uint(p)
 			if st == Modified || st == Exclusive {
-				dirtyCount[line]++
-				if line < uint64(len(s.dir)) && int(s.dir[line].owner) != p {
+				dirty[line] |= 1 << uint(p)
+				if int(s.dir[line].owner) != p {
 					err = fmt.Errorf("line %d: cache %d holds %v but directory owner is %d", line, p, st, s.dir[line].owner)
 				}
 			}
@@ -511,21 +568,17 @@ func (s *System) CheckInvariants() error {
 		}
 	}
 	exact := !s.cfg.NoReplacementHints
-	for line, bits := range holders {
-		if dirtyCount[line] > 1 {
-			return fmt.Errorf("line %d: %d exclusive/modified copies", line, dirtyCount[line])
-		}
-		if line < uint64(len(s.dir)) && s.dir[line].sharers&bits != bits {
-			return fmt.Errorf("line %d: directory sharers %b miss cache holders %b", line, s.dir[line].sharers, bits)
-		}
-		if exact && line < uint64(len(s.dir)) && s.dir[line].sharers != bits {
-			return fmt.Errorf("line %d: directory sharers %b != cache holders %b", line, s.dir[line].sharers, bits)
-		}
-	}
 	for line := range s.dir {
 		d := s.dir[line]
-		if exact && d.sharers != 0 && holders[uint64(line)] != d.sharers {
-			return fmt.Errorf("line %d: directory sharers %b but holders %b", line, d.sharers, holders[uint64(line)])
+		held := holders[line]
+		if n := bits.OnesCount64(dirty[line]); n > 1 {
+			return fmt.Errorf("line %d: %d exclusive/modified copies", line, n)
+		}
+		if d.sharers&held != held {
+			return fmt.Errorf("line %d: directory sharers %b miss cache holders %b", line, d.sharers, held)
+		}
+		if exact && d.sharers != held {
+			return fmt.Errorf("line %d: directory sharers %b != cache holders %b", line, d.sharers, held)
 		}
 		if d.owner >= 0 {
 			st := s.caches[d.owner].peek(uint64(line))

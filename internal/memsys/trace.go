@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 )
 
@@ -100,40 +101,151 @@ func (r *Recorder) Finish(homes []int32) *Trace {
 	return &r.tr
 }
 
-// Replay feeds the trace through a fresh memory system with the given
-// configuration and returns the resulting statistics.
-func Replay(t *Trace, cfg Config) (Stats, error) {
-	cfg = cfg.WithDefaults()
-	need := t.MaxProc() + 1
+// scan computes the highest processor id and byte address of the trace in
+// one pass, skipping reset markers (whose packed encoding would otherwise
+// read as processor 127 at address 0).
+func (t *Trace) scan() (maxProc int, maxAddr Addr) {
+	for _, e := range t.events {
+		if e == resetMarker {
+			continue
+		}
+		if p := int(e >> 1 & 0x7f); p > maxProc {
+			maxProc = p
+		}
+		if a := Addr(e >> 8); a > maxAddr {
+			maxAddr = a
+		}
+	}
+	return maxProc, maxAddr
+}
+
+// minProcs returns the processor count the trace demands of a replay
+// machine: every referencing processor and every home node must exist.
+func (t *Trace) minProcs(maxProc int) int {
+	need := maxProc + 1
 	for _, h := range t.homes {
 		if int(h)+1 > need {
 			need = int(h) + 1
 		}
 	}
-	if cfg.Procs < need {
-		return Stats{}, fmt.Errorf("memsys: trace needs ≥ %d processors, replay machine has %d", need, cfg.Procs)
-	}
-	sys, err := New(cfg, t.HomeFn(cfg.LineSize))
+	return need
+}
+
+// Replay feeds the trace through a fresh memory system with the given
+// configuration and returns the resulting statistics.
+func Replay(t *Trace, cfg Config) (Stats, error) {
+	out, err := ReplayMulti(t, []Config{cfg})
 	if err != nil {
 		return Stats{}, err
 	}
-	// Pre-size tables from the trace's address range.
-	var maxAddr Addr
-	for i := range t.events {
-		if a := Addr(t.events[i] >> 8); a > maxAddr {
-			maxAddr = a
-		}
+	return out[0], nil
+}
+
+// ReplayMulti feeds the trace through one fresh memory system per
+// configuration in a single fused pass: event decode, reset handling and
+// the address-range pre-scan happen once for the whole sweep instead of
+// once per configuration, and every reference enters each system through
+// the lock-free single-threaded path. When several CPUs are available
+// the systems are sharded across them — each system is still driven by
+// exactly one goroutine over the read-only stream, so the statistics are
+// unchanged by the sharding. Configurations may differ in any parameter,
+// line size included. The returned statistics are, position by position,
+// exactly what per-configuration Replay calls would produce (the systems
+// share nothing but the decoded stream).
+func ReplayMulti(t *Trace, cfgs []Config) ([]Stats, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
 	}
-	sys.Reserve(uint64(maxAddr)/WordBytes + 1)
-	for i := range t.events {
-		if t.events[i] == resetMarker {
-			sys.ResetStats()
+	maxProc, maxAddr := t.scan()
+	need := t.minProcs(maxProc)
+	systems := make([]*System, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg = cfg.WithDefaults()
+		if cfg.Procs < need {
+			return nil, fmt.Errorf("memsys: trace needs ≥ %d processors, replay machine has %d", need, cfg.Procs)
+		}
+		sys, err := New(cfg, t.HomeFn(cfg.LineSize))
+		if err != nil {
+			return nil, err
+		}
+		// Pre-size tables from the trace's address range.
+		sys.useExternalWords()
+		sys.Reserve(uint64(maxAddr)/WordBytes + 1)
+		systems[i] = sys
+	}
+
+	// The per-word write history that drives true/false-sharing
+	// classification is a property of the stream alone — every system
+	// advances seq identically — so compute it once for the whole sweep
+	// instead of keeping (and randomly probing) one words table per
+	// system: lastWrite[i] packs the most recent write to event i's word
+	// before event i as seq<<7 | writer+1, 0 when never written.
+	lastWrite := make([]uint64, len(t.events))
+	words := make([]uint64, uint64(maxAddr)/WordBytes+1)
+	var seq uint64
+	for i, e := range t.events {
+		if e == resetMarker {
 			continue
 		}
-		proc, a, write := t.decode(i)
-		sys.Access(proc, a, write)
+		seq++
+		w := Addr(e >> 8).Word()
+		lastWrite[i] = words[w]
+		if e&1 == 1 {
+			words[w] = seq<<7 | (e>>1&0x7f + 1)
+		}
 	}
-	return sys.Stats(), nil
+
+	// Events are replayed in blocks with the system loop outside: each
+	// system consumes a whole block before the next system starts it, so
+	// its cache and directory state stay hot instead of being flushed by
+	// the other systems' state on every reference. Per system the stream
+	// is still processed strictly in order, so results are unchanged.
+	const block = 4096
+	replayInto := func(subset []*System) {
+		for lo := 0; lo < len(t.events); lo += block {
+			hi := lo + block
+			if hi > len(t.events) {
+				hi = len(t.events)
+			}
+			for _, sys := range subset {
+				for i, e := range t.events[lo:hi] {
+					if e == resetMarker {
+						sys.resetStatsLocked()
+						continue
+					}
+					sys.replayAccessExt(int(e>>1&0x7f), Addr(e>>8), e&1 == 1, lastWrite[lo+i])
+				}
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(systems) {
+		workers = len(systems)
+	}
+	if workers <= 1 {
+		replayInto(systems)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(systems) + workers - 1) / workers
+		for lo := 0; lo < len(systems); lo += chunk {
+			hi := lo + chunk
+			if hi > len(systems) {
+				hi = len(systems)
+			}
+			wg.Add(1)
+			go func(subset []*System) {
+				defer wg.Done()
+				replayInto(subset)
+			}(systems[lo:hi])
+		}
+		wg.Wait()
+	}
+
+	out := make([]Stats, len(cfgs))
+	for i, sys := range systems {
+		out[i] = sys.Stats()
+	}
+	return out, nil
 }
 
 // traceMagic identifies the serialized format.
@@ -204,14 +316,6 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 
 // MaxProc returns the highest processor id appearing in the trace.
 func (t *Trace) MaxProc() int {
-	max := 0
-	for i := range t.events {
-		if t.events[i] == resetMarker {
-			continue
-		}
-		if p := int(t.events[i] >> 1 & 0x7f); p > max {
-			max = p
-		}
-	}
-	return max
+	p, _ := t.scan()
+	return p
 }

@@ -3,6 +3,7 @@ package memsys
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -108,6 +109,57 @@ func TestReplayEquivalenceProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: a fused multi-configuration replay must be deep-equal,
+// configuration by configuration, to independent per-config replays —
+// across associativities, cache sizes and line sizes, with epoch resets
+// and invalidation-heavy sharing in the stream.
+func TestReplayMultiMatchesReplayProperty(t *testing.T) {
+	cfgs := []Config{
+		{Procs: 4, CacheSize: 2048, Assoc: 2, LineSize: 64, OverheadBytes: 8},
+		{Procs: 4, CacheSize: 2048, Assoc: 1, LineSize: 64, OverheadBytes: 8},
+		{Procs: 4, CacheSize: 4096, Assoc: FullyAssoc, LineSize: 64, OverheadBytes: 8},
+		{Procs: 4, CacheSize: 1024, Assoc: 4, LineSize: 16, OverheadBytes: 8},
+		{Procs: 4, CacheSize: 8192, Assoc: 2, LineSize: 256, OverheadBytes: 8},
+	}
+	f := func(seed int64, withResets bool) bool {
+		tr := buildSharingTrace(seed, 4, 2000, withResets)
+		multi, err := ReplayMulti(tr, cfgs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for i, cfg := range cfgs {
+			single, err := Replay(tr, cfg)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if !reflect.DeepEqual(multi[i], single) {
+				t.Logf("seed=%d cfg=%d: fused replay diverges:\nmulti:  %+v\nsingle: %+v", seed, i, multi[i], single)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayMultiEmptyAndInvalid(t *testing.T) {
+	tr := buildTrace(2, 4, 200)
+	if out, err := ReplayMulti(tr, nil); err != nil || out != nil {
+		t.Fatalf("empty config list: %v, %v", out, err)
+	}
+	_, err := ReplayMulti(tr, []Config{
+		{Procs: 4, CacheSize: 2048, Assoc: 2, LineSize: 64, OverheadBytes: 8},
+		{Procs: 2, CacheSize: 2048, Assoc: 2, LineSize: 64, OverheadBytes: 8},
+	})
+	if err == nil {
+		t.Fatal("undersized machine accepted in fused sweep")
 	}
 }
 

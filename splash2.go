@@ -125,6 +125,10 @@ type (
 	Trace = memsys.Trace
 	// MemConfig configures a memory system for trace replay.
 	MemConfig = memsys.Config
+	// StackProfile is a one-pass LRU stack-distance profile of a trace:
+	// it answers the exact miss count of a fully-associative cache of any
+	// profiled size without further replays (see StackDistances).
+	StackProfile = memsys.StackProfile
 )
 
 // Scales.
@@ -223,6 +227,22 @@ func RecordTrace(app string, procs int, opts map[string]int) (*Trace, Stats, err
 
 // ReplayTrace feeds a recorded trace through a fresh memory system.
 func ReplayTrace(t *Trace, cfg MemConfig) (MemStats, error) { return memsys.Replay(t, cfg) }
+
+// ReplayTraceMulti feeds one recorded trace through a fresh memory
+// system per configuration in a single fused pass over the events: the
+// stream is decoded once for the whole sweep. The results are, position
+// by position, exactly what per-configuration ReplayTrace calls return.
+func ReplayTraceMulti(t *Trace, cfgs []MemConfig) ([]MemStats, error) {
+	return memsys.ReplayMulti(t, cfgs)
+}
+
+// StackDistances computes a one-pass Mattson stack-distance profile of a
+// recorded trace at the given line size: one traversal yields the exact
+// miss counts of every fully-associative LRU cache size up to
+// maxCacheSize, coherence invalidations included.
+func StackDistances(t *Trace, lineSize, maxCacheSize int) (*StackProfile, error) {
+	return memsys.StackDistances(t, lineSize, maxCacheSize)
+}
 
 // ReplaySweep replays one recorded trace through each configuration,
 // scheduling the replays across workers goroutines (≤ 0 selects
