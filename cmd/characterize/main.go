@@ -16,6 +16,21 @@
 //	characterize -progress            # live per-experiment progress on stderr
 //	characterize -cpuprofile cpu.pprof -memprofile mem.pprof
 //
+// Fault tolerance:
+//
+//	characterize -keep-going          # complete past failed experiments
+//	characterize -timeout 5m          # bound each experiment attempt
+//	characterize -retries 2           # retry transiently failing experiments
+//	characterize -failures fail.json  # write the JSON failure manifest
+//	characterize -fault 'error@2=job:run fft*' -fault-seed 7   # chaos drill
+//
+// Under -keep-going the run completes past failures: lost rows render as
+// FAILED(label: cause) placeholders, the failure manifest summarizes the
+// damage, and the process exits with status 2 instead of 0.
+//
+// Exit status: 0 — clean completion; 1 — usage error; 2 — completed
+// with failures (-keep-going); 3 — runtime error.
+//
 // Results are cached on disk under <user cache dir>/splash2 (override
 // with -cache-dir), keyed by program, options, machine configuration and
 // suite version, so repeated runs only execute what changed. Note that a
@@ -24,8 +39,11 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -34,6 +52,15 @@ import (
 	"strings"
 
 	"splash2"
+)
+
+// Exit statuses: clean completion, bad usage, degraded completion under
+// -keep-going, hard runtime error.
+const (
+	exitOK       = 0
+	exitUsage    = 1
+	exitDegraded = 2
+	exitRuntime  = 3
 )
 
 // parseProcList parses a comma-separated list of processor counts,
@@ -64,35 +91,50 @@ func parseProcList(s string) ([]int, error) {
 func main() {
 	// All work happens in run so that deferred profile writers execute
 	// before the process exits (os.Exit skips defers).
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		appsFlag   = flag.String("apps", "", "comma-separated subset (default: full suite)")
-		procs      = flag.Int("p", 32, "processors for fixed-count experiments")
-		procList   = flag.String("plist", "1,2,4,8,16,32", "processor counts for scaling sweeps")
-		scaleName  = flag.String("scale", "sweep", `problem sizes: "sweep", "default" or "paper"`)
-		allAssocs  = flag.Bool("all-assocs", false, "Figure 3 with all associativities")
-		plot       = flag.Bool("plot", false, "render ASCII charts alongside the tables")
-		format     = flag.String("format", "text", `output format: "text", "json" or "csv"`)
-		workers    = flag.Int("j", 0, "experiment-level parallelism (0 = GOMAXPROCS)")
-		cacheDir   = flag.String("cache-dir", "", "result cache directory (default: <user cache dir>/splash2)")
-		noCache    = flag.Bool("no-cache", false, "disable the on-disk result cache")
-		progress   = flag.Bool("progress", false, "live per-experiment progress on stderr")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
-	flag.Parse()
+		appsFlag   = fs.String("apps", "", "comma-separated subset (default: full suite)")
+		procs      = fs.Int("p", 32, "processors for fixed-count experiments")
+		procList   = fs.String("plist", "1,2,4,8,16,32", "processor counts for scaling sweeps")
+		scaleName  = fs.String("scale", "sweep", `problem sizes: "sweep", "default" or "paper"`)
+		allAssocs  = fs.Bool("all-assocs", false, "Figure 3 with all associativities")
+		plot       = fs.Bool("plot", false, "render ASCII charts alongside the tables")
+		format     = fs.String("format", "text", `output format: "text", "json" or "csv"`)
+		workers    = fs.Int("j", 0, "experiment-level parallelism (0 = GOMAXPROCS)")
+		cacheDir   = fs.String("cache-dir", "", "result cache directory (default: <user cache dir>/splash2)")
+		noCache    = fs.Bool("no-cache", false, "disable the on-disk result cache")
+		progress   = fs.Bool("progress", false, "live per-experiment progress on stderr")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 
-	o := splash2.ReportOptions{Procs: *procs, AllAssocs: *allAssocs, Plot: *plot, Workers: *workers}
+		keepGoing    = fs.Bool("keep-going", false, "complete past failed experiments (exit 2, FAILED placeholders)")
+		timeout      = fs.Duration("timeout", 0, "per-experiment attempt timeout (0 = none)")
+		retries      = fs.Int("retries", 0, "extra attempts for transiently failing experiments")
+		retryBackoff = fs.Duration("retry-backoff", 0, "first-retry delay, doubling per retry (0 = default)")
+		failuresOut  = fs.String("failures", "", "write the JSON failure manifest to this file (-keep-going)")
+		faultSpec    = fs.String("fault", "", `inject deterministic faults: "action[(arg)][@nth]=pattern;..."`)
+		faultSeed    = fs.Int64("fault-seed", 1, "seed choosing the occurrence of @-nth fault rules")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	o := splash2.ReportOptions{
+		Procs: *procs, AllAssocs: *allAssocs, Plot: *plot, Workers: *workers,
+		KeepGoing: *keepGoing, Timeout: *timeout, Retries: *retries, RetryBackoff: *retryBackoff,
+	}
 	if *appsFlag != "" {
 		o.Apps = strings.Split(*appsFlag, ",")
 	}
 	var err error
 	if o.ProcList, err = parseProcList(*procList); err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		return 2
+		fmt.Fprintln(stderr, "characterize:", err)
+		return exitUsage
 	}
 	switch *scaleName {
 	case "sweep":
@@ -102,39 +144,53 @@ func run() int {
 	case "paper":
 		o.Scale = splash2.PaperScale
 	default:
-		fmt.Fprintf(os.Stderr, "characterize: unknown scale %q\n", *scaleName)
-		return 2
+		fmt.Fprintf(stderr, "characterize: unknown scale %q\n", *scaleName)
+		return exitUsage
 	}
 	switch {
 	case *noCache:
 		if *cacheDir != "" {
-			fmt.Fprintln(os.Stderr, "characterize: -no-cache and -cache-dir are mutually exclusive")
-			return 2
+			fmt.Fprintln(stderr, "characterize: -no-cache and -cache-dir are mutually exclusive")
+			return exitUsage
 		}
 	case *cacheDir != "":
 		o.CacheDir = *cacheDir
 	default:
 		dir, err := splash2.DefaultCacheDir()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "characterize: no user cache dir, running uncached:", err)
+			fmt.Fprintln(stderr, "characterize: no user cache dir, running uncached:", err)
 		} else {
 			o.CacheDir = dir
 		}
 	}
 	if *progress {
-		o.Progress = os.Stderr
+		o.Progress = stderr
+	}
+	if *faultSpec != "" {
+		rules, err := splash2.ParseFaultRules(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "characterize:", err)
+			return exitUsage
+		}
+		o.Fault = splash2.NewFaultInjector(*faultSeed, rules...)
+	}
+	// The manifest is buffered and written to -failures only when the run
+	// actually lost experiments, so a clean run leaves no empty file.
+	var manifest bytes.Buffer
+	if *failuresOut != "" {
+		o.ManifestOut = &manifest
 	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "characterize:", err)
-			return 1
+			fmt.Fprintln(stderr, "characterize:", err)
+			return exitRuntime
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "characterize:", err)
-			return 1
+			fmt.Fprintln(stderr, "characterize:", err)
+			return exitRuntime
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -142,41 +198,63 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "characterize:", err)
+				fmt.Fprintln(stderr, "characterize:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // materialize the final live set
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "characterize:", err)
+				fmt.Fprintln(stderr, "characterize:", err)
 			}
 		}()
 	}
 
+	var runErr error
 	switch *format {
 	case "text":
-		if err := splash2.Characterize(os.Stdout, o); err != nil {
-			fmt.Fprintln(os.Stderr, "characterize:", err)
-			return 1
-		}
+		runErr = splash2.Characterize(stdout, o)
 	case "json", "csv":
-		res, err := splash2.CollectResults(o)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "characterize:", err)
-			return 1
+		var res *splash2.Results
+		res, runErr = splash2.CollectResults(o)
+		if runErr != nil && !errors.Is(runErr, splash2.ErrFailures) {
+			break
 		}
+		if o.ManifestOut != nil && len(res.Failures) > 0 {
+			m := splash2.FailureManifest{Count: len(res.Failures), Failures: res.Failures}
+			if err := m.WriteJSON(&manifest); err != nil {
+				fmt.Fprintln(stderr, "characterize:", err)
+				return exitRuntime
+			}
+		}
+		var werr error
 		if *format == "json" {
-			err = res.WriteJSON(os.Stdout)
+			werr = res.WriteJSON(stdout)
 		} else {
-			err = res.WriteCSV(os.Stdout)
+			werr = res.WriteCSV(stdout)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "characterize:", err)
-			return 1
+		if werr != nil {
+			fmt.Fprintln(stderr, "characterize:", werr)
+			return exitRuntime
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "characterize: unknown format %q\n", *format)
-		return 2
+		fmt.Fprintf(stderr, "characterize: unknown format %q\n", *format)
+		return exitUsage
 	}
-	return 0
+
+	if *failuresOut != "" && manifest.Len() > 0 {
+		if err := os.WriteFile(*failuresOut, manifest.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(stderr, "characterize:", err)
+			return exitRuntime
+		}
+	}
+	switch {
+	case runErr == nil:
+		return exitOK
+	case errors.Is(runErr, splash2.ErrFailures):
+		fmt.Fprintln(stderr, "characterize:", runErr)
+		return exitDegraded
+	default:
+		fmt.Fprintln(stderr, "characterize:", runErr)
+		return exitRuntime
+	}
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"splash2"
+)
+
+// chaosArgs is a small, fast characterization every exit-code test
+// builds on: one program, two processor counts, no disk cache.
+func chaosArgs(extra ...string) []string {
+	args := []string{"-apps", "fft", "-p", "2", "-plist", "1,2", "-no-cache", "-format", "json"}
+	return append(args, extra...)
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "bogus"},
+		{"-format", "bogus"},
+		{"-plist", "1,2abc"},
+		{"-no-cache", "-cache-dir", "/tmp/x"},
+		{"-fault", "explode=job:*"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != exitUsage {
+			t.Errorf("run(%q) = %d, want %d (stderr: %s)", args, code, exitUsage, stderr)
+		}
+	}
+}
+
+func TestExitClean(t *testing.T) {
+	code, stdout, stderr := runCLI(t, chaosArgs()...)
+	if code != exitOK {
+		t.Fatalf("clean run exited %d, want %d (stderr: %s)", code, exitOK, stderr)
+	}
+	var res splash2.Results
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("clean run reports failures: %+v", res.Failures)
+	}
+	if len(res.Table1) == 0 || res.Table1[0].App != "fft" {
+		t.Fatalf("results missing table1 rows: %+v", res.Table1)
+	}
+}
+
+func TestExitDegradedWithManifest(t *testing.T) {
+	manifestPath := filepath.Join(t.TempDir(), "failures.json")
+	code, stdout, stderr := runCLI(t, chaosArgs(
+		"-keep-going",
+		"-fault", "error@1=job:*",
+		"-failures", manifestPath,
+	)...)
+	if code != exitDegraded {
+		t.Fatalf("degraded run exited %d, want %d (stderr: %s)", code, exitDegraded, stderr)
+	}
+	if !strings.Contains(stderr, "experiment(s) lost") {
+		t.Errorf("stderr does not summarize the damage: %s", stderr)
+	}
+
+	// Partial results still export, with the lost experiments listed.
+	var res splash2.Results
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("degraded run exported no failure records")
+	}
+
+	// The -failures manifest is on disk and consistent with the export.
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("failure manifest not written: %v", err)
+	}
+	var m splash2.FailureManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Count == 0 || m.Count != len(m.Failures) {
+		t.Fatalf("manifest count inconsistent: %+v", m)
+	}
+	for _, rec := range m.Failures {
+		if rec.Skipped {
+			continue
+		}
+		if !strings.Contains(rec.Cause, "injected fault") {
+			t.Errorf("failure %q has cause %q, want the injected fault", rec.Label, rec.Cause)
+		}
+	}
+}
+
+func TestExitRuntimeOnFailFastFault(t *testing.T) {
+	code, _, stderr := runCLI(t, chaosArgs("-fault", "error@1=job:*")...)
+	if code != exitRuntime {
+		t.Fatalf("fail-fast faulted run exited %d, want %d (stderr: %s)", code, exitRuntime, stderr)
+	}
+	if !strings.Contains(stderr, "injected fault") {
+		t.Errorf("stderr does not surface the injected fault: %s", stderr)
+	}
+}
+
+func TestCleanRunWritesNoManifestFile(t *testing.T) {
+	manifestPath := filepath.Join(t.TempDir(), "failures.json")
+	code, _, stderr := runCLI(t, chaosArgs("-keep-going", "-failures", manifestPath)...)
+	if code != exitOK {
+		t.Fatalf("clean keep-going run exited %d (stderr: %s)", code, stderr)
+	}
+	if _, err := os.Stat(manifestPath); !os.IsNotExist(err) {
+		t.Fatalf("clean run left a manifest file (stat err: %v)", err)
+	}
+}

@@ -8,6 +8,12 @@
 //	trace record -app fft -p 32 -o fft.trace [-opt n=4096]
 //	trace replay -i fft.trace -cache 65536 -assoc 2 -line 64
 //	trace replay -i fft.trace -sweep            # full Figure-3 cache sweep
+//
+// Replay can inject deterministic read faults to drill the decoder's
+// failure handling (a truncated stream fails with a descriptive error,
+// never a panic):
+//
+//	trace replay -i fft.trace -fault 'shortread(100)=trace.read'
 package main
 
 import (
@@ -97,10 +103,21 @@ func replay(args []string) {
 	procs := fs.Int("p", 0, "replay processors (default: trace's max + 1)")
 	sweep := fs.Bool("sweep", false, "replay the full 1K-1M cache-size sweep")
 	workers := fs.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
+	faultSpec := fs.String("fault", "", `inject read faults: "action[(arg)][@nth]=trace.read;..."`)
+	faultSeed := fs.Int64("fault-seed", 1, "seed choosing the occurrence of @-nth fault rules")
 	fs.Parse(args)
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "trace replay: -i required")
 		os.Exit(2)
+	}
+	var inj *splash2.FaultInjector
+	if *faultSpec != "" {
+		rules, err := splash2.ParseFaultRules(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace replay:", err)
+			os.Exit(2)
+		}
+		inj = splash2.NewFaultInjector(*faultSeed, rules...)
 	}
 
 	f, err := os.Open(*in)
@@ -108,7 +125,10 @@ func replay(args []string) {
 		fatal(err)
 	}
 	defer f.Close()
-	tr, err := memsys.ReadTrace(f)
+	if err := inj.Do(nil, "trace.read"); err != nil {
+		fatal(err)
+	}
+	tr, err := memsys.ReadTrace(inj.Reader("trace.read", f))
 	if err != nil {
 		fatal(err)
 	}

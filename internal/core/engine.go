@@ -6,7 +6,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"time"
 
+	"splash2/internal/fault"
 	"splash2/internal/mach"
 	"splash2/internal/memsys"
 	"splash2/internal/runner"
@@ -23,8 +25,9 @@ import (
 // of scheduling, so an Engine at any parallelism produces results
 // deep-equal to the serial path.
 type Engine struct {
-	r   *runner.Runner
-	ctx context.Context
+	r         *runner.Runner
+	ctx       context.Context
+	keepGoing bool
 }
 
 // EngineOptions configures an Engine.
@@ -38,6 +41,21 @@ type EngineOptions struct {
 	Progress io.Writer
 	// Context cancels in-flight experiment graphs; nil means Background.
 	Context context.Context
+
+	// KeepGoing runs every graph to completion past failed experiments:
+	// sections render FAILED(...) placeholders for lost rows and the
+	// failures accumulate for the end-of-run manifest (Failures).
+	KeepGoing bool
+	// Timeout bounds each experiment attempt; 0 disables.
+	Timeout time.Duration
+	// Retries grants extra attempts to transiently failing experiments.
+	Retries int
+	// RetryBackoff is the first-retry delay (doubling per retry);
+	// ≤ 0 selects the scheduler default.
+	RetryBackoff time.Duration
+	// Fault is the deterministic fault injector threaded through job
+	// execution and cache I/O; nil disables injection.
+	Fault *fault.Injector
 }
 
 // NewEngine creates an engine. It fails only when the cache directory
@@ -50,20 +68,35 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 			return nil, err
 		}
 		cache = c
+		cache.SetFault(o.Fault)
 	}
 	ctx := o.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	return &Engine{
-		r:   runner.New(runner.Options{Workers: o.Workers, Cache: cache, Progress: o.Progress}),
-		ctx: ctx,
+		r: runner.New(runner.Options{
+			Workers:      o.Workers,
+			Cache:        cache,
+			Progress:     o.Progress,
+			KeepGoing:    o.KeepGoing,
+			Timeout:      o.Timeout,
+			Retries:      o.Retries,
+			RetryBackoff: o.RetryBackoff,
+			Fault:        o.Fault,
+		}),
+		ctx:       ctx,
+		keepGoing: o.KeepGoing,
 	}, nil
 }
 
 // Counts returns the engine's cumulative scheduling counters (jobs
-// executed, cache hits, memo hits).
+// executed, cache hits, memo hits, retries, failures, skips).
 func (e *Engine) Counts() runner.Counts { return e.r.Counts() }
+
+// Failures returns every failed and skipped experiment recorded so far
+// (keep-going mode); see NewFailureManifest for the manifest form.
+func (e *Engine) Failures() []*runner.JobError { return e.r.Failures() }
 
 // DefaultCacheDir returns the default on-disk cache location
 // (<user cache dir>/splash2).

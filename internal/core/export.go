@@ -25,6 +25,10 @@ type Results struct {
 	Table3      []Table3Row       `json:"table3,omitempty"`
 	LineSize    [][]LineSizePoint `json:"lineSize,omitempty"`
 	PruneAdvice []PruneAdvice     `json:"pruneAdvice,omitempty"`
+
+	// Failures is the failure manifest of a keep-going run that lost
+	// experiments; empty on a clean run.
+	Failures []FailureRecord `json:"failures,omitempty"`
 }
 
 // CollectResults runs the full characterization and returns the raw data
@@ -56,6 +60,9 @@ func (e *Engine) CollectResults(o ReportOptions) (*Results, error) {
 	}
 	res.Table2 = Table2(res.MissCurves)
 	for _, c := range res.MissCurves {
+		if c.Failed != "" {
+			continue
+		}
 		res.PruneAdvice = append(res.PruneAdvice, Prune(c))
 	}
 	if res.Traffic, err = e.TrafficSuite(o.Apps, o.ProcList, 1<<20, o.Scale); err != nil {
@@ -70,6 +77,15 @@ func (e *Engine) CollectResults(o ReportOptions) (*Results, error) {
 	}
 	if res.LineSize, err = e.LineSizeSuite(o.Apps, o.Procs, 1<<20, o.LineSizes, o.Scale); err != nil {
 		return nil, err
+	}
+	if e.keepGoing {
+		if fails := e.Failures(); len(fails) > 0 {
+			m := NewFailureManifest(fails)
+			res.Failures = m.Failures
+			// The results are still returned: callers export the partial
+			// data and use errors.Is(err, ErrFailures) for the exit status.
+			return res, fmt.Errorf("core: %d experiment(s) lost: %w", m.Count, ErrFailures)
+		}
 	}
 	return res, nil
 }
@@ -103,6 +119,9 @@ func (r *Results) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, t := range r.Table1 {
+		if t.Failed != "" {
+			continue
+		}
 		if err := cw.Write([]string{t.App, u(t.Instr), u(t.Flops), u(t.Reads), u(t.Writes), u(t.SharedReads), u(t.SharedWrites), u(t.BarriersPerProc), u(t.Locks), u(t.Pauses)}); err != nil {
 			return err
 		}
@@ -112,6 +131,9 @@ func (r *Results) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, c := range r.Speedups {
+		if c.Failed != "" {
+			continue
+		}
 		for i, p := range c.Procs {
 			if err := cw.Write([]string{c.App, d(p), f(c.Speedup[i])}); err != nil {
 				return err
@@ -123,6 +145,9 @@ func (r *Results) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, s := range r.Sync {
+		if s.Failed != "" {
+			continue
+		}
 		if err := cw.Write([]string{s.App, f(s.MinPct), f(s.AvgPct), f(s.MaxPct)}); err != nil {
 			return err
 		}
@@ -132,6 +157,9 @@ func (r *Results) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, c := range r.MissCurves {
+		if c.Failed != "" {
+			continue
+		}
 		for i, cs := range c.CacheSizes {
 			if err := cw.Write([]string{c.App, d(c.Assoc), d(cs), f(c.MissRate[i])}); err != nil {
 				return err
@@ -144,6 +172,9 @@ func (r *Results) WriteCSV(w io.Writer) error {
 	}
 	for _, pts := range r.Traffic {
 		for _, t := range pts {
+			if t.Failed != "" {
+				continue
+			}
 			if err := cw.Write([]string{t.App, d(t.Procs), strconv.FormatBool(t.PerFlop), f(t.RemoteShared), f(t.RemoteCold), f(t.RemoteCapacity), f(t.RemoteWriteback), f(t.RemoteOverhead), f(t.LocalData), f(t.TrueSharing)}); err != nil {
 				return err
 			}
@@ -155,7 +186,21 @@ func (r *Results) WriteCSV(w io.Writer) error {
 	}
 	for _, pts := range r.LineSize {
 		for _, l := range pts {
+			if l.Failed != "" {
+				continue
+			}
 			if err := cw.Write([]string{l.App, d(l.LineSize), f(l.ColdPct), f(l.CapacityPct), f(l.TruePct), f(l.FalsePct), f(l.UpgradePct), f(l.RemoteData), f(l.RemoteOverhead), f(l.LocalData)}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if len(r.Failures) > 0 {
+		if err := section("failures", []string{"label", "key", "attempts", "panicked", "timedOut", "skipped", "cause"}); err != nil {
+			return err
+		}
+		for _, rec := range r.Failures {
+			if err := cw.Write([]string{rec.Label, rec.Key, d(rec.Attempts), strconv.FormatBool(rec.Panicked), strconv.FormatBool(rec.TimedOut), strconv.FormatBool(rec.Skipped), rec.Cause}); err != nil {
 				return err
 			}
 		}

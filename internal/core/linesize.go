@@ -30,6 +30,10 @@ type LineSizePoint struct {
 	RemoteData     float64
 	RemoteOverhead float64
 	LocalData      float64
+
+	// Failed is the FAILED(...) placeholder for a lost sweep (keep-going);
+	// a lost program contributes a single failed point.
+	Failed string `json:"failed,omitempty"`
 }
 
 // TotalMissPct returns the total miss rate.
@@ -93,9 +97,16 @@ func (e *Engine) lineSizeJobs(g *runner.Graph, app string, procs, cacheSize int,
 func (e *Engine) lineSizePoints(app string, lineSizes []int, jobs lineSizeJobs) ([]LineSizePoint, error) {
 	var out []LineSizePoint
 	perFlop := flopBased(app)
-	runStats, err := jobs.stats.Result()
+	runStats, failed, err := degrade(e, jobs.stats)
 	if err != nil {
 		return nil, err
+	}
+	sweep, sweepFailed, err := degrade(e, jobs.sweep)
+	if err != nil {
+		return nil, err
+	}
+	if failed = firstNonEmpty(failed, sweepFailed); failed != "" {
+		return []LineSizePoint{{App: app, PerFlop: perFlop, Failed: failed}}, nil
 	}
 	counters := mach.Aggregate(runStats.Procs)
 	denom := float64(counters.Flops)
@@ -104,10 +115,6 @@ func (e *Engine) lineSizePoints(app string, lineSizes []int, jobs lineSizeJobs) 
 	}
 	if denom == 0 {
 		denom = 1
-	}
-	sweep, err := jobs.sweep.Result()
-	if err != nil {
-		return nil, err
 	}
 	for i, ls := range lineSizes {
 		st := sweep[i]
@@ -164,6 +171,10 @@ func RenderLineSizeMisses(w io.Writer, groups [][]LineSizePoint) {
 	fmt.Fprintln(tw, "Code\tLine\tCold%\tCap%\tTrue%\tFalse%\tUpgrades%\tTotal miss%")
 	for _, pts := range groups {
 		for _, l := range pts {
+			if l.Failed != "" {
+				fmt.Fprintf(tw, "%s\t%s\n", l.App, l.Failed)
+				continue
+			}
 			fmt.Fprintf(tw, "%s\t%dB\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
 				l.App, l.LineSize, l.ColdPct, l.CapacityPct, l.TruePct, l.FalsePct, l.UpgradePct, l.TotalMissPct())
 		}
@@ -177,6 +188,10 @@ func RenderLineSizeTraffic(w io.Writer, groups [][]LineSizePoint) {
 	fmt.Fprintln(tw, "Code\tLine\tUnit\tRemote data\tRemote ovhd\tLocal data\tTotal")
 	for _, pts := range groups {
 		for _, l := range pts {
+			if l.Failed != "" {
+				fmt.Fprintf(tw, "%s\t%s\n", l.App, l.Failed)
+				continue
+			}
 			unit := "B/instr"
 			if l.PerFlop {
 				unit = "B/FLOP"

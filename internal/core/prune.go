@@ -127,6 +127,10 @@ func RenderBandwidth(w io.Writer, groups [][]TrafficPoint, rateHz float64) {
 	fmt.Fprintf(tw, "Code\tP\tremote B/op\tMB/s per proc @%.0fM ops/s\n", rateHz/1e6)
 	for _, pts := range groups {
 		for _, t := range pts {
+			if t.Failed != "" {
+				fmt.Fprintf(tw, "%s\t%d\t%s\n", t.App, t.Procs, t.Failed)
+				continue
+			}
 			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.1f\n", t.App, t.Procs, t.Remote(), BandwidthMBs(t, rateHz))
 		}
 	}

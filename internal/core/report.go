@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"splash2/internal/fault"
 	"splash2/internal/memsys"
 	"splash2/internal/textplot"
 )
@@ -28,11 +30,38 @@ type ReportOptions struct {
 	CacheDir string
 	// Progress receives live per-job completion lines (normally stderr).
 	Progress io.Writer
+
+	// KeepGoing completes the characterization past failed experiments:
+	// lost rows render as FAILED(label: cause) placeholders and the run
+	// ends with a failure manifest plus an ErrFailures-wrapped error.
+	KeepGoing bool
+	// Timeout bounds each experiment attempt; 0 disables.
+	Timeout time.Duration
+	// Retries grants extra attempts to transiently failing experiments.
+	Retries int
+	// RetryBackoff is the first-retry delay (doubling per retry);
+	// ≤ 0 selects the scheduler default.
+	RetryBackoff time.Duration
+	// Fault injects deterministic faults (tests, chaos drills); nil
+	// disables injection.
+	Fault *fault.Injector
+	// ManifestOut receives the JSON failure manifest at the end of a
+	// keep-going run that lost experiments; nil skips writing it.
+	ManifestOut io.Writer
 }
 
 // engineOptions extracts the scheduler configuration.
 func (o ReportOptions) engineOptions() EngineOptions {
-	return EngineOptions{Workers: o.Workers, CacheDir: o.CacheDir, Progress: o.Progress}
+	return EngineOptions{
+		Workers:      o.Workers,
+		CacheDir:     o.CacheDir,
+		Progress:     o.Progress,
+		KeepGoing:    o.KeepGoing,
+		Timeout:      o.Timeout,
+		Retries:      o.Retries,
+		RetryBackoff: o.RetryBackoff,
+		Fault:        o.Fault,
+	}
 }
 
 // WithDefaults fills unset fields.
@@ -94,6 +123,9 @@ func (e *Engine) Report(w io.Writer, o ReportOptions) error {
 		}
 		var series []textplot.Series
 		for _, c := range sp {
+			if c.Failed != "" {
+				continue
+			}
 			series = append(series, textplot.Series{Name: c.App, Values: c.Speedup})
 		}
 		fmt.Fprintln(w)
@@ -125,7 +157,7 @@ func (e *Engine) Report(w io.Writer, o ReportOptions) error {
 		}
 		var series []textplot.Series
 		for _, c := range ws {
-			if c.Assoc == 4 {
+			if c.Assoc == 4 && c.Failed == "" {
 				series = append(series, textplot.Series{Name: c.App, Values: c.MissRate})
 			}
 		}
@@ -145,6 +177,9 @@ func (e *Engine) Report(w io.Writer, o ReportOptions) error {
 	fmt.Fprintln(w, "\n== Operating-point pruning (§5 methodology) ==")
 	var advice []PruneAdvice
 	for _, c := range fourWay {
+		if c.Failed != "" {
+			continue
+		}
 		advice = append(advice, Prune(c))
 	}
 	RenderPrune(w, advice)
@@ -163,6 +198,9 @@ func (e *Engine) Report(w io.Writer, o ReportOptions) error {
 		var bars [][]textplot.Segment
 		for _, pts := range tr {
 			last := pts[len(pts)-1]
+			if last.Failed != "" {
+				continue
+			}
 			rows = append(rows, fmt.Sprintf("%s@%d", last.App, last.Procs))
 			bars = append(bars, []textplot.Segment{
 				{Label: "rem.data", Value: last.RemoteShared + last.RemoteCold + last.RemoteCapacity + last.RemoteWriteback},
@@ -219,5 +257,30 @@ func (e *Engine) Report(w io.Writer, o ReportOptions) error {
 	fmt.Fprintln(w, "\n== Figure 8: traffic vs line size (1 MB caches) ==")
 	RenderLineSizeTraffic(w, lsz)
 
-	return nil
+	return e.finishReport(w, o)
+}
+
+// finishReport closes a keep-going run: when experiments were lost it
+// writes the failure manifest (to o.ManifestOut if set), summarizes the
+// damage in the report itself, and returns an ErrFailures-wrapped error
+// so callers can distinguish degraded completion from clean success.
+func (e *Engine) finishReport(w io.Writer, o ReportOptions) error {
+	if !e.keepGoing {
+		return nil
+	}
+	fails := e.Failures()
+	if len(fails) == 0 {
+		return nil
+	}
+	m := NewFailureManifest(fails)
+	fmt.Fprintf(w, "\n== Failure manifest: %d experiment(s) lost ==\n", m.Count)
+	for _, rec := range m.Failures {
+		fmt.Fprintf(w, "  %s: %s\n", rec.Label, rec.Cause)
+	}
+	if o.ManifestOut != nil {
+		if err := m.WriteJSON(o.ManifestOut); err != nil {
+			return fmt.Errorf("core: writing failure manifest: %w", err)
+		}
+	}
+	return fmt.Errorf("core: %d experiment(s) lost: %w", m.Count, ErrFailures)
 }

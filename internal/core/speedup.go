@@ -17,6 +17,11 @@ type SpeedupCurve struct {
 	Procs   []int
 	Speedup []float64
 	Time    []uint64
+
+	// Failed marks the whole curve lost in a keep-going run. A partial
+	// curve would be misleading (every point is normalized to the
+	// baseline), so one lost point fails the curve.
+	Failed string `json:"failed,omitempty"`
 }
 
 // Speedups measures PRAM speedups for each program over procList.
@@ -43,9 +48,13 @@ func (e *Engine) Speedups(appNames []string, procList []int, scale Scale) ([]Spe
 		curve := SpeedupCurve{App: name, Procs: procList}
 		var t1 float64
 		for i, p := range procList {
-			res, err := jobs[ai][i].Result()
+			res, failed, err := degrade(e, jobs[ai][i])
 			if err != nil {
 				return nil, err
+			}
+			if failed != "" {
+				curve = SpeedupCurve{App: name, Procs: procList, Failed: failed}
+				break
 			}
 			t := res.Stats.Time
 			curve.Time = append(curve.Time, t)
@@ -74,6 +83,10 @@ func RenderSpeedups(w io.Writer, curves []SpeedupCurve) {
 	fmt.Fprintln(tw)
 	for _, c := range curves {
 		fmt.Fprint(tw, c.App)
+		if c.Failed != "" {
+			fmt.Fprintf(tw, "\t%s\n", c.Failed)
+			continue
+		}
 		for _, s := range c.Speedup {
 			fmt.Fprintf(tw, "\t%.2f", s)
 		}
@@ -94,6 +107,9 @@ type SyncProfile struct {
 	BarriersTotal uint64
 	LocksTotal    uint64
 	PausesTotal   uint64
+
+	// Failed is the FAILED(...) placeholder for a lost run (keep-going).
+	Failed string `json:"failed,omitempty"`
 }
 
 // SyncProfiles measures Figure 2 for every program.
@@ -115,9 +131,13 @@ func (e *Engine) SyncProfiles(appNames []string, procs int, scale Scale) ([]Sync
 	}
 	var out []SyncProfile
 	for i, name := range appNames {
-		res, err := jobs[i].Result()
+		res, failed, err := degrade(e, jobs[i])
 		if err != nil {
 			return nil, err
+		}
+		if failed != "" {
+			out = append(out, SyncProfile{App: name, Failed: failed})
+			continue
 		}
 		t := float64(res.Stats.Time)
 		pr := SyncProfile{App: name, MinPct: 101}
@@ -149,6 +169,10 @@ func RenderSyncProfiles(w io.Writer, profiles []SyncProfile) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Code\tMin %\tAvg %\tMax %\tBarriers\tLocks\tPauses")
 	for _, p := range profiles {
+		if p.Failed != "" {
+			fmt.Fprintf(tw, "%s\t%s\n", p.App, p.Failed)
+			continue
+		}
 		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\n",
 			p.App, p.MinPct, p.AvgPct, p.MaxPct, p.BarriersTotal, p.LocksTotal, p.PausesTotal)
 	}

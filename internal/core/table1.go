@@ -23,6 +23,11 @@ type Table1Row struct {
 	BarriersPerProc uint64
 	Locks           uint64
 	Pauses          uint64
+
+	// Failed is the FAILED(label: cause) placeholder when this program's
+	// run was lost in a keep-going characterization; the counters are
+	// meaningless then.
+	Failed string `json:"failed,omitempty"`
 }
 
 // Table1 runs every program at its scale's problem size on procs
@@ -45,9 +50,13 @@ func (e *Engine) Table1(appNames []string, procs int, scale Scale) ([]Table1Row,
 	}
 	var rows []Table1Row
 	for i, name := range appNames {
-		res, err := jobs[i].Result()
+		res, failed, err := degrade(e, jobs[i])
 		if err != nil {
 			return nil, err
+		}
+		if failed != "" {
+			rows = append(rows, Table1Row{App: name, Failed: failed})
+			continue
 		}
 		a := mach.Aggregate(res.Stats.Procs)
 		rows = append(rows, Table1Row{
@@ -71,6 +80,10 @@ func RenderTable1(w io.Writer, rows []Table1Row) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Code\tTotal Instr\tTotal FLOPS\tTotal Reads\tTotal Writes\tShared Reads\tShared Writes\tBarriers\tLocks\tPauses")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(tw, "%s\t%s\n", r.App, r.Failed)
+			continue
+		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			r.App, r.Instr, r.Flops, r.Reads, r.Writes, r.SharedReads, r.SharedWrites,
 			r.BarriersPerProc, r.Locks, r.Pauses)

@@ -26,6 +26,9 @@ type TrafficPoint struct {
 	RemoteOverhead  float64
 	LocalData       float64
 	TrueSharing     float64
+
+	// Failed is the FAILED(...) placeholder for a lost run (keep-going).
+	Failed string `json:"failed,omitempty"`
 }
 
 // Remote returns total normalized internode traffic.
@@ -70,9 +73,13 @@ func (e *Engine) trafficPoints(app string, procList []int, cacheSize int, jobs [
 	var out []TrafficPoint
 	perFlop := flopBased(app)
 	for i, p := range procList {
-		res, err := jobs[i].Result()
+		res, failed, err := degrade(e, jobs[i])
 		if err != nil {
 			return nil, err
+		}
+		if failed != "" {
+			out = append(out, TrafficPoint{App: app, Procs: p, CacheSize: cacheSize, PerFlop: perFlop, Failed: failed})
+			continue
 		}
 		agg := mach.Aggregate(res.Stats.Procs)
 		denom := float64(agg.Flops)
@@ -130,6 +137,10 @@ func RenderTraffic(w io.Writer, groups [][]TrafficPoint) {
 	fmt.Fprintln(tw, "Code\tP\tUnit\tRem.Shared\tRem.Cold\tRem.Cap\tRem.WB\tRem.Ovhd\tLocal\tTrueShare\tTotal")
 	for _, pts := range groups {
 		for _, t := range pts {
+			if t.Failed != "" {
+				fmt.Fprintf(tw, "%s\t%d\t%s\n", t.App, t.Procs, t.Failed)
+				continue
+			}
 			unit := "B/instr"
 			if t.PerFlop {
 				unit = "B/FLOP"
@@ -153,6 +164,10 @@ type Table3Row struct {
 	RatioLow     float64 // true sharing bytes per flop/instr
 	RatioHigh    float64
 	MeasuredGrow float64 // RatioHigh / RatioLow
+
+	// Failed is the FAILED(...) placeholder when either measurement was
+	// lost (keep-going).
+	Failed string `json:"failed,omitempty"`
 }
 
 // table3Forms is the paper's Table 3 (analytic comm/comp growth rates).
@@ -190,8 +205,13 @@ func (e *Engine) Table3(appNames []string, lowP, highP int, scale Scale) ([]Tabl
 		row := Table3Row{
 			App: name, AnalyticForm: table3Forms[name],
 			LowProcs: lowP, HighProcs: highP,
-			RatioLow: pts[0].TrueSharing, RatioHigh: pts[1].TrueSharing,
 		}
+		if failed := pts[0].Failed + pts[1].Failed; failed != "" {
+			row.Failed = firstNonEmpty(pts[0].Failed, pts[1].Failed)
+			out = append(out, row)
+			continue
+		}
+		row.RatioLow, row.RatioHigh = pts[0].TrueSharing, pts[1].TrueSharing
 		if row.RatioLow > 0 {
 			row.MeasuredGrow = row.RatioHigh / row.RatioLow
 		}
@@ -205,8 +225,22 @@ func RenderTable3(w io.Writer, rows []Table3Row) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Code\tGrowth of comm/comp (paper)\tmeasured @P1\tmeasured @P2\tgrowth")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", r.App, r.AnalyticForm, r.Failed)
+			continue
+		}
 		fmt.Fprintf(tw, "%s\t%s\t%.5f (P=%d)\t%.5f (P=%d)\t×%.2f\n",
 			r.App, r.AnalyticForm, r.RatioLow, r.LowProcs, r.RatioHigh, r.HighProcs, r.MeasuredGrow)
 	}
 	tw.Flush()
+}
+
+// firstNonEmpty returns the first non-empty string.
+func firstNonEmpty(ss ...string) string {
+	for _, s := range ss {
+		if s != "" {
+			return s
+		}
+	}
+	return ""
 }

@@ -18,6 +18,10 @@ type MissCurve struct {
 	Assoc      int // memsys.FullyAssoc for fully associative
 	CacheSizes []int
 	MissRate   []float64 // percent
+
+	// Failed is the FAILED(...) placeholder for a lost sweep (keep-going);
+	// MissRate is empty then.
+	Failed string `json:"failed,omitempty"`
 }
 
 // DefaultCacheSizes are the paper's power-of-two sweep points, 1 KB–1 MB.
@@ -55,11 +59,15 @@ func (e *Engine) WorkingSets(appNames []string, procs int, cacheSizes []int, ass
 	}
 	var out []MissCurve
 	for _, name := range appNames {
-		grid, err := sweeps[name].Result()
+		grid, failed, err := degrade(e, sweeps[name])
 		if err != nil {
 			return nil, err
 		}
 		for ai, assoc := range assocs {
+			if failed != "" {
+				out = append(out, MissCurve{App: name, Assoc: assoc, CacheSizes: cacheSizes, Failed: failed})
+				continue
+			}
 			out = append(out, MissCurve{App: name, Assoc: assoc, CacheSizes: cacheSizes, MissRate: grid[ai]})
 		}
 	}
@@ -165,6 +173,10 @@ func RenderMissCurves(w io.Writer, curves []MissCurve) {
 	fmt.Fprintln(tw)
 	for _, c := range curves {
 		fmt.Fprintf(tw, "%s\t%s", c.App, assocLabel(c.Assoc))
+		if c.Failed != "" {
+			fmt.Fprintf(tw, "\t%s\n", c.Failed)
+			continue
+		}
 		for _, mr := range c.MissRate {
 			fmt.Fprintf(tw, "\t%.2f%%", mr)
 		}
@@ -218,10 +230,14 @@ var table2Static = map[string][6]string{
 }
 
 // Table2 combines the static analysis with the measured knees of the
-// provided 4-way curves (one per program).
+// provided 4-way curves (one per program). Curves lost to failures
+// (keep-going mode) carry no knee and are omitted.
 func Table2(curves []MissCurve) []Table2Row {
 	var out []Table2Row
 	for _, c := range curves {
+		if c.Failed != "" {
+			continue
+		}
 		s, ok := table2Static[c.App]
 		if !ok {
 			continue

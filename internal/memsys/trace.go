@@ -283,35 +283,81 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ReadTrace deserializes a trace written by WriteTo.
+// maxHomeLineSize bounds the recorded home-map granularity a trace file
+// may claim; real machines use small powers of two, so anything beyond
+// 1 MiB marks a corrupt header.
+const maxHomeLineSize = 1 << 20
+
+// readCount reads a length-prefix field, labelling truncation with the
+// field name.
+func readCount(r io.Reader, what string) (uint64, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return 0, fmt.Errorf("memsys: trace truncated reading %s count: %w", what, err)
+	}
+	return n, nil
+}
+
+// readChunked reads n little-endian values in bounded chunks, so a
+// corrupt count field in an untrusted trace file produces a descriptive
+// truncation error instead of a gigantic up-front allocation (and the
+// OOM or panic that follows).
+func readChunked[T any](r io.Reader, n uint64, what string) ([]T, error) {
+	const chunk = 1 << 16
+	capHint := n
+	if capHint > chunk {
+		capHint = chunk
+	}
+	out := make([]T, 0, capHint)
+	for read := uint64(0); read < n; {
+		take := n - read
+		if take > chunk {
+			take = chunk
+		}
+		buf := make([]T, take)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("memsys: trace truncated reading %s (%d of %d decoded): %w", what, read, n, err)
+		}
+		out = append(out, buf...)
+		read += take
+	}
+	return out, nil
+}
+
+// ReadTrace deserializes a trace written by WriteTo. The input is treated
+// as untrusted: truncated or corrupt files yield a descriptive error,
+// never a panic or an unbounded allocation.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	var magic, lineSize uint32
 	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("memsys: trace truncated reading magic: %w", err)
 	}
 	if magic != traceMagic {
-		return nil, fmt.Errorf("memsys: bad trace magic %#x", magic)
+		return nil, fmt.Errorf("memsys: bad trace magic %#x (want %#x)", magic, traceMagic)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &lineSize); err != nil {
+		return nil, fmt.Errorf("memsys: trace truncated reading home line size: %w", err)
+	}
+	if lineSize == 0 || lineSize > maxHomeLineSize {
+		return nil, fmt.Errorf("memsys: corrupt trace: home line size %d out of range (1..%d)", lineSize, maxHomeLineSize)
+	}
+	nh, err := readCount(r, "home map")
+	if err != nil {
 		return nil, err
 	}
-	var nh uint64
-	if err := binary.Read(r, binary.LittleEndian, &nh); err != nil {
+	homes, err := readChunked[int32](r, nh, "home map")
+	if err != nil {
 		return nil, err
 	}
-	t := &Trace{homeLineSize: int(lineSize), homes: make([]int32, nh)}
-	if err := binary.Read(r, binary.LittleEndian, t.homes); err != nil {
+	ne, err := readCount(r, "event")
+	if err != nil {
 		return nil, err
 	}
-	var ne uint64
-	if err := binary.Read(r, binary.LittleEndian, &ne); err != nil {
+	events, err := readChunked[uint64](r, ne, "events")
+	if err != nil {
 		return nil, err
 	}
-	t.events = make([]uint64, ne)
-	if err := binary.Read(r, binary.LittleEndian, t.events); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return &Trace{homeLineSize: int(lineSize), homes: homes, events: events}, nil
 }
 
 // MaxProc returns the highest processor id appearing in the trace.

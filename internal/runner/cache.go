@@ -1,12 +1,17 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
+
+	"splash2/internal/fault"
 )
 
 // Cache is the content-addressed on-disk result store. Each entry lives
@@ -15,9 +20,11 @@ import (
 // corrupted files are detected on read and treated as misses (the entry
 // is removed and the experiment recomputed). Writes go through a
 // temporary file plus rename, so concurrent runs sharing a cache
-// directory never observe partial entries.
+// directory never observe partial entries; temporary files orphaned by a
+// crashed run are swept on open.
 type Cache struct {
 	dir string
+	inj *fault.Injector
 }
 
 // DefaultDir returns the default cache location, <user cache dir>/splash2
@@ -43,11 +50,37 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: cache dir: %w", err)
 	}
+	sweepStaleTmp(dir)
 	return &Cache{dir: dir}, nil
 }
 
 // Dir returns the cache root directory.
 func (c *Cache) Dir() string { return c.dir }
+
+// SetFault attaches a fault injector to the cache's I/O paths: reads
+// evaluate "cache.get:<key>" (errors and short reads), writes evaluate
+// "cache.put:<key>". nil detaches.
+func (c *Cache) SetFault(inj *fault.Injector) { c.inj = inj }
+
+// staleTmpAge is how old an orphaned temporary file must be before the
+// open-time sweep deletes it. The margin keeps the sweep from racing a
+// concurrent run's in-flight Put, whose tmp files live for milliseconds.
+const staleTmpAge = time.Hour
+
+// sweepStaleTmp deletes temporary files left behind by crashed runs.
+// Best-effort: sweep errors never fail OpenCache.
+func sweepStaleTmp(dir string) {
+	now := time.Now()
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(info.Name(), ".tmp-") && now.Sub(info.ModTime()) > staleTmpAge {
+			os.Remove(path)
+		}
+		return nil
+	})
+}
 
 // envelope is the on-disk entry format: the result value plus a SHA-256
 // of its bytes for integrity checking.
@@ -62,11 +95,22 @@ func (c *Cache) path(k Key) string {
 }
 
 // Get loads the entry for k and decodes it with decode. Any failure —
-// missing file, unparsable envelope, checksum mismatch, decode error —
-// is a miss; damaged entries are removed so the recomputed result can be
-// stored cleanly.
-func (c *Cache) Get(k Key, decode func([]byte) (any, error)) (any, bool) {
+// missing or unreadable file, unparsable envelope, checksum mismatch,
+// decode error, even a decode panic — is a miss; damaged entries are
+// removed so the recomputed result can be stored cleanly.
+func (c *Cache) Get(k Key, decode func([]byte) (any, error)) (v any, ok bool) {
 	if k.IsZero() {
+		return nil, false
+	}
+	// Adversarial entry bytes (or an injected fault) may panic the
+	// decoder; a cache read must degrade to a miss, never crash the run.
+	defer func() {
+		if recover() != nil {
+			v, ok = nil, false
+		}
+	}()
+	op := "cache.get:" + k.String()
+	if err := c.inj.Do(context.Background(), op); err != nil {
 		return nil, false
 	}
 	path := c.path(k)
@@ -74,6 +118,7 @@ func (c *Cache) Get(k Key, decode func([]byte) (any, error)) (any, bool) {
 	if err != nil {
 		return nil, false
 	}
+	data = c.inj.Data(op, data)
 	var env envelope
 	if err := json.Unmarshal(data, &env); err == nil && env.Sum == valueSum(env.Value) {
 		if v, err := decode(env.Value); err == nil {
@@ -84,10 +129,20 @@ func (c *Cache) Get(k Key, decode func([]byte) (any, error)) (any, bool) {
 	return nil, false
 }
 
-// Put stores value (already-encoded result bytes) under k atomically.
-func (c *Cache) Put(k Key, value []byte) error {
+// Put stores value (already-encoded result bytes) under k atomically. A
+// failed or faulted Put loses only cache warmth, never data: the caller
+// already holds the result.
+func (c *Cache) Put(k Key, value []byte) (err error) {
 	if k.IsZero() {
 		return fmt.Errorf("runner: Put with zero key")
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: cache put panicked: %v", p)
+		}
+	}()
+	if err := c.inj.Do(context.Background(), "cache.put:"+k.String()); err != nil {
+		return err
 	}
 	env, err := json.Marshal(envelope{Sum: valueSum(value), Value: value})
 	if err != nil {

@@ -1,0 +1,97 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTimeout marks a job attempt that exceeded Options.Timeout. The
+// attempt's goroutine is abandoned (it keeps running until it observes
+// its context), but the worker slot is reclaimed immediately, so a
+// wedged job can never hang the pool.
+var ErrTimeout = errors.New("job timed out")
+
+// JobError is the structured failure of one job: instead of crashing or
+// aborting the graph, a panicking, failing, timed-out or skipped job is
+// converted into one of these. It is the error returned by Job.Result and
+// Graph.Wait for failed work, and the record type behind the failure
+// manifest.
+type JobError struct {
+	// Label is the failing job's display label.
+	Label string `json:"label"`
+	// Key is the job's content address in hex ("" for uncacheable jobs).
+	Key string `json:"key,omitempty"`
+	// Attempts is how many times the job ran (> 1 after retries).
+	Attempts int `json:"attempts,omitempty"`
+	// Panicked reports that the job's function panicked; Stack holds the
+	// recovered goroutine stack.
+	Panicked bool   `json:"panicked,omitempty"`
+	Stack    string `json:"stack,omitempty"`
+	// TimedOut reports that the last attempt exceeded the job timeout.
+	TimedOut bool `json:"timedOut,omitempty"`
+	// Skipped reports that the job never ran because a dependency failed;
+	// Err names the failed dependency.
+	Skipped bool `json:"skipped,omitempty"`
+	// Err is the underlying cause.
+	Err error `json:"-"`
+}
+
+// Error formats as "label: cause" (the FAILED-cell text); stacks are kept
+// out of the message and available via the Stack field.
+func (e *JobError) Error() string {
+	switch {
+	case e.Skipped:
+		return fmt.Sprintf("%s: skipped: %v", e.Label, e.Err)
+	case e.TimedOut && e.Attempts > 1:
+		return fmt.Sprintf("%s: %v (attempt %d)", e.Label, e.Err, e.Attempts)
+	default:
+		return fmt.Sprintf("%s: %v", e.Label, e.Err)
+	}
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Cause returns the failure text without the label prefix.
+func (e *JobError) Cause() string {
+	if e.Err == nil {
+		return ""
+	}
+	return e.Err.Error()
+}
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (t transientError) Error() string { return t.err.Error() }
+func (t transientError) Unwrap() error { return t.err }
+
+// Transient wraps err so the scheduler retries the job (bounded by
+// Options.Retries, with exponential backoff). Jobs report transient
+// failures — contended files, flaky I/O — by returning Transient(err).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientError{err}
+}
+
+// IsTransient reports whether err is marked retryable: wrapped by
+// Transient, or carrying a `Transient() bool` method (the fault
+// injector's errors do, without importing this package).
+func IsTransient(err error) bool {
+	var t transientError
+	if errors.As(err, &t) {
+		return true
+	}
+	var m interface{ Transient() bool }
+	return errors.As(err, &m) && m.Transient()
+}
+
+// keyStr renders a key for JobError ("" for the zero key).
+func keyStr(k Key) string {
+	if k.IsZero() {
+		return ""
+	}
+	return k.String()
+}

@@ -29,3 +29,27 @@ func (p *progress) jobDone(label string) {
 	p.done++
 	fmt.Fprintf(p.w, "[%d/%d] %s\n", p.done, p.total, label)
 }
+
+// jobFailed reports a job that exhausted its attempts; the cause is the
+// failure text without the label prefix.
+func (p *progress) jobFailed(label, cause string) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	fmt.Fprintf(p.w, "[%d/%d] FAIL %s: %s\n", p.done, p.total, label, cause)
+}
+
+// jobSkipped reports a job never run because dependency dep failed
+// (keep-going mode only).
+func (p *progress) jobSkipped(label, dep string) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	fmt.Fprintf(p.w, "[%d/%d] SKIP %s (dependency %s failed)\n", p.done, p.total, label, dep)
+}

@@ -21,11 +21,16 @@ package runner
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"splash2/internal/fault"
 )
 
 // Options configures a Runner.
@@ -38,6 +43,27 @@ type Options struct {
 	// Progress receives one line per executed job plus a per-graph
 	// summary; nil disables reporting.
 	Progress io.Writer
+
+	// KeepGoing runs graphs to completion past failed jobs instead of
+	// failing fast: dependents of a failure are skipped (completing with
+	// a Skipped JobError), every failure is recorded for Failures(), and
+	// Wait returns nil unless the context was cancelled. Callers then
+	// inspect per-job errors and degrade their output.
+	KeepGoing bool
+	// Timeout bounds each job attempt; 0 disables. A timed-out attempt
+	// is abandoned (its goroutine runs on until it observes its context)
+	// and the job fails with ErrTimeout, so a wedged job cannot hang the
+	// pool.
+	Timeout time.Duration
+	// Retries is the number of extra attempts granted to jobs that
+	// report transient failures (see Transient); 0 disables retry.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// subsequent retry; ≤ 0 selects 50ms.
+	RetryBackoff time.Duration
+	// Fault is the deterministic fault injector threaded through job
+	// execution and cache I/O; nil disables injection.
+	Fault *fault.Injector
 }
 
 // Counts reports what a Runner has done so far.
@@ -51,6 +77,15 @@ type Counts struct {
 	CacheHits int64
 	// MemoHits counts jobs served from the in-memory memo.
 	MemoHits int64
+	// Retried counts extra attempts after transient failures.
+	Retried int64
+	// Failed counts jobs that exhausted their attempts (panics and
+	// timeouts included).
+	Failed int64
+	// Skipped counts jobs never run because a dependency failed.
+	Skipped int64
+	// TimedOut counts attempts abandoned at the job timeout.
+	TimedOut int64
 }
 
 // Runner schedules experiment graphs. It may run many graphs
@@ -62,13 +97,20 @@ type Runner struct {
 	memoMu sync.Mutex
 	memo   map[Key]any
 
+	failMu   sync.Mutex
+	failures []*JobError
+
 	submitted, executed, cacheHits, memoHits atomic.Int64
+	retried, failed, skipped, timedOut       atomic.Int64
 }
 
 // New creates a Runner.
 func New(opts Options) *Runner {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 50 * time.Millisecond
 	}
 	return &Runner{opts: opts, memo: map[Key]any{}}
 }
@@ -83,7 +125,25 @@ func (r *Runner) Counts() Counts {
 		Executed:  r.executed.Load(),
 		CacheHits: r.cacheHits.Load(),
 		MemoHits:  r.memoHits.Load(),
+		Retried:   r.retried.Load(),
+		Failed:    r.failed.Load(),
+		Skipped:   r.skipped.Load(),
+		TimedOut:  r.timedOut.Load(),
 	}
+}
+
+// Failures returns every failed and skipped job recorded so far, in
+// completion order — the raw material of the failure manifest.
+func (r *Runner) Failures() []*JobError {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return append([]*JobError(nil), r.failures...)
+}
+
+func (r *Runner) recordFailure(je *JobError) {
+	r.failMu.Lock()
+	r.failures = append(r.failures, je)
+	r.failMu.Unlock()
 }
 
 func (r *Runner) memoGet(k Key) (any, bool) {
@@ -113,7 +173,8 @@ type job struct {
 	result any
 	err    error
 
-	visited bool // resolve-phase mark
+	visited  bool // resolve-phase mark
+	attempts int  // attempts consumed (written by the scheduler only)
 }
 
 func (j *job) complete(v any, err error) {
@@ -302,10 +363,13 @@ func (g *Graph) resolve() []*job {
 }
 
 // execute runs the needed jobs: one goroutine per job waiting on its
-// dependencies, gated by a semaphore of Workers slots.
+// dependencies, gated by a semaphore of Workers slots. Each job runs
+// through attempt (panic recovery, timeout, transient retry); under
+// KeepGoing a failure is recorded and its dependents are skipped instead
+// of cancelling the graph.
 func (g *Graph) execute(parent context.Context, need []*job) error {
 	if len(need) == 0 {
-		g.report(0, 0)
+		g.report(0, 0, 0, 0)
 		return parent.Err()
 	}
 	ctx, cancel := context.WithCancel(parent)
@@ -320,10 +384,11 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				cancel()
 			})
 		}
-		sem      = make(chan struct{}, g.r.opts.Workers)
-		wg       sync.WaitGroup
-		executed atomic.Int64
+		sem                       = make(chan struct{}, g.r.opts.Workers)
+		wg                        sync.WaitGroup
+		executed, failed, skipped atomic.Int64
 	)
+	keep := g.r.opts.KeepGoing
 	prog := newProgress(g.r.opts.Progress, len(need))
 	for _, j := range need {
 		wg.Add(1)
@@ -333,7 +398,28 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				select {
 				case <-d.done:
 					if d.err != nil {
-						j.complete(nil, fmt.Errorf("dependency %s: %w", d.label, d.err))
+						if !keep {
+							j.complete(nil, fmt.Errorf("dependency %s: %w", d.label, d.err))
+							return
+						}
+						if ctx.Err() != nil {
+							// The graph is being cancelled; a dependency
+							// completing with the cancellation error is not
+							// a failure to record.
+							j.complete(nil, ctx.Err())
+							return
+						}
+						je := &JobError{
+							Label:   j.label,
+							Key:     keyStr(j.key),
+							Skipped: true,
+							Err:     fmt.Errorf("dependency %s: %w", d.label, d.err),
+						}
+						g.r.skipped.Add(1)
+						skipped.Add(1)
+						g.r.recordFailure(je)
+						prog.jobSkipped(j.label, d.label)
+						j.complete(nil, je)
 						return
 					}
 				case <-ctx.Done():
@@ -352,12 +438,25 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				j.complete(nil, ctx.Err())
 				return
 			}
-			v, err := j.run(ctx)
+			v, err := g.attempt(ctx, j)
 			g.r.executed.Add(1)
 			executed.Add(1)
 			if err != nil {
-				j.complete(nil, fmt.Errorf("%s: %w", j.label, err))
-				fail(j.err)
+				if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+					// Cancellation, not a job fault: complete without
+					// recording a failure.
+					j.complete(nil, err)
+					return
+				}
+				je := asJobError(j, err)
+				g.r.failed.Add(1)
+				failed.Add(1)
+				g.r.recordFailure(je)
+				prog.jobFailed(j.label, je.Cause())
+				j.complete(nil, je)
+				if !keep {
+					fail(je)
+				}
 				return
 			}
 			j.complete(v, nil)
@@ -379,17 +478,130 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 	if err := parent.Err(); err != nil {
 		return err
 	}
-	g.report(len(need), int(executed.Load()))
+	g.report(len(need), int(executed.Load()), int(failed.Load()), int(skipped.Load()))
 	return nil
 }
 
+// attempt runs a job up to 1+Retries times. Only failures marked
+// Transient are retried (with exponential backoff from RetryBackoff);
+// panics, timeouts and permanent errors consume the job immediately.
+func (g *Graph) attempt(ctx context.Context, j *job) (any, error) {
+	maxAttempts := 1 + g.r.opts.Retries
+	for att := 1; ; att++ {
+		j.attempts = att
+		v, err := g.runOnce(ctx, j)
+		if err == nil || ctx.Err() != nil {
+			return v, err
+		}
+		if att >= maxAttempts || errors.Is(err, ErrTimeout) || !IsTransient(err) {
+			return v, err
+		}
+		g.r.retried.Add(1)
+		backoff := g.r.opts.RetryBackoff << (att - 1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// runOnce executes a single attempt on its own goroutine so that a panic
+// (the job's own, or an injected one) is recovered into a JobError and a
+// timeout can abandon the attempt without stalling the worker. The
+// outcome channel is buffered: an abandoned attempt's goroutine delivers
+// its result and exits instead of leaking, as soon as the job observes
+// its context.
+func (g *Graph) runOnce(ctx context.Context, j *job) (any, error) {
+	rctx, rcancel := ctx, context.CancelFunc(func() {})
+	if g.r.opts.Timeout > 0 {
+		rctx, rcancel = context.WithTimeout(ctx, g.r.opts.Timeout)
+	}
+	defer rcancel()
+
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: &JobError{
+					Panicked: true,
+					Stack:    string(debug.Stack()),
+					Err:      fmt.Errorf("panic: %v", p),
+				}}
+			}
+		}()
+		if err := g.r.opts.Fault.Do(rctx, "job:"+j.label); err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		v, err := j.run(rctx)
+		ch <- outcome{v: v, err: err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, g.normalizeTimeout(ctx, rctx, o.err)
+	case <-rctx.Done():
+		// Prefer a result that raced the deadline.
+		select {
+		case o := <-ch:
+			return o.v, g.normalizeTimeout(ctx, rctx, o.err)
+		default:
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		g.r.timedOut.Add(1)
+		return nil, fmt.Errorf("%w after %v", ErrTimeout, g.r.opts.Timeout)
+	}
+}
+
+// normalizeTimeout classifies an attempt error caused by the attempt's
+// own deadline as ErrTimeout. A job that observes its context and
+// returns the deadline error races the scheduler's timeout branch; both
+// paths must classify the failure identically.
+func (g *Graph) normalizeTimeout(ctx, rctx context.Context, err error) error {
+	if err == nil || ctx.Err() != nil || rctx.Err() == nil || !errors.Is(err, rctx.Err()) {
+		return err
+	}
+	g.r.timedOut.Add(1)
+	return fmt.Errorf("%w after %v", ErrTimeout, g.r.opts.Timeout)
+}
+
+// asJobError converts an attempt's error into the job's structured
+// failure record. Panic JobErrors built inside runOnce are adopted;
+// everything else is wrapped.
+func asJobError(j *job, err error) *JobError {
+	var je *JobError
+	if errors.As(err, &je) && je.Panicked && je.Label == "" {
+		je.Label = j.label
+		je.Key = keyStr(j.key)
+		je.Attempts = j.attempts
+		return je
+	}
+	return &JobError{
+		Label:    j.label,
+		Key:      keyStr(j.key),
+		Attempts: j.attempts,
+		TimedOut: errors.Is(err, ErrTimeout),
+		Err:      err,
+	}
+}
+
 // report emits the per-graph summary line.
-func (g *Graph) report(needed, executed int) {
+func (g *Graph) report(needed, executed, failed, skipped int) {
 	w := g.r.opts.Progress
 	if w == nil {
 		return
 	}
 	served := len(g.jobs) - needed
-	fmt.Fprintf(w, "runner: %d jobs — %d executed, %d served from cache/memo (workers=%d)\n",
+	fmt.Fprintf(w, "runner: %d jobs — %d executed, %d served from cache/memo (workers=%d)",
 		len(g.jobs), executed, served, g.r.opts.Workers)
+	if failed > 0 || skipped > 0 {
+		fmt.Fprintf(w, "; %d failed, %d skipped", failed, skipped)
+	}
+	fmt.Fprintln(w)
 }

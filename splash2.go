@@ -32,6 +32,7 @@ import (
 	"splash2/internal/apps"
 	_ "splash2/internal/apps/all"
 	"splash2/internal/core"
+	"splash2/internal/fault"
 	"splash2/internal/mach"
 	"splash2/internal/memsys"
 )
@@ -202,6 +203,41 @@ func DefaultCacheDir() (string, error) { return core.DefaultCacheDir() }
 
 // DefaultLineSizes returns the paper's 8 B–256 B sweep points.
 func DefaultLineSizes() []int { return core.DefaultLineSizes() }
+
+// Fault tolerance and failure semantics. A characterization run in
+// keep-going mode (ReportOptions.KeepGoing) completes past failed
+// experiments: lost rows render as FAILED(...) placeholders, and the
+// run ends with a failure manifest plus an ErrFailures-wrapped error.
+type (
+	// FaultInjector is the deterministic, rule-based fault injector
+	// threaded through experiment execution and cache/trace I/O
+	// (ReportOptions.Fault). Chaos tests and the -fault CLI flags use it.
+	FaultInjector = fault.Injector
+	// FaultRule describes one injection: a wildcard pattern over
+	// operation names ("job:<label>", "cache.get:<key>", "trace.read"),
+	// an action (error, panic, delay, short read) and an occurrence.
+	FaultRule = fault.Rule
+	// FailureRecord is one lost experiment in a failure manifest.
+	FailureRecord = core.FailureRecord
+	// FailureManifest is the end-of-run account of lost experiments.
+	FailureManifest = core.FailureManifest
+)
+
+// ErrFailures marks a keep-going characterization that completed but
+// lost experiments; detect it with errors.Is to distinguish degraded
+// completion from a hard error.
+var ErrFailures = core.ErrFailures
+
+// NewFaultInjector builds a deterministic injector: the seed chooses
+// the firing occurrence of rules with a negative Nth.
+func NewFaultInjector(seed int64, rules ...FaultRule) *FaultInjector {
+	return fault.New(seed, rules...)
+}
+
+// ParseFaultRules parses the compact rule syntax of the -fault CLI
+// flag: "action[(arg)][@nth]=pattern", ';'-separated — e.g.
+// "error=job:run fft*;delay(50ms)@2=job:wsweep*".
+func ParseFaultRules(spec string) ([]FaultRule, error) { return fault.Parse(spec) }
 
 // Characterize runs the complete characterization (all tables and
 // figures), writing formatted results to w.
