@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixture is a seeded-violation package (analyzer testdata), relative
+// to this directory — guaranteed to produce findings.
+const fixture = "../../internal/analysis/testdata/src/accounting"
+
+// cleanPkg has no findings and a tiny import closure.
+const cleanPkg = "../../internal/workload"
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitOKOnCleanPackage(t *testing.T) {
+	code, stdout, stderr := runLint(t, cleanPkg)
+	if code != exitOK {
+		t.Fatalf("exit = %d, want %d (stdout=%q stderr=%q)", code, exitOK, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("clean run printed findings: %q", stdout)
+	}
+}
+
+func TestExitFindingsOnSeededViolations(t *testing.T) {
+	code, stdout, stderr := runLint(t, fixture)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d (stderr=%q)", code, exitFindings, stderr)
+	}
+	if !strings.Contains(stdout, "accounting:") {
+		t.Fatalf("findings output missing check name: %q", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Fatalf("stderr missing summary: %q", stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runLint(t, "-json", fixture)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d", code, exitFindings)
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Check == "" || d.Message == "" {
+			t.Fatalf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestExitUsage(t *testing.T) {
+	cases := [][]string{
+		{},                          // no packages
+		{"-nonsense-flag", "./..."}, // unknown flag
+		{"-checks", "bogus", cleanPkg}, // unknown check
+	}
+	for _, args := range cases {
+		if code, _, _ := runLint(t, args...); code != exitUsage {
+			t.Errorf("args %v: exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestExitInternalOnBadPackage(t *testing.T) {
+	code, _, stderr := runLint(t, "./does/not/exist")
+	if code != exitInternal {
+		t.Fatalf("exit = %d, want %d (stderr=%q)", code, exitInternal, stderr)
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	code, stdout, _ := runLint(t, "-list")
+	if code != exitOK {
+		t.Fatalf("exit = %d, want %d", code, exitOK)
+	}
+	for _, name := range []string{"accounting", "procflow", "determinism", "faultpoints"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout)
+		}
+	}
+}
+
+// TestChecksSubset: a subset run must not report unused-directive
+// findings for the checks that did not run (the accounting fixture has
+// an accounting suppression; procflow-only must stay silent about it).
+func TestChecksSubset(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-checks", "procflow", fixture)
+	if code != exitOK {
+		t.Fatalf("exit = %d, want %d (stdout=%q stderr=%q)", code, exitOK, stdout, stderr)
+	}
+}

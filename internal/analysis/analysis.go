@@ -1,0 +1,249 @@
+// Package analysis is a stdlib-only static analyzer framework for this
+// repository, in the style of golang.org/x/tools/go/analysis but built
+// on go/parser + go/types alone (an in-repo source importer loads
+// packages in dependency order; see load.go).
+//
+// The checks enforce the invariants the characterization rests on:
+//
+//   - accounting: every shared-array access in measured code flows
+//     through mach.Proc (Get/Set), never the Peek/Init/Raw escape
+//     hatches that bypass the reference stream.
+//   - procflow: *mach.Proc values stay on the goroutine that owns them,
+//     so every reference is attributed to the issuing processor.
+//   - determinism: results, traces and exports are byte-identical
+//     across reruns — no wall-clock reads, no global math/rand, no map
+//     iteration order in result paths.
+//   - faultpoints: fault-injection site labels are literals from the
+//     documented job:/cache.get:/cache.put:/trace.read taxonomy.
+//
+// A finding can be suppressed with a directive comment on the same line
+// or the line directly above:
+//
+//	//splash:allow <check> <reason>
+//
+// The reason is mandatory; an unused or malformed directive is itself a
+// finding (check "directive"), so annotations cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, position-accurate to the offending token.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Check is one analyzer: a name (used in directives and output), a
+// one-line contract, and a Run function invoked once per package.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (check, package) unit of work.
+type Pass struct {
+	Check *Check
+	Pkg   *Package
+	Fset  *token.FileSet
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.Check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// allowDirective is one parsed //splash:allow comment.
+type allowDirective struct {
+	file   string
+	line   int // line the directive is written on
+	check  string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// directiveCheckName is the pseudo-check that reports malformed or
+// unused suppression directives; it cannot itself be suppressed.
+const directiveCheckName = "directive"
+
+// collectAllows parses the //splash:allow directives of a package.
+// Malformed directives (no check name, no reason, unknown check) are
+// reported immediately.
+func collectAllows(fset *token.FileSet, pkgs []*Package, known map[string]bool, report func(Diagnostic)) []*allowDirective {
+	var allows []*allowDirective
+	bad := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		report(Diagnostic{File: p.Filename, Line: p.Line, Col: p.Column,
+			Check: directiveCheckName, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//splash:allow")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						bad(c.Slash, "splash:allow needs a check name and a reason")
+						continue
+					}
+					if !known[fields[0]] {
+						bad(c.Slash, "splash:allow names unknown check %q", fields[0])
+						continue
+					}
+					if len(fields) < 2 {
+						bad(c.Slash, "splash:allow %s needs a reason", fields[0])
+						continue
+					}
+					p := fset.Position(c.Slash)
+					allows = append(allows, &allowDirective{
+						file: p.Filename, line: p.Line,
+						check:  fields[0],
+						reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
+						pos:    c.Slash,
+					})
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// Options configures a Run.
+type Options struct {
+	// Checks is the set to run; nil means DefaultChecks().
+	Checks []*Check
+	// KeepUnusedAllows suppresses the unused-directive findings; set
+	// when running a subset of checks (a directive for a check that did
+	// not run is trivially unused).
+	KeepUnusedAllows bool
+}
+
+// Run applies the checks to every package and returns the surviving
+// findings sorted by position. Suppressed findings are dropped; unused
+// or malformed //splash:allow directives are reported as check
+// "directive" findings.
+func Run(fset *token.FileSet, pkgs []*Package, opts Options) []Diagnostic {
+	checks := opts.Checks
+	if checks == nil {
+		checks = DefaultChecks()
+	}
+	known := make(map[string]bool, len(checks))
+	for _, c := range DefaultChecks() {
+		known[c.Name] = true
+	}
+
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	allows := collectAllows(fset, pkgs, known, collect)
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			pass := &Pass{Check: c, Pkg: pkg, Fset: fset,
+				report: func(d Diagnostic) { raw = append(raw, d) }}
+			c.Run(pass)
+		}
+	}
+
+	// A directive on the finding's line, or on the line directly above
+	// it, suppresses the finding.
+	for _, d := range raw {
+		suppressed := false
+		for _, a := range allows {
+			if a.check == d.Check && a.file == d.File && (a.line == d.Line || a.line == d.Line-1) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			diags = append(diags, d)
+		}
+	}
+	if !opts.KeepUnusedAllows {
+		for _, a := range allows {
+			if !a.used {
+				p := Diagnostic{File: a.file, Line: a.line, Col: 1, Check: directiveCheckName,
+					Message: fmt.Sprintf("unused splash:allow %s directive (nothing to suppress here)", a.check)}
+				diags = append(diags, p)
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// enclosingFuncs maps every node position range to its innermost named
+// function. Function literals belong to the named function they are
+// written in — a closure inside Verify is still verification code.
+type funcRange struct {
+	name     string
+	from, to token.Pos
+}
+
+// namedFuncRanges collects the named-function ranges of a file,
+// innermost last so lookups can scan back to front.
+func namedFuncRanges(f *ast.File) []funcRange {
+	var out []funcRange
+	ast.Inspect(f, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			out = append(out, funcRange{name: fd.Name.Name, from: fd.Pos(), to: fd.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingFuncName returns the name of the named function containing
+// pos ("" at package scope). Ranges from namedFuncRanges are in source
+// order; the last one containing pos is the innermost (methods cannot
+// nest, so this only matters for nested FuncDecls, which Go forbids —
+// the scan still picks the right one).
+func enclosingFuncName(ranges []funcRange, pos token.Pos) string {
+	name := ""
+	for _, r := range ranges {
+		if r.from <= pos && pos < r.to {
+			name = r.name
+		}
+	}
+	return name
+}

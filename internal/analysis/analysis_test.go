@@ -1,0 +1,189 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"splash2/internal/analysis"
+)
+
+// fixturePkgs are the seeded-violation packages under testdata/src.
+var fixturePkgs = []string{"accounting", "procflow", "determ", "faultpts", "directive"}
+
+const fixturePrefix = "splash2/internal/analysis/testdata/src"
+
+// fixtureConfig scopes the determinism check onto the fixture tree (its
+// default scope is the real result-producing packages).
+func fixtureConfig() analysis.Config {
+	cfg := analysis.DefaultConfig()
+	cfg.DeterminismScope = []string{fixturePrefix}
+	cfg.RandScope = []string{fixturePrefix}
+	return cfg
+}
+
+// wantMarker matches the golden-diagnostic markers in fixture files:
+// `// want <check>` (finding on this line) and `// want+1 <check>`
+// (finding on the next line).
+var wantMarker = regexp.MustCompile(`// want(\+1)? ([a-z]+)`)
+
+// collectWants parses the markers of every fixture file into
+// "file:line:check" keys.
+func collectWants(t *testing.T, root string) map[string]int {
+	t.Helper()
+	wants := make(map[string]int)
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantMarker.FindAllStringSubmatch(line, -1) {
+				n := i + 1
+				if m[1] == "+1" {
+					n++
+				}
+				wants[fmt.Sprintf("%s:%d:%s", abs, n, m[2])]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func loadFixtures(t *testing.T) ([]analysis.Diagnostic, *analysis.Loader) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, len(fixturePkgs))
+	for i, p := range fixturePkgs {
+		paths[i] = fixturePrefix + "/" + p
+	}
+	pkgs, err := loader.Load(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(loader.Fset(), pkgs, analysis.Options{
+		Checks: analysis.ChecksWith(fixtureConfig()),
+	})
+	return diags, loader
+}
+
+// TestFixtureGoldenDiagnostics asserts the analyzer reports exactly the
+// seeded violations — every marker detected, at the marked file:line,
+// and nothing else (suppressed seeds must stay silent).
+func TestFixtureGoldenDiagnostics(t *testing.T) {
+	diags, _ := loadFixtures(t)
+
+	got := make(map[string]int)
+	for _, d := range diags {
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("diagnostic without a position: %+v", d)
+		}
+		got[fmt.Sprintf("%s:%d:%s", d.File, d.Line, d.Check)]++
+	}
+	wants := collectWants(t, filepath.Join("testdata", "src"))
+	if len(wants) == 0 {
+		t.Fatal("no want markers found under testdata/src")
+	}
+
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if _, ok := wants[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] != wants[k] {
+			t.Errorf("%s: got %d finding(s), want %d", k, got[k], wants[k])
+		}
+	}
+}
+
+// TestDiagnosticsSorted asserts stable position ordering (the CLI output
+// and JSON encoding rely on it).
+func TestDiagnosticsSorted(t *testing.T) {
+	diags, _ := loadFixtures(t)
+	if len(diags) < 2 {
+		t.Fatalf("expected several findings, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering format.
+func TestDiagnosticString(t *testing.T) {
+	d := analysis.Diagnostic{File: "x.go", Line: 3, Col: 7, Check: "accounting", Message: "m"}
+	if got, want := d.String(), "x.go:3:7: accounting: m"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestSubsetKeepsUnusedAllows: running one check must not report
+// directives for the checks that did not run.
+func TestSubsetKeepsUnusedAllows(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(fixturePrefix + "/accounting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procflowOnly []*analysis.Check
+	for _, c := range analysis.ChecksWith(fixtureConfig()) {
+		if c.Name == "procflow" {
+			procflowOnly = append(procflowOnly, c)
+		}
+	}
+	diags := analysis.Run(loader.Fset(), pkgs, analysis.Options{
+		Checks: procflowOnly, KeepUnusedAllows: true,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("procflow-only run over the accounting fixture reported %d findings: %v", len(diags), diags)
+	}
+}
+
+// TestRealTreeClean is the acceptance gate in test form: the repository
+// itself must lint clean (all real findings fixed or annotated).
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(loader.Fset(), pkgs, analysis.Options{})
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

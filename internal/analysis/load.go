@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The standard library is type-checked from source (no export data in
+// modern GOROOTs), which dominates load time. One process-wide source
+// importer with its own file set caches that work across Loaders; it is
+// safe because no check ever resolves a std-library position — all
+// diagnostics point into module files, whose positions live in the
+// per-loader file set.
+var (
+	stdOnce     sync.Once
+	stdFset     = token.NewFileSet()
+	stdImporter types.ImporterFrom
+	stdMu       sync.Mutex
+)
+
+func sharedStdImporter() types.ImporterFrom {
+	stdOnce.Do(func() {
+		stdImporter = importer.ForCompiler(stdFset, "source", nil).(types.ImporterFrom)
+	})
+	return stdImporter
+}
+
+// Package is one type-checked module package: the parsed syntax, the
+// type information, and enough position context to report diagnostics.
+type Package struct {
+	// Path is the import path ("splash2/internal/mach").
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's resolution maps for Files.
+	Info *types.Info
+}
+
+// Loader loads and type-checks module packages from source, in
+// dependency order, using only the standard library: module-local
+// imports are resolved against the module root, everything else is
+// delegated to go/importer's source importer (which parses GOROOT).
+// Test files (_test.go) are not loaded; the checks exempt test code by
+// contract, so analyzing it would only produce noise.
+type Loader struct {
+	// ModRoot is the absolute module root (the directory with go.mod).
+	ModRoot string
+	// ModPath is the module path from go.mod ("splash2").
+	ModPath string
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader locates the enclosing module starting from dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModRoot: root,
+		ModPath: modPath,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = sharedStdImporter()
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", file)
+}
+
+// Fset returns the loader's file set (all positions resolve through it).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load from
+// the repo source tree; everything else (the standard library) goes to
+// the stdlib source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.isModulePath(path) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	// The shared std importer is not safe for concurrent use; loads are
+	// single-goroutine per Loader, but Loaders may coexist (tests).
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+func (l *Loader) isModulePath(path string) bool {
+	return path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.ModRoot
+	}
+	return filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath+"/")))
+}
+
+// pathFor maps an absolute directory inside the module to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside the module", dir)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// load type-checks one module package (and, recursively through the
+// importer, everything it depends on — dependency order falls out of
+// the depth-first import walk).
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of one directory, with comments
+// (the suppression directives live in them).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load resolves the given package patterns and type-checks every match.
+// Patterns are directories ("./internal/mach"), import paths
+// ("splash2/internal/mach"), or recursive forms of either ("./...",
+// "./internal/...'). Results are sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	paths := make(map[string]bool)
+	for _, pat := range patterns {
+		expanded, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range expanded {
+			paths[p] = true
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("analysis: no packages matched %s", strings.Join(patterns, " "))
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	pkgs := make([]*Package, 0, len(sorted))
+	for _, p := range sorted {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expand resolves one pattern to a list of import paths.
+func (l *Loader) expand(pat string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "." || pat == "" {
+			pat = l.ModRoot
+		}
+	}
+	var dir string
+	switch {
+	case l.isModulePath(pat):
+		dir = l.dirFor(pat)
+	case filepath.IsAbs(pat):
+		dir = pat
+	default:
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		dir = abs
+	}
+	if !recursive {
+		path, err := l.pathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		return []string{path}, nil
+	}
+	return l.walk(dir)
+}
+
+// walk finds every package directory under root, skipping testdata,
+// vendor and hidden directories (fixture packages under testdata are
+// loadable, but only by naming them explicitly).
+func (l *Loader) walk(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		path, err := l.pathFor(filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		if len(out) == 0 || out[len(out)-1] != path {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

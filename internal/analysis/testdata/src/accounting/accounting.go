@@ -1,0 +1,40 @@
+// Package accounting seeds reference-stream accounting violations: the
+// analyzer must flag every escape-hatch use in measured code and accept
+// the init/verify and suppressed ones. The `// want <check>` markers are
+// the golden diagnostics asserted by analysis_test.go.
+package accounting
+
+import "splash2/internal/mach"
+
+type state struct {
+	f *mach.F64Array
+	i *mach.IntArray
+	c *mach.C128Array
+}
+
+// compute stands in for measured application code.
+func compute(s state, p *mach.Proc) float64 {
+	v := s.f.Peek(0) // want accounting
+	s.f.Init(1, v)   // want accounting
+	_ = s.i.Raw()    // want accounting
+	_ = s.c.Peek(2)  // want accounting
+	s.f.Set(p, 0, v) // accounted access: clean
+	return v
+}
+
+// methodValue escapes via a bound method, not a call.
+func methodValue(s state) func() []float64 {
+	return s.f.Raw // want accounting
+}
+
+// suppressed shows a justified escape in measured code.
+func suppressed(s state) float64 {
+	//splash:allow accounting fixture: deliberate unaccounted read with a reason
+	return s.f.Peek(0)
+}
+
+// initInput constructs inputs; escapes are part of the contract here.
+func initInput(s state) { s.f.Init(0, 1) }
+
+// verifyOutput checks results; escapes are part of the contract here.
+func verifyOutput(s state) float64 { return s.f.Peek(0) }

@@ -1,0 +1,38 @@
+// Package determ seeds determinism violations: wall-clock reads, a
+// global math/rand import, and map-order iteration.
+package determ
+
+import (
+	"math/rand" // want determinism
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism
+}
+
+func iterate(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want determinism
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func iterateAllowed(m map[string]int) int {
+	s := 0
+	//splash:allow determinism fixture: sum is order-independent
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Durations and deadline arithmetic that never read the clock are fine.
+func budget(d time.Duration) time.Duration { return 2 * d }
+
+func draw() int { return rand.Intn(4) }

@@ -1,0 +1,16 @@
+// Package directive seeds malformed and unused //splash:allow
+// directives; the framework reports them as check "directive" findings.
+// The `// want+1 <check>` form marks a finding on the following line.
+package directive
+
+// want+1 directive
+//splash:allow
+
+// want+1 directive
+//splash:allow bogus some reason
+
+// want+1 directive
+//splash:allow accounting
+
+// want+1 directive
+//splash:allow determinism fixture: nothing on the next line triggers, so this is unused

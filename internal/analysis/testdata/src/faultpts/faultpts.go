@@ -1,0 +1,41 @@
+// Package faultpts seeds fault-injection label violations: labels
+// outside the documented taxonomy and labels the analyzer cannot
+// resolve to a literal prefix.
+package faultpts
+
+import (
+	"context"
+	"io"
+
+	"splash2/internal/fault"
+)
+
+func good(inj *fault.Injector, key string) error {
+	if err := inj.Do(context.Background(), "job:run fft"); err != nil {
+		return err
+	}
+	// A single-assignment local with a literal prefix resolves.
+	op := "cache.get:" + key
+	if err := inj.Do(context.Background(), op); err != nil {
+		return err
+	}
+	_ = inj.Data("cache.put:"+key, nil)
+	return nil
+}
+
+const traceOp = "trace.read"
+
+func goodConst(inj *fault.Injector, r io.Reader) io.Reader {
+	return inj.Reader(traceOp, r)
+}
+
+func bad(inj *fault.Injector, r io.Reader, label string) {
+	_ = inj.Do(context.Background(), "disk.write:x") // want faultpoints
+	_ = inj.Reader(label, r)                         // want faultpoints
+}
+
+func badReassigned(inj *fault.Injector, key string) {
+	op := "job:" + key
+	op = key // second assignment: prefix no longer statically known
+	_ = inj.Do(context.Background(), op) // want faultpoints
+}

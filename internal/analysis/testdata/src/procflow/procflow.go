@@ -1,0 +1,45 @@
+// Package procflow seeds processor-ownership violations: procs stored
+// in globals, structs and composite types, and procs captured by
+// go-spawned closures.
+package procflow
+
+import "splash2/internal/mach"
+
+var leaked *mach.Proc // want procflow
+
+var pool []*mach.Proc // want procflow
+
+type holder struct {
+	p *mach.Proc // want procflow
+	n int
+}
+
+type nested struct {
+	m map[int]*mach.Proc // want procflow
+}
+
+type clean struct{ id int }
+
+func spawn(p *mach.Proc, ch chan int) {
+	go func() {
+		_ = p // want procflow
+		ch <- 1
+	}()
+	// Ownership transfer by argument is the mach.Run idiom: the spawned
+	// goroutine IS the processor. Not flagged.
+	go body(p)
+}
+
+func spawnAllowed(p *mach.Proc, done chan struct{}) {
+	go func() {
+		//splash:allow procflow fixture: supervisor reads the proc id only, issues no references
+		_ = p.ID
+		close(done)
+	}()
+}
+
+func body(p *mach.Proc) {
+	// A closure on the proc's own goroutine may capture it freely.
+	f := func() { p.Instr(1) }
+	f()
+}

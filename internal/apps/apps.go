@@ -50,9 +50,11 @@ type App struct {
 // Options merges overrides into the app's defaults.
 func (a *App) Options(over map[string]int) map[string]int {
 	o := make(map[string]int, len(a.Defaults))
+	//splash:allow determinism key-wise merge map->map; iteration order cannot affect the merged result
 	for k, v := range a.Defaults {
 		o[k] = v
 	}
+	//splash:allow determinism key-wise merge map->map; iteration order cannot affect the merged result
 	for k, v := range over {
 		if _, ok := a.Defaults[k]; !ok {
 			continue
@@ -100,6 +102,7 @@ func Names() []string {
 
 func namesLocked() []string {
 	out := make([]string, 0, len(registry))
+	//splash:allow determinism keys are sorted immediately below; order cannot escape
 	for n := range registry {
 		out = append(out, n)
 	}

@@ -179,6 +179,7 @@ func (b *Barnes) timestep(p *mach.Proc, step int) {
 	b.barrier.Wait(p)
 
 	if step == b.steps-1 && p.ID == 0 {
+		//splash:allow accounting verification snapshot of force-time positions; simulated references here would pollute the measured stream
 		b.posAtForce = append([]float64(nil), b.pos.Raw()...)
 	}
 	b.barrier.Wait(p)
@@ -272,6 +273,7 @@ func (b *Barnes) directAccel(i int) (ax, ay, az float64) {
 		dy := b.posAtForce[3*j+1] - yi
 		dz := b.posAtForce[3*j+2] - zi
 		r2 := dx*dx + dy*dy + dz*dz + gravEps*gravEps
+		//splash:allow accounting directAccel is the unsimulated direct-summation reference used only by Verify
 		inv := b.mass.Peek(j) / (r2 * math.Sqrt(r2))
 		ax += dx * inv
 		ay += dy * inv

@@ -104,6 +104,7 @@ func symbolic(a *workload.BlockSparse) [][]int {
 	}
 	for j := 0; j < n; j++ {
 		parent := n
+		//splash:allow determinism computes the set minimum; iteration order cannot affect it
 		for i := range sets[j] {
 			if i > j && i < parent {
 				parent = i
@@ -112,6 +113,7 @@ func symbolic(a *workload.BlockSparse) [][]int {
 		if parent == n {
 			continue
 		}
+		//splash:allow determinism set union into a set; iteration order cannot affect the result
 		for i := range sets[j] {
 			if i > j && i != parent {
 				sets[parent][i] = true
@@ -120,6 +122,7 @@ func symbolic(a *workload.BlockSparse) [][]int {
 	}
 	cols := make([][]int, n)
 	for j := 0; j < n; j++ {
+		//splash:allow determinism keys are sorted immediately below; order cannot escape
 		for i := range sets[j] {
 			cols[j] = append(cols[j], i)
 		}

@@ -193,6 +193,8 @@ func (f *FFT) twiddle(p *mach.Proc, a *mach.C128Array) {
 }
 
 // Output returns the transform result (natural order) for verification.
+//
+//splash:allow accounting result export after the measured phase; verification reads Go values only
 func (f *FFT) Output() []complex128 { return f.trans.Raw() }
 
 // Verify compares against a direct DFT: fully for small n, on sampled

@@ -93,6 +93,7 @@ func (g *Grid) Set(p *mach.Proc, i, j int, v float64) {
 // Peek reads without simulation (verification).
 func (g *Grid) Peek(i, j int) float64 {
 	sub, off := g.locate(i, j)
+	//splash:allow accounting Grid.Peek is itself the documented verification escape hatch; callers are residual/verify code
 	return sub.Peek(off)
 }
 

@@ -231,6 +231,7 @@ func (r *Radiosity) fget(p *mach.Proc, i int) float64 {
 	if p != nil {
 		return r.geom.Get(p, i)
 	}
+	//splash:allow accounting p==nil selects the unsimulated verification re-execution path
 	return r.geom.Peek(i)
 }
 
@@ -238,6 +239,7 @@ func (r *Radiosity) fget2(p *mach.Proc, a *mach.F64Array, i int) float64 {
 	if p != nil {
 		return a.Get(p, i)
 	}
+	//splash:allow accounting p==nil selects the unsimulated verification re-execution path
 	return a.Peek(i)
 }
 
@@ -245,5 +247,6 @@ func (r *Radiosity) iget(p *mach.Proc, a *mach.IntArray, i int) int {
 	if p != nil {
 		return a.Get(p, i)
 	}
+	//splash:allow accounting p==nil selects the unsimulated verification re-execution path
 	return a.Peek(i)
 }

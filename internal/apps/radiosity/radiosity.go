@@ -179,14 +179,19 @@ func (r *Radiosity) initPatch(id int, p *workload.Polygon, poly int) {
 // connecting their centers (unsimulated; used for input construction).
 func (r *Radiosity) facing(i, j int) (float64, float64) {
 	gi, gj := geomStride*i, geomStride*j
+	//splash:allow accounting facing runs during input construction (interaction-list build), before measurement
 	dx := r.geom.Peek(gj+gCX) - r.geom.Peek(gi+gCX)
+	//splash:allow accounting facing runs during input construction (interaction-list build), before measurement
 	dy := r.geom.Peek(gj+gCY) - r.geom.Peek(gi+gCY)
+	//splash:allow accounting facing runs during input construction (interaction-list build), before measurement
 	dz := r.geom.Peek(gj+gCZ) - r.geom.Peek(gi+gCZ)
 	d := math.Sqrt(dx*dx + dy*dy + dz*dz)
 	if d == 0 {
 		return 0, 0
 	}
+	//splash:allow accounting facing runs during input construction (interaction-list build), before measurement
 	cp := (r.geom.Peek(gi+gNX)*dx + r.geom.Peek(gi+gNY)*dy + r.geom.Peek(gi+gNZ)*dz) / d
+	//splash:allow accounting facing runs during input construction (interaction-list build), before measurement
 	cq := -(r.geom.Peek(gj+gNX)*dx + r.geom.Peek(gj+gNY)*dy + r.geom.Peek(gj+gNZ)*dz) / d
 	return cp, cq
 }

@@ -59,6 +59,7 @@ type Raytrace struct {
 // or directly (verification re-execution); both paths compute identically.
 type ctx struct {
 	r *Raytrace
+	//splash:allow procflow ctx is a per-call-stack view that never outlives the frame or crosses goroutines; p==nil marks verification
 	p *mach.Proc
 }
 
@@ -66,6 +67,7 @@ func (c ctx) f(a *mach.F64Array, i int) float64 {
 	if c.p != nil {
 		return a.Get(c.p, i)
 	}
+	//splash:allow accounting p==nil selects the unsimulated verification re-execution path
 	return a.Peek(i)
 }
 
@@ -73,6 +75,7 @@ func (c ctx) iv(a *mach.IntArray, i int) int {
 	if c.p != nil {
 		return a.Get(c.p, i)
 	}
+	//splash:allow accounting p==nil selects the unsimulated verification re-execution path
 	return a.Peek(i)
 }
 

@@ -63,6 +63,7 @@ type Volrend struct {
 // ctx routes accesses through the memory system or directly (verification).
 type ctx struct {
 	v *Volrend
+	//splash:allow procflow ctx is a per-call-stack view that never outlives the frame or crosses goroutines; p==nil marks verification
 	p *mach.Proc
 }
 
@@ -70,6 +71,7 @@ func (c ctx) f(a *mach.F64Array, i int) float64 {
 	if c.p != nil {
 		return a.Get(c.p, i)
 	}
+	//splash:allow accounting p==nil selects the unsimulated verification re-execution path
 	return a.Peek(i)
 }
 
@@ -248,4 +250,6 @@ func (v *Volrend) Verify() error {
 }
 
 // Pixels exposes the rendered frames (tests).
+//
+//splash:allow accounting result export after the measured phase; verification reads Go values only
 func (v *Volrend) Pixels() []float64 { return v.pixels.Raw() }

@@ -95,7 +95,7 @@ func (w *Spatial) step(p *mach.Proc) {
 			for d := 0; d < 3; d++ {
 				w.acc.Set(p, 3*i+d, 0)
 			}
-			nc := w.cellOf(w.pos.Peek(3*i), w.pos.Peek(3*i+1), w.pos.Peek(3*i+2))
+			nc := w.cellOf(w.pos.Get(p, 3*i), w.pos.Get(p, 3*i+1), w.pos.Get(p, 3*i+2))
 			mine = append(mine, moved{i, nc})
 			p.Instr(4) // cell computation
 		}

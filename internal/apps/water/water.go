@@ -201,6 +201,8 @@ func (s *state) verifyCommon() error {
 }
 
 // Accelerations exposes the shared acceleration values (cross-validation).
+//
+//splash:allow accounting result export after the measured phase; cross-validation reads Go values only
 func (s *state) Accelerations() []float64 { return s.acc.Raw() }
 
 // partitionRange returns this processor's contiguous molecule range.

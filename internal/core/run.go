@@ -148,9 +148,11 @@ func RecordApp(app string, procs int, over map[string]int) (*memsys.Trace, mach.
 // merged combines scale overrides with explicit ones (explicit wins).
 func merged(scale Scale, app string, over map[string]int) map[string]int {
 	out := map[string]int{}
+	//splash:allow determinism key-wise merge map->map; iteration order cannot affect the merged result
 	for k, v := range scale.Overrides(app) {
 		out[k] = v
 	}
+	//splash:allow determinism key-wise merge map->map; iteration order cannot affect the merged result
 	for k, v := range over {
 		out[k] = v
 	}

@@ -19,8 +19,13 @@ type Barrier struct {
 // NewBarrier returns a barrier for all processors of the machine.
 func (m *Machine) NewBarrier() *Barrier { return NewBarrier(m.Procs()) }
 
-// NewBarrier returns a barrier for n participants.
+// NewBarrier returns a barrier for n participants. A barrier for zero
+// (or fewer) participants is unusable — Wait could never release — so
+// misuse panics immediately rather than deadlocking the first waiter.
 func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("mach: barrier needs at least one participant")
+	}
 	b := &Barrier{n: n}
 	b.cv = sync.NewCond(&b.mu)
 	return b

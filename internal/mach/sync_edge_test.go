@@ -1,0 +1,213 @@
+package mach
+
+import (
+	"sync"
+	"testing"
+)
+
+func edgeMachine(t *testing.T, procs int) *Machine {
+	t.Helper()
+	return MustNew(Config{Procs: procs, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: CountOnly})
+}
+
+// TestBarrierReuse drives one barrier through many episodes: every
+// episode must join all clocks to the per-episode maximum, and the
+// generation logic must keep episodes strictly separated even when the
+// same processors race straight back into the next Wait.
+func TestBarrierReuse(t *testing.T) {
+	const episodes = 5
+	m := edgeMachine(t, 4)
+	b := m.NewBarrier()
+	var mu sync.Mutex
+	times := make([][]uint64, episodes) // episode -> clock of each proc after Wait
+	m.Run(func(p *Proc) {
+		for e := 0; e < episodes; e++ {
+			// Unequal work per proc and per episode: the release time
+			// must always be the slowest arriver's clock.
+			p.Instr((p.ID + 1) * (e + 1) * 10)
+			b.Wait(p)
+			mu.Lock()
+			times[e] = append(times[e], p.Time())
+			mu.Unlock()
+		}
+	})
+	var prev uint64
+	for e := 0; e < episodes; e++ {
+		if len(times[e]) != m.Procs() {
+			t.Fatalf("episode %d: %d arrivals, want %d", e, len(times[e]), m.Procs())
+		}
+		for _, tm := range times[e] {
+			if tm != times[e][0] {
+				t.Fatalf("episode %d: clocks diverge after barrier: %v", e, times[e])
+			}
+		}
+		if times[e][0] <= prev {
+			t.Fatalf("episode %d: release time %d did not advance past %d", e, times[e][0], prev)
+		}
+		prev = times[e][0]
+	}
+	// Barrier episodes are counted once per processor per episode.
+	for i, c := range m.Snapshot().Procs {
+		if c.Barriers != episodes {
+			t.Fatalf("proc %d: %d barrier episodes, want %d", i, c.Barriers, episodes)
+		}
+	}
+}
+
+// TestBarrierZeroParticipantsPanics: a zero-participant barrier could
+// never release, so constructing one must fail loudly.
+func TestBarrierZeroParticipantsPanics(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBarrier(%d) did not panic", n)
+				}
+			}()
+			NewBarrier(n)
+		}()
+	}
+}
+
+// TestZeroProcMachineRejected: a machine with a negative processor
+// count must be rejected at construction (zero takes the paper default).
+func TestZeroProcMachineRejected(t *testing.T) {
+	if _, err := New(Config{Procs: -1, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: CountOnly}); err == nil {
+		t.Fatal("New accepted Procs = -1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on Procs = -1")
+		}
+	}()
+	MustNew(Config{Procs: -1, CacheSize: 1024, Assoc: 2, LineSize: 64, MemModel: CountOnly})
+}
+
+// TestLockZeroValueSerialization: the zero Lock is usable, and an
+// acquirer behind the previous critical section's release time is
+// dragged forward with the delay accounted as sync wait.
+func TestLockZeroValueSerialization(t *testing.T) {
+	m := edgeMachine(t, 2)
+	p0, p1 := m.procs[0], m.procs[1]
+	var l Lock
+
+	p0.time = 100
+	l.Acquire(p0)
+	l.Release(p0)
+
+	p1.time = 10
+	l.Acquire(p1)
+	if p1.time != 100 {
+		t.Fatalf("late acquirer clock = %d, want 100 (previous release)", p1.time)
+	}
+	if p1.c.SyncWait != 90 {
+		t.Fatalf("late acquirer SyncWait = %d, want 90", p1.c.SyncWait)
+	}
+	l.Release(p1)
+
+	// An acquirer already past the release time is not delayed.
+	p0.time = 500
+	l.Acquire(p0)
+	if p0.time != 500 {
+		t.Fatalf("ahead acquirer clock = %d, want 500", p0.time)
+	}
+	l.Release(p0)
+	if p0.c.Locks != 2 || p1.c.Locks != 1 {
+		t.Fatalf("lock counts = %d/%d, want 2/1", p0.c.Locks, p1.c.Locks)
+	}
+}
+
+// TestFlagSetTwiceKeepsFirstTime: Set is one-shot — a second Set must
+// not move the release time, and waiters join to the first setter.
+func TestFlagSetTwiceKeepsFirstTime(t *testing.T) {
+	m := edgeMachine(t, 3)
+	p0, p1, p2 := m.procs[0], m.procs[1], m.procs[2]
+	var f Flag
+
+	p0.time = 50
+	f.Set(p0)
+	p1.time = 70
+	f.Set(p1) // no-op
+	if !f.IsSet() {
+		t.Fatal("flag not set")
+	}
+
+	p2.time = 10
+	f.Wait(p2)
+	if p2.time != 50 {
+		t.Fatalf("waiter clock = %d, want 50 (first Set)", p2.time)
+	}
+	if p2.c.Pauses != 1 {
+		t.Fatalf("waiter Pauses = %d, want 1", p2.c.Pauses)
+	}
+
+	// A waiter already ahead of the set time keeps its clock.
+	p1.time = 90
+	f.Wait(p1)
+	if p1.time != 90 {
+		t.Fatalf("ahead waiter clock = %d, want 90", p1.time)
+	}
+}
+
+// TestEpochRestartsMeasurementWindow: Epoch inside a parallel phase
+// pauses accounting at the barrier and resumes it from the release
+// time — work before the epoch must vanish from the snapshot, work
+// after must be measured exactly.
+func TestEpochRestartsMeasurementWindow(t *testing.T) {
+	m := edgeMachine(t, 4)
+	b := m.NewBarrier()
+	m.Run(func(p *Proc) {
+		p.Instr((p.ID + 1) * 1000) // cold-start work, dropped by the epoch
+		m.Epoch(p, b)
+		p.Instr(10) // steady-state work, measured
+	})
+	st := m.Snapshot()
+	if st.Time != 10 {
+		t.Fatalf("post-epoch Time = %d, want 10", st.Time)
+	}
+	for i, c := range st.Procs {
+		if c.Instr != 10 {
+			t.Fatalf("proc %d post-epoch Instr = %d, want 10", i, c.Instr)
+		}
+		if c.Barriers != 0 {
+			t.Fatalf("proc %d: epoch barrier leaked into the measured window (Barriers=%d)", i, c.Barriers)
+		}
+	}
+}
+
+// TestResetStatsBetweenPhases: ResetStats at quiescence is the
+// inter-phase form of the measurement window pause/resume.
+func TestResetStatsBetweenPhases(t *testing.T) {
+	m := edgeMachine(t, 2)
+	m.Run(func(p *Proc) { p.Instr(123) })
+	m.ResetStats()
+	if st := m.Snapshot(); st.Time != 0 || Aggregate(st.Procs).Instr != 0 {
+		t.Fatalf("snapshot after ResetStats not empty: %+v", st)
+	}
+	m.Run(func(p *Proc) { p.Instr(7) })
+	st := m.Snapshot()
+	if st.Time != 7 {
+		t.Fatalf("second-phase Time = %d, want 7", st.Time)
+	}
+	if got := Aggregate(st.Procs).Instr; got != 14 {
+		t.Fatalf("second-phase total Instr = %d, want 14", got)
+	}
+}
+
+// TestSnapshotMonotonicAcrossEpochs: logical clocks persist across
+// epochs (only the measurement baseline moves), so a second epoch in
+// the same run measures only its own slice.
+func TestSnapshotMonotonicAcrossEpochs(t *testing.T) {
+	m := edgeMachine(t, 2)
+	b := m.NewBarrier()
+	m.Run(func(p *Proc) {
+		p.Instr(100)
+		m.Epoch(p, b)
+		p.Instr(20)
+		m.Epoch(p, b)
+		p.Instr(3)
+	})
+	if st := m.Snapshot(); st.Time != 3 {
+		t.Fatalf("after two epochs Time = %d, want 3", st.Time)
+	}
+}

@@ -228,6 +228,7 @@ func (c *cache) resident() int {
 // forEach visits every valid line (used by invariant tests).
 func (c *cache) forEach(f func(line uint64, st LineState)) {
 	if c.full {
+		//splash:allow determinism feeds the order-independent invariant checker (bitset aggregation), never results or traces
 		for l, n := range c.index {
 			f(l, n.state)
 		}
