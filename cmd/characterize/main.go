@@ -8,6 +8,7 @@
 //	characterize -scale default       # default (larger) problem sizes
 //	characterize -scale paper         # the paper's published sizes (slow)
 //	characterize -apps fft,lu -p 16
+//	characterize -mode record-replay  # trace each program once, replay per config
 //	characterize -all-assocs          # Figure 3 with 1/2/4-way and full
 //	characterize -plot                # ASCII charts alongside the tables
 //	characterize -format json|csv     # machine-readable results
@@ -102,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		procs      = fs.Int("p", 32, "processors for fixed-count experiments")
 		procList   = fs.String("plist", "1,2,4,8,16,32", "processor counts for scaling sweeps")
 		scaleName  = fs.String("scale", "sweep", `problem sizes: "sweep", "default" or "paper"`)
+		modeName   = fs.String("mode", "live", `full-memory execution: "live" (inline simulation) or "record-replay" (trace once, replay per configuration)`)
 		allAssocs  = fs.Bool("all-assocs", false, "Figure 3 with all associativities")
 		plot       = fs.Bool("plot", false, "render ASCII charts alongside the tables")
 		format     = fs.String("format", "text", `output format: "text", "json" or "csv"`)
@@ -145,6 +147,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		o.Scale = splash2.PaperScale
 	default:
 		fmt.Fprintf(stderr, "characterize: unknown scale %q\n", *scaleName)
+		return exitUsage
+	}
+	switch *modeName {
+	case "live":
+		o.ExecMode = splash2.LiveExec
+	case "record-replay":
+		o.ExecMode = splash2.RecordReplayExec
+	default:
+		fmt.Fprintf(stderr, "characterize: unknown mode %q\n", *modeName)
 		return exitUsage
 	}
 	switch {

@@ -13,7 +13,7 @@ import (
 )
 
 // fixturePkgs are the seeded-violation packages under testdata/src.
-var fixturePkgs = []string{"accounting", "procflow", "determ", "faultpts", "directive"}
+var fixturePkgs = []string{"accounting", "procflow", "determ", "faultpts", "tracecap", "directive"}
 
 const fixturePrefix = "splash2/internal/analysis/testdata/src"
 

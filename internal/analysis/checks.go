@@ -47,6 +47,7 @@ func ChecksWith(cfg Config) []*Check {
 		{Name: "procflow", Doc: "*mach.Proc must not be stored in globals/structs or captured across goroutine spawns", Run: runProcflow},
 		{Name: "determinism", Doc: "no wall-clock reads, global math/rand, or map-order iteration in result-producing packages", Run: cfg.runDeterminism},
 		{Name: "faultpoints", Doc: "fault injection labels must be literals from the job:/cache.get:/cache.put:/trace.read taxonomy", Run: runFaultpoints},
+		{Name: "tracecapture", Doc: "per-reference memsys entry points (Recorder.Record*, System.Access*) are reserved for internal/mach's batched capture path", Run: runTracecapture},
 	}
 }
 
@@ -55,6 +56,13 @@ const machPkgSuffix = "internal/mach"
 
 func isMachPackage(p *types.Package) bool {
 	return p != nil && strings.HasSuffix(p.Path(), machPkgSuffix)
+}
+
+// memsysPkgSuffix identifies the memory-system package by path.
+const memsysPkgSuffix = "internal/memsys"
+
+func isMemsysPackage(p *types.Package) bool {
+	return p != nil && strings.HasSuffix(p.Path(), memsysPkgSuffix)
 }
 
 func hasAnyPrefix(path string, prefixes []string) bool {
@@ -302,6 +310,62 @@ func (cfg Config) runDeterminism(pass *Pass) {
 					}
 				}
 			}
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// tracecapture
+
+// captureMethods are the per-reference memsys entry points, by receiver
+// type: recording and live simulation must flow through internal/mach's
+// batched per-processor buffers (Proc.Read/Write), which stamp events
+// with synchronization epochs. A direct call from application or driver
+// code would produce events outside any epoch order — breaking both the
+// byte-determinism of recordings and the one-lock-per-batch fast path.
+var captureMethods = map[string]map[string]bool{
+	"Recorder": {"Record": true, "RecordReset": true, "RecordBatch": true, "RecordResetAt": true},
+	"System":   {"Access": true, "AccessAt": true, "AccessBatch": true},
+}
+
+// runTracecapture flags selections of the per-reference capture methods
+// outside internal/mach (where the batched flush path lives) and
+// internal/memsys itself (replay and tests drive their own systems).
+func runTracecapture(pass *Pass) {
+	if isMachPackage(pass.Pkg.Types) || isMemsysPackage(pass.Pkg.Types) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := info.Selections[sel]
+			if s == nil {
+				return true
+			}
+			fn, ok := s.Obj().(*types.Func)
+			if !ok || !isMemsysPackage(fn.Pkg()) {
+				return true
+			}
+			recv := s.Recv()
+			if p, okp := recv.(*types.Pointer); okp {
+				recv = p.Elem()
+			}
+			named, okn := recv.(*types.Named)
+			if !okn {
+				return true
+			}
+			methods := captureMethods[named.Obj().Name()]
+			if methods == nil || !methods[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"%s.%s bypasses the batched per-processor capture path; issue references through *mach.Proc Read/Write so they are epoch-stamped and batched (annotate only deliberate tooling escapes)",
+				named.Obj().Name(), fn.Name())
 			return true
 		})
 	}

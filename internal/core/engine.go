@@ -28,7 +28,28 @@ type Engine struct {
 	r         *runner.Runner
 	ctx       context.Context
 	keepGoing bool
+	mode      ExecMode
 }
+
+// ExecMode selects how full-memory experiments execute.
+type ExecMode int
+
+const (
+	// LiveExec simulates the memory system inline with program execution
+	// (the classic path).
+	LiveExec ExecMode = iota
+	// RecordReplayExec records each program's reference trace under the
+	// count-only model (cheap with batched capture) and drives the cache
+	// simulation from the trace via memsys.Replay. Per-processor counters
+	// and PRAM times are identical to LiveExec — timing never depends on
+	// the memory model — and traces are shared across configurations, so
+	// multi-configuration reports re-execute each program once. Memory
+	// statistics come from the replay interleaving, which orders
+	// references deterministically at sync boundaries rather than by
+	// live lock-acquisition order; results are cached under distinct
+	// keys ("replayrun") so the two modes never alias.
+	RecordReplayExec
+)
 
 // EngineOptions configures an Engine.
 type EngineOptions struct {
@@ -56,6 +77,10 @@ type EngineOptions struct {
 	// Fault is the deterministic fault injector threaded through job
 	// execution and cache I/O; nil disables injection.
 	Fault *fault.Injector
+
+	// ExecMode selects live simulation or record-then-replay for
+	// full-memory experiments (see ExecMode).
+	ExecMode ExecMode
 }
 
 // NewEngine creates an engine. It fails only when the cache directory
@@ -87,6 +112,7 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 		}),
 		ctx:       ctx,
 		keepGoing: o.KeepGoing,
+		mode:      o.ExecMode,
 	}, nil
 }
 
@@ -147,7 +173,13 @@ type recordOut struct {
 }
 
 // runJob schedules one full program execution (experiment kind "run").
+// Under RecordReplayExec, full-memory runs are rerouted through a trace
+// recording plus replay; count-only runs have no memory system to
+// simulate and always execute live.
 func (e *Engine) runJob(g *runner.Graph, app string, cfg mach.Config, over map[string]int) runner.Job[*RunResult] {
+	if e.mode == RecordReplayExec && cfg.MemModel == mach.FullMem {
+		return e.replayRunJob(g, app, cfg, over)
+	}
 	ident := runIdent{App: app, Opts: canonOpts(over), Mem: cfg.MemConfig(), MemModel: int(cfg.MemModel)}
 	return runner.Submit(g, runner.Spec{
 		Label: fmt.Sprintf("run %s p=%d cache=%dK/%d-way/%dB model=%d",
@@ -155,6 +187,38 @@ func (e *Engine) runJob(g *runner.Graph, app string, cfg mach.Config, over map[s
 		Key: runner.KeyOf("run", ident),
 	}, func(ctx context.Context) (*RunResult, error) {
 		return Run(app, cfg, over)
+	})
+}
+
+// replayRunJob schedules a full-memory experiment as record + replay
+// (kind "replayrun"): the program executes once under count-only
+// recording — shared with every other configuration that needs the same
+// trace — and the memory statistics come from replaying the trace
+// through the requested cache configuration. Processor counters and the
+// PRAM time are the recording run's: timing is independent of the
+// memory model, so they equal a live run's exactly.
+func (e *Engine) replayRunJob(g *runner.Graph, app string, cfg mach.Config, over map[string]int) runner.Job[*RunResult] {
+	mc := cfg.MemConfig()
+	tid := traceIdent{App: app, Procs: mc.Procs, Opts: canonOpts(over)}
+	rec := e.recordJob(g, tid)
+	ident := runIdent{App: app, Opts: canonOpts(over), Mem: mc, MemModel: int(cfg.MemModel)}
+	return runner.Submit(g, runner.Spec{
+		Label: fmt.Sprintf("replayrun %s p=%d cache=%dK/%d-way/%dB",
+			app, mc.Procs, mc.CacheSize/1024, mc.Assoc, mc.LineSize),
+		Key:  runner.KeyOf("replayrun", ident),
+		Deps: []runner.Handle{rec},
+	}, func(ctx context.Context) (*RunResult, error) {
+		out, err := rec.Result()
+		if err != nil {
+			return nil, err
+		}
+		mem, err := memsys.Replay(out.Trace, mc)
+		if err != nil {
+			return nil, err
+		}
+		st := out.Stats // struct copy; Procs slice is shared read-only
+		st.Mem = mem
+		return &RunResult{App: app, Cfg: cfg, Stats: st}, nil
 	})
 }
 

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// recordBytes records one app and serializes the trace.
+func recordBytes(t *testing.T, app string, procs int, over map[string]int) []byte {
+	t.Helper()
+	tr, _, err := RecordApp(app, procs, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Recording is byte-deterministic: the per-processor sub-streams are
+// merged by synchronization epoch, not by goroutine scheduling order, so
+// the serialized trace of a barrier/flag-structured program must be
+// identical across repeated runs and across GOMAXPROCS settings. This is
+// the regression test for the batched capture path — under per-event
+// global locking the recorded interleaving was scheduler-dependent and
+// this test fails.
+func TestRecordingDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const app, procs = "fft", 8
+	over := SweepScale.Overrides(app)
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	serial := recordBytes(t, app, procs, over)
+	runtime.GOMAXPROCS(1)
+	serialAgain := recordBytes(t, app, procs, over)
+	gmp := runtime.NumCPU()
+	if gmp < 2 {
+		gmp = 2
+	}
+	runtime.GOMAXPROCS(gmp)
+	parallel := recordBytes(t, app, procs, over)
+	parallelAgain := recordBytes(t, app, procs, over)
+
+	if !bytes.Equal(serial, serialAgain) {
+		t.Fatal("two recordings at GOMAXPROCS=1 differ")
+	}
+	if !bytes.Equal(parallel, parallelAgain) {
+		t.Fatalf("two recordings at GOMAXPROCS=%d differ", gmp)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("recording at GOMAXPROCS=1 (%d bytes) differs from GOMAXPROCS=%d (%d bytes)",
+			len(serial), gmp, len(parallel))
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty serialized trace")
+	}
+}

@@ -48,6 +48,10 @@ type ReportOptions struct {
 	// ManifestOut receives the JSON failure manifest at the end of a
 	// keep-going run that lost experiments; nil skips writing it.
 	ManifestOut io.Writer
+
+	// ExecMode selects live simulation or record-then-replay for
+	// full-memory experiments (cmd/characterize's -mode flag).
+	ExecMode ExecMode
 }
 
 // engineOptions extracts the scheduler configuration.
@@ -61,6 +65,7 @@ func (o ReportOptions) engineOptions() EngineOptions {
 		Retries:      o.Retries,
 		RetryBackoff: o.RetryBackoff,
 		Fault:        o.Fault,
+		ExecMode:     o.ExecMode,
 	}
 }
 

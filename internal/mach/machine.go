@@ -115,6 +115,7 @@ func New(cfg Config) (*Machine, error) {
 	for i := range m.procs {
 		m.procs[i] = &Proc{ID: i, m: m}
 	}
+	m.setCaptureFlags()
 	m.baseTime = make([]uint64, cfg.Procs)
 	m.base = make([]Counters, cfg.Procs)
 	m.win.init(cfg.Procs)
@@ -156,17 +157,46 @@ func (m *Machine) isShared(line uint64) bool {
 	return line < uint64(len(hm.shared)) && hm.shared[line]
 }
 
+// epochFork is the fork half of a phase's fork-join synchronization:
+// everything executed before this point happens-before everything in the
+// next phase, so every processor joins a fresh epoch strictly above all
+// current ones. Must be called while all processors are quiescent.
+func (m *Machine) epochFork() {
+	var max uint64
+	for _, p := range m.procs {
+		if p.epoch > max {
+			max = p.epoch
+		}
+	}
+	for _, p := range m.procs {
+		p.epoch = max + 1
+	}
+}
+
+// maxEpoch returns the highest processor epoch; processors must be
+// quiescent.
+func (m *Machine) maxEpoch() uint64 {
+	var max uint64
+	for _, p := range m.procs {
+		if p.epoch > max {
+			max = p.epoch
+		}
+	}
+	return max
+}
+
 // Run executes body once per processor, each on its own goroutine, and
 // waits for all of them. It may be called repeatedly for multi-phase
 // programs; logical clocks persist across calls.
 func (m *Machine) Run(body func(p *Proc)) {
+	m.epochFork()
 	var wg sync.WaitGroup
 	wg.Add(len(m.procs))
 	for _, p := range m.procs {
 		go func(p *Proc) {
 			defer wg.Done()
 			p.unpark()
-			defer p.park()
+			defer p.park() // park flushes the reference buffer
 			body(p)
 		}(p)
 	}
@@ -175,6 +205,7 @@ func (m *Machine) Run(body func(p *Proc)) {
 
 // RunOne executes body on processor 0 only (sequential setup phases).
 func (m *Machine) RunOne(body func(p *Proc)) {
+	m.epochFork()
 	p := m.procs[0]
 	p.unpark()
 	defer p.park()
@@ -186,6 +217,32 @@ func (m *Machine) RunOne(body func(p *Proc)) {
 // with memsys.Replay. Call before the parallel phase.
 func (m *Machine) StartRecording() {
 	m.rec = memsys.NewRecorder(m.memCfg.LineSize)
+	m.setCaptureFlags()
+}
+
+// setCaptureFlags refreshes each processor's reference-capture state
+// from the current memory-system/recorder attachment. Must be called
+// whenever either attachment changes, while processors are quiescent.
+func (m *Machine) setCaptureFlags() {
+	for _, p := range m.procs {
+		p.capture = m.sys != nil || m.rec != nil
+		p.wantTimes = m.sys != nil
+		p.evbase = uint64(p.ID) << 1
+		if p.capture && p.evbuf == nil {
+			p.evbuf = make([]uint64, 0, refBufCap)
+		}
+		if p.wantTimes && p.tmbuf == nil {
+			p.tmbuf = make([]uint64, 0, refBufCap)
+		}
+	}
+}
+
+// flushAll drains every processor's reference buffer. Must be called
+// while all processors are quiescent (between Run phases).
+func (m *Machine) flushAll() {
+	for _, p := range m.procs {
+		p.flushRefs()
+	}
 }
 
 // FinishRecording stops capture and returns the trace with the current
@@ -194,9 +251,11 @@ func (m *Machine) FinishRecording() *memsys.Trace {
 	if m.rec == nil {
 		return nil
 	}
+	m.flushAll()
 	homes := append([]int32(nil), m.hm.Load().homes...)
 	tr := m.rec.Finish(homes)
 	m.rec = nil
+	m.setCaptureFlags()
 	return tr
 }
 
@@ -205,11 +264,14 @@ func (m *Machine) FinishRecording() *memsys.Trace {
 // captured. It must be called while all processors are quiescent — use
 // Epoch from inside a parallel phase.
 func (m *Machine) ResetStats() {
+	m.flushAll()
 	if m.sys != nil {
 		m.sys.ResetStats()
 	}
 	if m.rec != nil {
-		m.rec.RecordReset()
+		// The marker lands one epoch above everything recorded so far and
+		// ties with the next phase's events, where markers merge first.
+		m.rec.RecordResetAt(m.maxEpoch() + 1)
 	}
 	m.statMu.Lock()
 	defer m.statMu.Unlock()
@@ -225,12 +287,15 @@ func (m *Machine) ResetStats() {
 // — executed by the last arriver while the others are still blocked — so
 // no processor's counters are read while being mutated.
 func (m *Machine) Epoch(p *Proc, b *Barrier) {
-	b.wait(p, func(release uint64) {
+	b.wait(p, func(release, releaseEpoch uint64) {
 		if m.sys != nil {
 			m.sys.ResetStats()
 		}
 		if m.rec != nil {
-			m.rec.RecordReset()
+			// Every participant flushed on arrival at an epoch below
+			// releaseEpoch and departs at releaseEpoch, where markers
+			// merge before events.
+			m.rec.RecordResetAt(releaseEpoch)
 		}
 		m.statMu.Lock()
 		defer m.statMu.Unlock()

@@ -1,5 +1,10 @@
 package mach
 
+// refBufCap is the per-processor reference buffer size. Large enough to
+// amortize the memory-system lock to one acquisition per 256 references,
+// small enough that a buffer is a few KiB of L1-resident state.
+const refBufCap = 256
+
 // Proc is one simulated processor. All methods must be called only from
 // the goroutine running that processor's code.
 type Proc struct {
@@ -8,6 +13,29 @@ type Proc struct {
 	m    *Machine
 	time uint64 // logical PRAM clock
 	c    Counters
+
+	// Batched reference capture (see internal/README.md, "Event ordering
+	// under batched capture"). References append to evbuf/tmbuf with no
+	// lock and no interface call; flushRefs drains both into the memory
+	// system (one lock per batch) and the recorder (private sub-stream)
+	// at buffer-full, at every synchronization point, and at phase ends.
+	// epoch is the processor's Lamport-style synchronization epoch: it
+	// strictly increases across every release→acquire edge the processor
+	// participates in, which is what lets the recorder merge per-proc
+	// sub-streams into one deterministic legal global order.
+	epoch uint64
+	evbuf []uint64 // packed addr<<8 | proc<<1 | write
+	tmbuf []uint64 // requestor logical clock per event
+
+	// Capture flags, maintained by Machine.setCaptureFlags whenever the
+	// memory system or recorder attachment changes. capture gates the
+	// whole buffering path; wantTimes gates the per-event clock stamp,
+	// which only the memory system consumes (the recorder orders events
+	// by sync epoch, not by clock). evbase is the processor's packed
+	// proc<<1 bits, hoisted out of the per-reference encode.
+	capture   bool
+	wantTimes bool
+	evbase    uint64
 }
 
 // Time returns the processor's logical clock (cycles since machine start).
@@ -28,6 +56,63 @@ func (p *Proc) Flop(n int) {
 	p.publish()
 }
 
+// buffer appends one reference to the local buffer, flushing when full.
+func (p *Proc) buffer(a Addr, write bool) {
+	e := uint64(a)<<8 | p.evbase
+	if write {
+		e |= 1
+	}
+	p.evbuf = append(p.evbuf, e)
+	if p.wantTimes {
+		p.tmbuf = append(p.tmbuf, p.time)
+	}
+	if len(p.evbuf) == refBufCap {
+		p.flushRefs()
+	}
+}
+
+// flushRefs drains the reference buffer into the memory system and the
+// recorder. Must be called (directly or via a sync point) before any
+// epoch change — recorded events are stamped with the epoch at flush
+// time — and before any code reads memory-system statistics.
+func (p *Proc) flushRefs() {
+	if len(p.evbuf) == 0 {
+		return
+	}
+	if p.m.sys != nil {
+		p.m.sys.AccessBatch(p.ID, p.evbuf, p.tmbuf)
+	}
+	if rec := p.m.rec; rec != nil {
+		// The recorder takes ownership of the batch (zero-copy chunk);
+		// start a fresh buffer instead of truncating.
+		rec.RecordBatch(p.ID, p.epoch, p.evbuf)
+		p.evbuf = make([]uint64, 0, refBufCap)
+	} else {
+		p.evbuf = p.evbuf[:0]
+	}
+	p.tmbuf = p.tmbuf[:0]
+}
+
+// syncRelease flushes the reference buffer and returns the processor's
+// epoch for publication into a synchronization object (lock release,
+// flag set, barrier arrival). Everything the processor did so far is
+// stamped at or below the returned epoch.
+func (p *Proc) syncRelease() uint64 {
+	p.flushRefs()
+	return p.epoch
+}
+
+// syncAcquire flushes the reference buffer and joins the epoch published
+// by the synchronization object the processor just acquired: subsequent
+// events are stamped strictly after every event that happened before the
+// matching release.
+func (p *Proc) syncAcquire(published uint64) {
+	p.flushRefs()
+	if published+1 > p.epoch {
+		p.epoch = published + 1
+	}
+}
+
 // Read issues a load from byte address a.
 func (p *Proc) Read(a Addr) {
 	p.c.Instr++
@@ -37,11 +122,8 @@ func (p *Proc) Read(a Addr) {
 	if p.m.isShared(a.Line(p.m.memCfg.LineSize)) {
 		p.c.SharedReads++
 	}
-	if p.m.sys != nil {
-		p.m.sys.AccessAt(p.ID, a, false, p.time)
-	}
-	if p.m.rec != nil {
-		p.m.rec.Record(p.ID, a, false)
+	if p.capture {
+		p.buffer(a, false)
 	}
 }
 
@@ -54,11 +136,8 @@ func (p *Proc) Write(a Addr) {
 	if p.m.isShared(a.Line(p.m.memCfg.LineSize)) {
 		p.c.SharedWrites++
 	}
-	if p.m.sys != nil {
-		p.m.sys.AccessAt(p.ID, a, true, p.time)
-	}
-	if p.m.rec != nil {
-		p.m.rec.Record(p.ID, a, true)
+	if p.capture {
+		p.buffer(a, true)
 	}
 }
 

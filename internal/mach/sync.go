@@ -5,15 +5,23 @@ import "sync"
 // Barrier is a reusable all-processor barrier with PRAM time semantics:
 // every participant leaves with its clock advanced to the maximum arrival
 // clock, and the difference is accounted as synchronization wait time.
+//
+// A barrier is also a full release→acquire edge for batched reference
+// capture: every participant flushes its buffer on arrival, and all
+// depart in a fresh synchronization epoch strictly above every
+// arrival epoch, so recorded pre-barrier events merge before recorded
+// post-barrier events regardless of goroutine scheduling.
 type Barrier struct {
 	n int
 
-	mu          sync.Mutex
-	cv          *sync.Cond
-	arrived     int
-	gen         uint64
-	maxTime     uint64
-	releaseTime uint64
+	mu           sync.Mutex
+	cv           *sync.Cond
+	arrived      int
+	gen          uint64
+	maxTime      uint64
+	releaseTime  uint64
+	maxEpoch     uint64
+	releaseEpoch uint64
 }
 
 // NewBarrier returns a barrier for all processors of the machine.
@@ -35,24 +43,30 @@ func NewBarrier(n int) *Barrier {
 func (b *Barrier) Wait(p *Proc) { b.wait(p, nil) }
 
 // wait implements Wait; when onRelease is non-nil the last arriver invokes
-// it with the release time while every other participant is still blocked
-// under the barrier mutex — a race-free point for global actions like
-// measurement resets (Machine.Epoch).
-func (b *Barrier) wait(p *Proc, onRelease func(releaseTime uint64)) {
+// it with the release time and release epoch while every other participant
+// is still blocked under the barrier mutex — a race-free point for global
+// actions like measurement resets (Machine.Epoch).
+func (b *Barrier) wait(p *Proc, onRelease func(releaseTime, releaseEpoch uint64)) {
 	b.mu.Lock()
 	p.c.Barriers++
+	if e := p.syncRelease(); e > b.maxEpoch {
+		b.maxEpoch = e
+	}
 	if p.time > b.maxTime {
 		b.maxTime = p.time
 	}
 	b.arrived++
 	if b.arrived == b.n {
 		b.releaseTime = b.maxTime
+		b.releaseEpoch = b.maxEpoch + 1
 		b.arrived = 0
 		b.maxTime = 0
+		b.maxEpoch = 0
 		b.gen++
 		p.wait(b.releaseTime)
+		p.syncAcquire(b.releaseEpoch - 1)
 		if onRelease != nil {
-			onRelease(b.releaseTime)
+			onRelease(b.releaseTime, b.releaseEpoch)
 		}
 		b.cv.Broadcast()
 		b.mu.Unlock()
@@ -65,6 +79,7 @@ func (b *Barrier) wait(p *Proc, onRelease func(releaseTime uint64)) {
 	}
 	p.unpark()
 	p.wait(b.releaseTime)
+	p.syncAcquire(b.releaseEpoch - 1)
 	b.mu.Unlock()
 }
 
@@ -73,9 +88,17 @@ func (b *Barrier) wait(p *Proc, onRelease func(releaseTime uint64)) {
 // delayed (and the delay accounted as sync wait), so lock contention shows
 // up as serialization exactly as in the paper's speedup model. The zero
 // value is an unlocked Lock.
+//
+// A release→acquire pair is an epoch edge for batched capture. Note the
+// order in which contending processors acquire a Lock is
+// scheduler-dependent, so epochs assigned through contended locks — and
+// the merged recording order of the events they protect — vary between
+// runs; recordings are byte-stable only for programs whose measured
+// phases are barrier/flag-structured (see internal/README.md).
 type Lock struct {
 	mu          sync.Mutex
 	lastRelease uint64
+	lastEpoch   uint64
 }
 
 // Acquire takes the lock.
@@ -83,12 +106,16 @@ func (l *Lock) Acquire(p *Proc) {
 	l.mu.Lock()
 	p.c.Locks++
 	p.wait(l.lastRelease)
+	p.syncAcquire(l.lastEpoch)
 }
 
 // Release drops the lock, publishing the releaser's clock.
 func (l *Lock) Release(p *Proc) {
 	if p.time > l.lastRelease {
 		l.lastRelease = p.time
+	}
+	if e := p.syncRelease(); e > l.lastEpoch {
+		l.lastEpoch = e
 	}
 	l.mu.Unlock()
 }
@@ -97,10 +124,11 @@ func (l *Lock) Release(p *Proc) {
 // until some processor sets it, and leave with their clocks advanced to
 // the setter's clock. The zero value is an unset Flag.
 type Flag struct {
-	mu      sync.Mutex
-	cv      *sync.Cond
-	set     bool
-	setTime uint64
+	mu       sync.Mutex
+	cv       *sync.Cond
+	set      bool
+	setTime  uint64
+	setEpoch uint64
 }
 
 // MakeFlags allocates n flags (e.g. one per block column in Cholesky).
@@ -119,6 +147,7 @@ func (f *Flag) Set(p *Proc) {
 	if !f.set {
 		f.set = true
 		f.setTime = p.time
+		f.setEpoch = p.syncRelease()
 		f.cond().Broadcast()
 	}
 	f.mu.Unlock()
@@ -135,6 +164,7 @@ func (f *Flag) Wait(p *Proc) {
 	}
 	p.unpark()
 	p.wait(f.setTime)
+	p.syncAcquire(f.setEpoch)
 	f.mu.Unlock()
 }
 

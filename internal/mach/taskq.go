@@ -28,14 +28,16 @@ type TaskQueues struct {
 	heads       *IntArray   // per-proc head index (steal end)
 	tails       *IntArray   // per-proc tail index (local end)
 	qmu         []sync.Mutex
+	qEpoch      []uint64       // per-queue sync epoch, guarded by qmu[q]
 	sizes       []atomic.Int64 // lock-free emptiness probe mirror
 	outstanding atomic.Int64
 	capacity    int
 
-	evMu      sync.Mutex
-	evCond    *sync.Cond
-	version   uint64
-	eventTime uint64
+	evMu       sync.Mutex
+	evCond     *sync.Cond
+	version    uint64
+	eventTime  uint64
+	eventEpoch uint64
 }
 
 // Modeled instruction costs: examining one remote queue while stealing,
@@ -62,6 +64,7 @@ func (m *Machine) NewTaskQueues(capacity int) *TaskQueues {
 	t.heads = m.NewInt(n*pad, true, Interleaved())
 	t.tails = m.NewInt(n*pad, true, Interleaved())
 	t.qmu = make([]sync.Mutex, n)
+	t.qEpoch = make([]uint64, n)
 	t.sizes = make([]atomic.Int64, n)
 	return t
 }
@@ -69,23 +72,32 @@ func (m *Machine) NewTaskQueues(capacity int) *TaskQueues {
 func (t *TaskQueues) pad() int { return t.m.LineSize() / WordBytes }
 
 // signal records a queue event (push, or last completion) at the caller's
-// logical time and wakes blocked thieves.
+// logical time and wakes blocked thieves. It is an epoch release edge to
+// match the waiters' acquire in PopOrSteal.
 func (t *TaskQueues) signal(p *Proc) {
 	t.evMu.Lock()
 	t.version++
 	if p.time > t.eventTime {
 		t.eventTime = p.time
 	}
+	if e := p.syncRelease(); e > t.eventEpoch {
+		t.eventEpoch = e
+	}
 	t.evCond.Broadcast()
 	t.evMu.Unlock()
 }
 
-// Push enqueues a task on p's own queue.
+// Push enqueues a task on p's own queue. Each qmu critical section is an
+// epoch acquire/release pair on the queue (like Lock): the slot words a
+// pusher writes merge before the reads of whichever processor later pops
+// or steals the task, because that processor's critical section joins a
+// strictly higher epoch.
 func (t *TaskQueues) Push(p *Proc, task int) {
 	t.outstanding.Add(1)
 	q := p.ID
 	t.qmu[q].Lock()
 	p.c.Locks++
+	p.syncAcquire(t.qEpoch[q])
 	p.Instr(lockOpCost)
 	tail := t.tails.Get(p, q*t.pad())
 	head := t.heads.Get(p, q*t.pad())
@@ -97,6 +109,9 @@ func (t *TaskQueues) Push(p *Proc, task int) {
 	t.stamps[q].Set(p, tail%t.capacity, int(p.time))
 	t.tails.Set(p, q*t.pad(), tail+1)
 	t.sizes[q].Add(1)
+	if e := p.syncRelease(); e > t.qEpoch[q] {
+		t.qEpoch[q] = e
+	}
 	t.qmu[q].Unlock()
 	t.signal(p)
 }
@@ -137,11 +152,12 @@ func (t *TaskQueues) PopOrSteal(p *Proc) (task int, ok bool) {
 			// All work complete: idle until the finishing event.
 			t.evMu.Lock()
 			p.wait(t.eventTime)
+			p.syncAcquire(t.eventEpoch)
 			t.evMu.Unlock()
 			return 0, false
 		}
 		// Tasks are in flight elsewhere: block until a push or completion,
-		// then resume at the waking event's logical time.
+		// then resume at the waking event's logical time (and epoch).
 		t.evMu.Lock()
 		p.park()
 		for t.version == v && t.outstanding.Load() != 0 {
@@ -149,6 +165,7 @@ func (t *TaskQueues) PopOrSteal(p *Proc) (task int, ok bool) {
 		}
 		p.unpark()
 		p.wait(t.eventTime)
+		p.syncAcquire(t.eventEpoch)
 		t.evMu.Unlock()
 	}
 }
@@ -160,7 +177,13 @@ func (t *TaskQueues) tryPop(p *Proc, q int, local bool) (int, bool) {
 	t.qmu[q].Lock()
 	defer t.qmu[q].Unlock()
 	p.c.Locks++
+	p.syncAcquire(t.qEpoch[q])
 	p.Instr(lockOpCost)
+	defer func() {
+		if e := p.syncRelease(); e > t.qEpoch[q] {
+			t.qEpoch[q] = e
+		}
+	}()
 	head := t.heads.Get(p, q*t.pad())
 	tail := t.tails.Get(p, q*t.pad())
 	if head == tail {

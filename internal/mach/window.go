@@ -48,8 +48,14 @@ func (w *windowState) init(procs int) {
 func (p *Proc) publish() { p.m.win.clocks[p.ID].Store(p.time) }
 
 // park marks p as blocked at a synchronization point (excluded from the
-// window minimum); unpark re-activates it.
-func (p *Proc) park() { p.m.win.parked[p.ID].Store(true) }
+// window minimum); unpark re-activates it. Parking also flushes the
+// reference buffer — a parked processor may stay blocked indefinitely,
+// and everything it issued must be visible to whoever runs meanwhile
+// (or to a quiescent-point reader like Snapshot/FinishRecording).
+func (p *Proc) park() {
+	p.flushRefs()
+	p.m.win.parked[p.ID].Store(true)
+}
 
 func (p *Proc) unpark() {
 	p.m.win.parked[p.ID].Store(false)

@@ -165,6 +165,35 @@ func (s *System) AccessAt(p int, a Addr, write bool, now uint64) (hit bool, kind
 	return s.access(p, a, write, now)
 }
 
+// AccessBatch simulates a batch of references by processor p, taking the
+// global lock once for the whole batch instead of once per reference.
+// events uses the trace packing (addr<<8 | proc<<1 | write, proc must
+// equal p); times carries the requestor's logical clock per event (0
+// falls back to the global sequence number, as in Access). This is the
+// flush target of internal/mach's per-processor reference buffers; the
+// state transitions per event are exactly those of AccessAt.
+func (s *System) AccessBatch(p int, events []uint64, times []uint64) {
+	if len(events) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range events {
+		a := Addr(e >> 8)
+		word := a.Word()
+		if word >= uint64(len(s.words)) {
+			s.growWords(word + 1)
+		}
+		s.seq++
+		now := times[i]
+		if now == 0 {
+			now = s.seq
+		}
+		s.accessTime = now
+		s.accessCore(p, uint64(a)>>s.lineShift, word, e&1 == 1)
+	}
+}
+
 func (s *System) access(p int, a Addr, write bool, now uint64) (hit bool, kind MissKind) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

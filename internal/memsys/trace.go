@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -61,35 +62,201 @@ func (t *Trace) HomeFn(lineSize int) HomeFn {
 	}
 }
 
-// Recorder accumulates a Trace. Appends are serialized by a mutex so the
-// recorded interleaving is a legal global order (the same guarantee the
-// memory-system lock provides during full simulation).
+// maxTraceProcs is the number of processor ids a trace can carry: the
+// packed encoding has 7 bits for the processor, and id 127 is reserved
+// as the measurement-reset marker, leaving ids 0..126.
+const maxTraceProcs = 127
+
+// epochRun is one contiguous span of a processor sub-stream recorded
+// within a single synchronization epoch.
+type epochRun struct {
+	epoch uint64
+	n     int
+}
+
+// procStream is one processor's private event sub-stream. Exactly one
+// goroutine (the simulated processor) appends to it, so no lock guards
+// the hot path. Storage is a chunk list of caller-donated batch buffers
+// — RecordBatch takes ownership instead of copying, so capture does no
+// per-event copy and no growth-doubling churn; runs carry the
+// sync-epoch stamps the deterministic merge in Finish orders by.
+type procStream struct {
+	chunks [][]uint64
+	runs   []epochRun
+}
+
+// Recorder accumulates a Trace. It supports two capture paths:
+//
+//   - Record/RecordReset serialize single events under a mutex, in call
+//     order — the recorded interleaving is exactly the caller's
+//     interleaving (tools and tests drive this path).
+//   - RecordBatch/RecordResetAt append whole per-processor batches to
+//     lock-free sub-streams stamped with synchronization epochs; Finish
+//     merges them into one legal global order deterministically (by
+//     epoch, then processor, then local index), so recording the same
+//     deterministic program is byte-identical across runs and
+//     GOMAXPROCS settings. internal/mach's batched flush path drives
+//     this.
+//
+// The two paths must not be mixed on one Recorder; Finish panics if
+// both were used.
 type Recorder struct {
-	mu sync.Mutex
-	tr Trace
+	mu      sync.Mutex
+	tr      Trace
+	streams []procStream
+	markers []uint64 // sync epochs of batched reset markers, nondecreasing
+	batched bool
 }
 
 // NewRecorder creates a recorder for a machine whose home map has the
 // given line granularity.
 func NewRecorder(homeLineSize int) *Recorder {
-	return &Recorder{tr: Trace{homeLineSize: homeLineSize}}
+	return &Recorder{
+		tr:      Trace{homeLineSize: homeLineSize},
+		streams: make([]procStream, maxTraceProcs),
+	}
 }
 
-// Record appends one access.
-func (r *Recorder) Record(proc int, a Addr, write bool) {
-	if proc >= 127 {
-		panic("memsys: trace supports at most 126 processors")
+// checkProc bounds-checks a processor id against the trace encoding.
+func checkProc(proc int) {
+	if proc < 0 || proc >= maxTraceProcs {
+		panic(fmt.Sprintf("memsys: trace supports at most %d processors (ids 0-%d; id %d is the reset marker), got %d",
+			maxTraceProcs, maxTraceProcs-1, maxTraceProcs, proc))
 	}
+}
+
+// Record appends one access, serialized in call order.
+func (r *Recorder) Record(proc int, a Addr, write bool) {
+	checkProc(proc)
 	r.mu.Lock()
 	r.tr.events = append(r.tr.events, traceEvent(proc, a, write))
 	r.mu.Unlock()
 }
 
-// RecordReset appends a measurement-reset marker (epoch boundary).
+// RecordReset appends a measurement-reset marker (epoch boundary) to the
+// serialized single-event stream.
 func (r *Recorder) RecordReset() {
 	r.mu.Lock()
 	r.tr.events = append(r.tr.events, resetMarker)
 	r.mu.Unlock()
+}
+
+// RecordBatch appends a batch of packed events (traceEvent encoding,
+// all by proc) recorded within the given synchronization epoch to the
+// processor's private sub-stream. It takes no lock: each simulated
+// processor flushes only its own sub-stream, and quiescence at Finish
+// is the caller's contract (internal/mach flushes every buffer at
+// phase ends before finishing). Epochs must be nondecreasing per
+// processor. The recorder takes ownership of the events slice — the
+// caller must hand over a buffer it will not touch again.
+func (r *Recorder) RecordBatch(proc int, epoch uint64, events []uint64) {
+	checkProc(proc)
+	if len(events) == 0 {
+		return
+	}
+	r.batched = true
+	st := &r.streams[proc]
+	if k := len(st.runs) - 1; k >= 0 && st.runs[k].epoch == epoch {
+		st.runs[k].n += len(events)
+	} else {
+		st.runs = append(st.runs, epochRun{epoch: epoch, n: len(events)})
+	}
+	st.chunks = append(st.chunks, events)
+}
+
+// RecordResetAt records a measurement-reset marker at a synchronization
+// epoch boundary: the marker sorts before every batched event of that
+// epoch (and after every event of earlier epochs) in the merged trace.
+// It must be called from a quiescent point — all processors flushed and
+// blocked (Machine.Epoch runs it inside the barrier, ResetStats between
+// phases) — with epochs nondecreasing across calls.
+func (r *Recorder) RecordResetAt(epoch uint64) {
+	r.mu.Lock()
+	r.batched = true
+	r.markers = append(r.markers, epoch)
+	r.mu.Unlock()
+}
+
+// mergeRun is one sortable span of the deterministic merge: a span of
+// a processor sub-stream starting at chunk ci offset off, or a reset
+// marker (proc == -1, n == 0).
+type mergeRun struct {
+	epoch   uint64
+	proc    int
+	ci, off int
+	n       int
+}
+
+// mergeBatches flattens the per-processor sub-streams and reset markers
+// into one legal global event order: by sync epoch, then processor id
+// (markers first), then local index. Cross-processor order inside one
+// epoch is a choice — any order is legal there, because an epoch by
+// construction contains no release→acquire edge — and this fixed choice
+// is what makes recordings byte-identical across runs.
+func (r *Recorder) mergeBatches() []uint64 {
+	var runs []mergeRun
+	total := 0
+	for _, e := range r.markers {
+		runs = append(runs, mergeRun{epoch: e, proc: -1})
+		total++
+	}
+	for p := range r.streams {
+		st := &r.streams[p]
+		// The chunk list concatenates in run-list (arrival) order, so a
+		// walk in that order pins each run's starting chunk position
+		// before the sort below rearranges the runs.
+		ci, off := 0, 0
+		for _, run := range st.runs {
+			runs = append(runs, mergeRun{epoch: run.epoch, proc: p, ci: ci, off: off, n: run.n})
+			for skip := run.n; skip > 0; {
+				take := len(st.chunks[ci]) - off
+				if take > skip {
+					take = skip
+				}
+				off += take
+				skip -= take
+				if off == len(st.chunks[ci]) {
+					ci++
+					off = 0
+				}
+			}
+		}
+		for _, ch := range st.chunks {
+			total += len(ch)
+		}
+	}
+	// Stable sort keeps a processor's same-epoch runs (multiple
+	// buffer-full flushes between sync points) in append order.
+	sort.SliceStable(runs, func(i, j int) bool {
+		if runs[i].epoch != runs[j].epoch {
+			return runs[i].epoch < runs[j].epoch
+		}
+		return runs[i].proc < runs[j].proc
+	})
+	out := make([]uint64, 0, total)
+	for _, run := range runs {
+		if run.proc < 0 {
+			out = append(out, resetMarker)
+			continue
+		}
+		st := &r.streams[run.proc]
+		ci, off := run.ci, run.off
+		for n := run.n; n > 0; {
+			ch := st.chunks[ci]
+			take := len(ch) - off
+			if take > n {
+				take = n
+			}
+			out = append(out, ch[off:off+take]...)
+			off += take
+			n -= take
+			if off == len(ch) {
+				ci++
+				off = 0
+			}
+		}
+	}
+	return out
 }
 
 // Finish attaches the home map and returns the completed trace. The
@@ -97,6 +264,13 @@ func (r *Recorder) RecordReset() {
 func (r *Recorder) Finish(homes []int32) *Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.batched {
+		if len(r.tr.events) > 0 {
+			panic("memsys: Recorder mixed Record/RecordReset with the batched capture path")
+		}
+		r.tr.events = r.mergeBatches()
+		r.streams = nil
+	}
 	r.tr.homes = append([]int32(nil), homes...)
 	return &r.tr
 }

@@ -13,7 +13,7 @@ import (
 // program's reference stream): old cache entries then simply stop
 // matching and experiments are recomputed — there is no explicit cache
 // invalidation step.
-const SuiteVersion = "splash2-suite-v3" // v3: water-spatial cell lookups now issue accounted reads
+const SuiteVersion = "splash2-suite-v4" // v4: batched reference capture changes FullMem interleavings and recorded trace order
 
 // Key is the content address of one experiment: the SHA-256 of the suite
 // version, the experiment kind, and the canonical JSON encoding of every

@@ -117,6 +117,9 @@ type (
 	ReportOptions = core.ReportOptions
 	// Scale selects default or sweep problem sizes.
 	Scale = core.Scale
+	// ExecMode selects how full-memory experiments execute (live inline
+	// simulation, or record-then-replay via the trace engine).
+	ExecMode = core.ExecMode
 	// Results bundles a full characterization for machine-readable export.
 	Results = core.Results
 	// PruneAdvice is the §5 operating-point recommendation for one program.
@@ -138,6 +141,15 @@ const (
 	SweepScale   = core.SweepScale
 	// PaperScale selects the paper's published problem sizes (slow).
 	PaperScale = core.PaperScale
+)
+
+// Execution modes for ReportOptions.ExecMode.
+const (
+	// LiveExec simulates the memory system inline with execution.
+	LiveExec = core.LiveExec
+	// RecordReplayExec records each program's reference trace once
+	// (count-only, batched capture) and replays it per configuration.
+	RecordReplayExec = core.RecordReplayExec
 )
 
 // Suite is the canonical program order of the paper's tables.
