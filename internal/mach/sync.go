@@ -123,6 +123,14 @@ func (l *Lock) Release(p *Proc) {
 // Flag is a one-shot flag ("pause" in SPLASH-2 terminology): waiters block
 // until some processor sets it, and leave with their clocks advanced to
 // the setter's clock. The zero value is an unset Flag.
+//
+// For batched reference capture a Flag is a release→acquire edge from
+// the *first* setter to every waiter: Set on an already-set flag is a
+// no-op and publishes neither time nor epoch, so a second setter's
+// buffered references are not ordered before the waiters. Flags
+// therefore assume a single setter for epoch/ordering purposes — the
+// SPLASH-2 "pause" idiom — and a racing second setter's events merge
+// only at its own next synchronization point.
 type Flag struct {
 	mu       sync.Mutex
 	cv       *sync.Cond

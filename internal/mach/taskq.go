@@ -179,14 +179,14 @@ func (t *TaskQueues) tryPop(p *Proc, q int, local bool) (int, bool) {
 	p.c.Locks++
 	p.syncAcquire(t.qEpoch[q])
 	p.Instr(lockOpCost)
-	defer func() {
-		if e := p.syncRelease(); e > t.qEpoch[q] {
-			t.qEpoch[q] = e
-		}
-	}()
 	head := t.heads.Get(p, q*t.pad())
 	tail := t.tails.Get(p, q*t.pad())
 	if head == tail {
+		// Empty probe: nothing was written, so there is no dependence to
+		// publish — skipping the release spares a buffer flush and epoch
+		// advance on every failed steal probe. The probe's own reads stay
+		// buffered until the prober's next synchronization point, which
+		// is legal (it published nothing for others to acquire).
 		return 0, false
 	}
 	var slot int
@@ -201,6 +201,9 @@ func (t *TaskQueues) tryPop(p *Proc, q int, local bool) (int, bool) {
 	task := t.slots[q].Get(p, slot)
 	p.wait(uint64(t.stamps[q].Get(p, slot)))
 	t.sizes[q].Add(-1)
+	if e := p.syncRelease(); e > t.qEpoch[q] {
+		t.qEpoch[q] = e
+	}
 	return task, true
 }
 

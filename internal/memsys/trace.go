@@ -105,7 +105,6 @@ type Recorder struct {
 	tr      Trace
 	streams []procStream
 	markers []uint64 // sync epochs of batched reset markers, nondecreasing
-	batched bool
 }
 
 // NewRecorder creates a recorder for a machine whose home map has the
@@ -154,7 +153,6 @@ func (r *Recorder) RecordBatch(proc int, epoch uint64, events []uint64) {
 	if len(events) == 0 {
 		return
 	}
-	r.batched = true
 	st := &r.streams[proc]
 	if k := len(st.runs) - 1; k >= 0 && st.runs[k].epoch == epoch {
 		st.runs[k].n += len(events)
@@ -172,7 +170,6 @@ func (r *Recorder) RecordBatch(proc int, epoch uint64, events []uint64) {
 // phases) — with epochs nondecreasing across calls.
 func (r *Recorder) RecordResetAt(epoch uint64) {
 	r.mu.Lock()
-	r.batched = true
 	r.markers = append(r.markers, epoch)
 	r.mu.Unlock()
 }
@@ -259,12 +256,28 @@ func (r *Recorder) mergeBatches() []uint64 {
 	return out
 }
 
+// batchedLocked reports whether the lock-free batched capture path was
+// used. It is derived from the sub-stream and marker state rather than
+// set by RecordBatch, which must not write any shared scalar (it runs
+// concurrently on every processor goroutine).
+func (r *Recorder) batchedLocked() bool {
+	if len(r.markers) > 0 {
+		return true
+	}
+	for p := range r.streams {
+		if len(r.streams[p].runs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Finish attaches the home map and returns the completed trace. The
 // recorder must not be used afterwards.
 func (r *Recorder) Finish(homes []int32) *Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.batched {
+	if r.batchedLocked() {
 		if len(r.tr.events) > 0 {
 			panic("memsys: Recorder mixed Record/RecordReset with the batched capture path")
 		}
