@@ -48,46 +48,21 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
-	"strconv"
 	"strings"
 
 	"splash2"
+	"splash2/internal/cli"
 )
 
-// Exit statuses: clean completion, bad usage, degraded completion under
-// -keep-going, hard runtime error.
+// Exit statuses (shared with splashd via internal/cli): clean
+// completion, bad usage, degraded completion under -keep-going, hard
+// runtime error.
 const (
-	exitOK       = 0
-	exitUsage    = 1
-	exitDegraded = 2
-	exitRuntime  = 3
+	exitOK       = cli.ExitOK
+	exitUsage    = cli.ExitUsage
+	exitDegraded = cli.ExitDegraded
+	exitRuntime  = cli.ExitRuntime
 )
-
-// parseProcList parses a comma-separated list of processor counts,
-// rejecting anything that is not a whole positive integer (Sscanf-style
-// parsing would silently accept trailing junk like "8abc"). The result
-// is deduplicated and sorted ascending so sweeps are well-ordered.
-func parseProcList(s string) ([]int, error) {
-	seen := make(map[int]bool)
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		f = strings.TrimSpace(f)
-		p, err := strconv.Atoi(f)
-		if err != nil {
-			return nil, fmt.Errorf("bad -plist entry %q: not an integer", f)
-		}
-		if p < 1 {
-			return nil, fmt.Errorf("bad -plist entry %q: must be ≥ 1", f)
-		}
-		if !seen[p] {
-			seen[p] = true
-			out = append(out, p)
-		}
-	}
-	sort.Ints(out)
-	return out, nil
-}
 
 func main() {
 	// All work happens in run so that deferred profile writers execute
@@ -134,28 +109,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		o.Apps = strings.Split(*appsFlag, ",")
 	}
 	var err error
-	if o.ProcList, err = parseProcList(*procList); err != nil {
+	if o.ProcList, err = cli.ParseProcList(*procList); err != nil {
 		fmt.Fprintln(stderr, "characterize:", err)
 		return exitUsage
 	}
-	switch *scaleName {
-	case "sweep":
-		o.Scale = splash2.SweepScale
-	case "default":
-		o.Scale = splash2.DefaultScale
-	case "paper":
-		o.Scale = splash2.PaperScale
-	default:
-		fmt.Fprintf(stderr, "characterize: unknown scale %q\n", *scaleName)
+	if o.Scale, err = cli.ParseScale(*scaleName); err != nil {
+		fmt.Fprintln(stderr, "characterize:", err)
 		return exitUsage
 	}
-	switch *modeName {
-	case "live":
-		o.ExecMode = splash2.LiveExec
-	case "record-replay":
-		o.ExecMode = splash2.RecordReplayExec
-	default:
-		fmt.Fprintf(stderr, "characterize: unknown mode %q\n", *modeName)
+	if o.ExecMode, err = cli.ParseExecMode(*modeName); err != nil {
+		fmt.Fprintln(stderr, "characterize:", err)
 		return exitUsage
 	}
 	switch {
@@ -258,14 +221,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exitRuntime
 		}
 	}
-	switch {
-	case runErr == nil:
-		return exitOK
-	case errors.Is(runErr, splash2.ErrFailures):
+	if runErr != nil {
 		fmt.Fprintln(stderr, "characterize:", runErr)
-		return exitDegraded
-	default:
-		fmt.Fprintln(stderr, "characterize:", runErr)
-		return exitRuntime
 	}
+	return cli.ExitCode(runErr)
 }

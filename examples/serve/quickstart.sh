@@ -1,0 +1,58 @@
+#!/bin/sh
+# splashd walkthrough: boot the daemon, exercise every service feature
+# with curl, shut it down gracefully. Run from the repository root.
+set -eu
+
+ADDR=127.0.0.1:8095
+LOG=$(mktemp)
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG" splashd.bin' EXIT
+
+echo "== build and boot =="
+go build -o splashd.bin ./cmd/splashd
+./splashd.bin -addr "$ADDR" -no-cache >"$LOG" 2>&1 &
+PID=$!
+for _ in $(seq 1 100); do
+    if curl -fs "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fs "http://$ADDR/healthz"
+
+echo "== cold experiment: Table 1, fft+lu, 4 processors =="
+curl -fs "http://$ADDR/v1/experiments?kind=table1&apps=fft,lu&procs=4&scale=default" \
+    | head -n 20
+
+echo "== capture the ETag (the request's content address) =="
+ETAG=$(curl -fs -D- -o /dev/null -X POST "http://$ADDR/v1/experiments" \
+    -d '{"kind":"table1","apps":["fft","lu"],"procs":4,"scale":"default"}' \
+    | awk 'tolower($1)=="etag:"{print $2}' | tr -d '\r')
+echo "ETag: $ETAG"
+
+echo "== revalidate: 304, zero execution =="
+CODE=$(curl -fs -o /dev/null -w '%{http_code}' -H "If-None-Match: $ETAG" \
+    "http://$ADDR/v1/experiments?kind=table1&apps=fft,lu&procs=4&scale=default")
+echo "status: $CODE"
+[ "$CODE" = 304 ]
+
+echo "== stream a sweep: SSE progress, then the result =="
+curl -fsN "http://$ADDR/v1/experiments?kind=speedups&apps=fft&plist=1,2&scale=default&stream=1" \
+    | grep -E '^(event|data)' | head -n 12
+
+echo "== degraded keep-going run (daemon restarted with a fault rule) =="
+kill -TERM "$PID"; wait "$PID" || true
+./splashd.bin -addr "$ADDR" -no-cache -fault 'error@1=job:run fft*' >"$LOG" 2>&1 &
+PID=$!
+for _ in $(seq 1 100); do
+    if curl -fs "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fs -D- -X POST "http://$ADDR/v1/experiments" \
+    -d '{"kind":"table1","apps":["fft","radix"],"procs":2,"scale":"default","keepGoing":true}' \
+    | grep -iE 'x-splashd-degraded|"failures"|"label"' || true
+
+echo "== metrics =="
+curl -fs "http://$ADDR/metrics" | head -n 25
+
+echo "== graceful shutdown =="
+kill -TERM "$PID"
+wait "$PID"
+echo "exit: $?"

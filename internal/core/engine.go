@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"splash2/internal/fault"
@@ -29,6 +30,85 @@ type Engine struct {
 	ctx       context.Context
 	keepGoing bool
 	mode      ExecMode
+
+	// Request scope (nil on a root engine): Scoped views share r — and
+	// with it the worker pool, memo and cache — but carry their own
+	// context, failure policy, progress sink and failure log, which is
+	// how splashd isolates concurrent requests on one engine.
+	onProgress runner.ProgressFunc
+	scope      *requestScope
+}
+
+// requestScope collects the graphs created by one Scoped engine so its
+// Failures() sees only that request's losses.
+type requestScope struct {
+	mu     sync.Mutex
+	graphs []*runner.Graph
+}
+
+func (s *requestScope) add(g *runner.Graph) {
+	s.mu.Lock()
+	s.graphs = append(s.graphs, g)
+	s.mu.Unlock()
+}
+
+func (s *requestScope) failures() []*runner.JobError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*runner.JobError
+	for _, g := range s.graphs {
+		out = append(out, g.Failures()...)
+	}
+	return out
+}
+
+// ScopeOptions configures a request-scoped view of a shared engine.
+type ScopeOptions struct {
+	// Context cancels the scope's graphs; nil inherits the parent's.
+	Context context.Context
+	// KeepGoing sets the scope's failure policy (per request, independent
+	// of the engine's and of other scopes').
+	KeepGoing bool
+	// ExecMode selects live simulation or record-then-replay for this
+	// scope's full-memory experiments.
+	ExecMode ExecMode
+	// OnProgress receives this scope's job-completion events only; nil
+	// disables. It must not block (see runner.ProgressFunc).
+	OnProgress runner.ProgressFunc
+}
+
+// Scoped returns a request-scoped view of the engine: same runner (one
+// worker pool, one memo, one cache — results computed by any scope warm
+// every other), but its own context, failure policy, execution mode,
+// progress sink and failure log. Failed jobs are never memoized or
+// cached, so one scope's failures cannot poison another's results.
+func (e *Engine) Scoped(o ScopeOptions) *Engine {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = e.ctx
+	}
+	return &Engine{
+		r:          e.r,
+		ctx:        ctx,
+		keepGoing:  o.KeepGoing,
+		mode:       o.ExecMode,
+		onProgress: o.OnProgress,
+		scope:      &requestScope{},
+	}
+}
+
+// newGraph starts a graph configured for this engine's scope. Every
+// engine method creates graphs through it.
+func (e *Engine) newGraph() *runner.Graph {
+	g := e.r.NewGraph()
+	if e.scope != nil {
+		g.SetKeepGoing(e.keepGoing)
+		if e.onProgress != nil {
+			g.OnProgress(e.onProgress)
+		}
+		e.scope.add(g)
+	}
+	return g
 }
 
 // ExecMode selects how full-memory experiments execute.
@@ -120,9 +200,19 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 // executed, cache hits, memo hits, retries, failures, skips).
 func (e *Engine) Counts() runner.Counts { return e.r.Counts() }
 
+// MemoStats reports the engine's long-lived state sizes (memo entries,
+// failure-log length and overflow), for daemon memory monitoring.
+func (e *Engine) MemoStats() runner.MemoStats { return e.r.MemoStats() }
+
 // Failures returns every failed and skipped experiment recorded so far
-// (keep-going mode); see NewFailureManifest for the manifest form.
-func (e *Engine) Failures() []*runner.JobError { return e.r.Failures() }
+// (keep-going mode); see NewFailureManifest for the manifest form. On a
+// Scoped engine only this scope's failures are reported.
+func (e *Engine) Failures() []*runner.JobError {
+	if e.scope != nil {
+		return e.scope.failures()
+	}
+	return e.r.Failures()
+}
 
 // DefaultCacheDir returns the default on-disk cache location
 // (<user cache dir>/splash2).
@@ -263,7 +353,7 @@ func (e *Engine) ReplaySweep(tr *memsys.Trace, cfgs []memsys.Config) ([]memsys.S
 		return nil, err
 	}
 	digest := hex.EncodeToString(h.Sum(nil))
-	g := e.r.NewGraph()
+	g := e.newGraph()
 	jobs := make([]runner.Job[memsys.Stats], len(cfgs))
 	for i, cfg := range cfgs {
 		cfg := cfg.WithDefaults()

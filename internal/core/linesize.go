@@ -63,7 +63,7 @@ type lineSizeJobs struct {
 
 // LineSizeSweep schedules one program's Figure-7/8 sweep.
 func (e *Engine) LineSizeSweep(app string, procs int, cacheSize int, lineSizes []int, scale Scale) ([]LineSizePoint, error) {
-	g := e.r.NewGraph()
+	g := e.newGraph()
 	jobs := e.lineSizeJobs(g, app, procs, cacheSize, lineSizes, scale)
 	if err := g.Wait(e.ctx); err != nil {
 		return nil, err
@@ -146,7 +146,7 @@ func LineSizeSuite(appNames []string, procs, cacheSize int, lineSizes []int, sca
 
 // LineSizeSuite schedules every program's sweep in one graph.
 func (e *Engine) LineSizeSuite(appNames []string, procs, cacheSize int, lineSizes []int, scale Scale) ([][]LineSizePoint, error) {
-	g := e.r.NewGraph()
+	g := e.newGraph()
 	jobs := make([]lineSizeJobs, len(appNames))
 	for i, name := range appNames {
 		jobs[i] = e.lineSizeJobs(g, name, procs, cacheSize, lineSizes, scale)

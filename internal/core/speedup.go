@@ -32,7 +32,7 @@ func Speedups(appNames []string, procList []int, scale Scale) ([]SpeedupCurve, e
 // Speedups schedules the program × processor-count grid as independent
 // jobs; curves are assembled in procList order once the graph completes.
 func (e *Engine) Speedups(appNames []string, procList []int, scale Scale) ([]SpeedupCurve, error) {
-	g := e.r.NewGraph()
+	g := e.newGraph()
 	jobs := make([][]runner.Job[*RunResult], len(appNames))
 	for ai, name := range appNames {
 		jobs[ai] = make([]runner.Job[*RunResult], len(procList))
@@ -121,7 +121,7 @@ func SyncProfiles(appNames []string, procs int, scale Scale) ([]SyncProfile, err
 // identically to Table 1's at the same processor count, so within an
 // engine each program executes once for both.
 func (e *Engine) SyncProfiles(appNames []string, procs int, scale Scale) ([]SyncProfile, error) {
-	g := e.r.NewGraph()
+	g := e.newGraph()
 	jobs := make([]runner.Job[*RunResult], len(appNames))
 	for i, name := range appNames {
 		jobs[i] = e.runJob(g, name, mach.Config{Procs: procs, MemModel: mach.CountOnly}, scale.Overrides(name))

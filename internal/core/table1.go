@@ -40,7 +40,7 @@ func Table1(appNames []string, procs int, scale Scale) ([]Table1Row, error) {
 // Table1 schedules the per-program executions on the engine's worker
 // pool; runs are shared with Figures 1–2 through the result store.
 func (e *Engine) Table1(appNames []string, procs int, scale Scale) ([]Table1Row, error) {
-	g := e.r.NewGraph()
+	g := e.newGraph()
 	jobs := make([]runner.Job[*RunResult], len(appNames))
 	for i, name := range appNames {
 		jobs[i] = e.runJob(g, name, mach.Config{Procs: procs, MemModel: mach.CountOnly}, scale.Overrides(name))

@@ -50,7 +50,7 @@ func Traffic(app string, procList []int, cacheSize int, scale Scale, over map[st
 // keyed by configuration, so Table 3 and Figure 5 reuse Figure 4's
 // executions within an engine.
 func (e *Engine) Traffic(app string, procList []int, cacheSize int, scale Scale, over map[string]int) ([]TrafficPoint, error) {
-	g := e.r.NewGraph()
+	g := e.newGraph()
 	jobs := e.trafficJobs(g, app, procList, cacheSize, scale, over)
 	if err := g.Wait(e.ctx); err != nil {
 		return nil, err
@@ -112,7 +112,7 @@ func TrafficSuite(appNames []string, procList []int, cacheSize int, scale Scale)
 // TrafficSuite schedules the whole program × processor-count grid as one
 // graph so every point runs concurrently.
 func (e *Engine) TrafficSuite(appNames []string, procList []int, cacheSize int, scale Scale) ([][]TrafficPoint, error) {
-	g := e.r.NewGraph()
+	g := e.newGraph()
 	jobs := make([][]runner.Job[*RunResult], len(appNames))
 	for i, name := range appNames {
 		jobs[i] = e.trafficJobs(g, name, procList, cacheSize, scale, nil)

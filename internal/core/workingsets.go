@@ -47,7 +47,7 @@ func WorkingSets(appNames []string, procs int, cacheSizes []int, assocs []int, s
 // multi-configuration pass over the trace instead of one replay per
 // point.
 func (e *Engine) WorkingSets(appNames []string, procs int, cacheSizes []int, assocs []int, scale Scale) ([]MissCurve, error) {
-	g := e.r.NewGraph()
+	g := e.newGraph()
 	sweeps := make(map[string]runner.Job[[][]float64], len(appNames))
 	for _, name := range appNames {
 		id := traceIdent{App: name, Procs: procs, Opts: canonOpts(scale.Overrides(name))}

@@ -22,6 +22,33 @@ import (
 // temporary file plus rename, so concurrent runs sharing a cache
 // directory never observe partial entries; temporary files orphaned by a
 // crashed run are swept on open.
+//
+// # Concurrency
+//
+// A Cache is safe for concurrent use by any number of readers and
+// writers, in one process or many (splashd serves every request from one
+// shared cache directory). The contract, relied on by the serve layer
+// and pinned by TestCacheConcurrentAccess:
+//
+//   - Get/Get: reads share no mutable state; each opens and reads the
+//     entry file independently.
+//   - Get/Put on the same key: Put is atomic (temp file + rename), so a
+//     concurrent Get observes either the complete old entry, the complete
+//     new entry, or — transiently, never wrongly — a miss. It can never
+//     observe a torn entry: the checksum envelope downgrades any partial
+//     read to a miss.
+//   - Get/Get on a damaged entry: both readers detect the bad checksum,
+//     both may Remove the file; unlinking a file another reader holds
+//     open is safe on POSIX, and a failed Remove is ignored.
+//   - Put/Put on the same key: last rename wins. Both writers hold the
+//     same value bytes for a content-addressed key, so the outcome is
+//     identical either way.
+//
+// Cached values decoded by Get are handed to multiple graphs by the
+// runner's memo; consumers must treat them as immutable.
+//
+// SetFault is the one exception: it must be called before the cache is
+// shared (it is test/CLI setup, not a runtime control).
 type Cache struct {
 	dir string
 	inj *fault.Injector

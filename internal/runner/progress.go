@@ -6,50 +6,126 @@ import (
 	"sync"
 )
 
-// progress serializes live per-job completion lines onto one writer
-// (normally stderr). Only executed jobs are reported; cache and memo
-// hits appear in the graph summary instead.
+// ProgressEvent is one structured scheduling notification: a job
+// completing (successfully or not) or the end-of-graph summary. Events
+// are the machine-readable form of the Options.Progress lines; splashd
+// forwards them to streaming clients as server-sent events.
+type ProgressEvent struct {
+	// Status is "done", "failed" or "skipped" for per-job events, and
+	// "summary" for the end-of-graph report.
+	Status string `json:"status"`
+	// Label identifies the job ("" on summary events).
+	Label string `json:"label,omitempty"`
+	// Done and Total count the jobs this graph had to execute (cache and
+	// memo hits are excluded; they appear in the summary as Served).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Cause carries the failure text ("failed") or the name of the failed
+	// dependency ("skipped").
+	Cause string `json:"cause,omitempty"`
+
+	// Summary-only fields: total jobs in the graph (served included),
+	// how many executed, how many were served from cache/memo, and the
+	// failure/skip counts of a keep-going graph.
+	Jobs     int `json:"jobs,omitempty"`
+	Executed int `json:"executed,omitempty"`
+	Served   int `json:"served,omitempty"`
+	Failed   int `json:"failed,omitempty"`
+	Skipped  int `json:"skipped,omitempty"`
+}
+
+// ProgressFunc receives progress events. Calls are serialized (one event
+// at a time, in completion order) and made from worker goroutines, so a
+// sink must be fast and must not block — buffer or drop instead.
+type ProgressFunc func(ProgressEvent)
+
+// progress fans one graph's completion notifications out to the
+// configured line writer (normally stderr) and event sinks. Only
+// executed jobs are reported; cache and memo hits appear in the summary
+// instead. The mutex serializes both the writer and the sinks, so
+// subscribers observe events in completion order.
 type progress struct {
 	mu    sync.Mutex
 	w     io.Writer
+	fns   []ProgressFunc
 	total int
 	done  int
 }
 
-func newProgress(w io.Writer, total int) *progress {
-	return &progress{w: w, total: total}
+func newProgress(w io.Writer, fns []ProgressFunc, total int) *progress {
+	return &progress{w: w, fns: fns, total: total}
+}
+
+// emit dispatches ev to every sink; the caller holds p.mu.
+func (p *progress) emit(ev ProgressEvent) {
+	for _, fn := range p.fns {
+		fn(ev)
+	}
 }
 
 func (p *progress) jobDone(label string) {
-	if p.w == nil {
+	if p.w == nil && len(p.fns) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
-	fmt.Fprintf(p.w, "[%d/%d] %s\n", p.done, p.total, label)
+	if p.w != nil {
+		fmt.Fprintf(p.w, "[%d/%d] %s\n", p.done, p.total, label)
+	}
+	p.emit(ProgressEvent{Status: "done", Label: label, Done: p.done, Total: p.total})
 }
 
 // jobFailed reports a job that exhausted its attempts; the cause is the
 // failure text without the label prefix.
 func (p *progress) jobFailed(label, cause string) {
-	if p.w == nil {
+	if p.w == nil && len(p.fns) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
-	fmt.Fprintf(p.w, "[%d/%d] FAIL %s: %s\n", p.done, p.total, label, cause)
+	if p.w != nil {
+		fmt.Fprintf(p.w, "[%d/%d] FAIL %s: %s\n", p.done, p.total, label, cause)
+	}
+	p.emit(ProgressEvent{Status: "failed", Label: label, Done: p.done, Total: p.total, Cause: cause})
 }
 
 // jobSkipped reports a job never run because dependency dep failed
 // (keep-going mode only).
 func (p *progress) jobSkipped(label, dep string) {
-	if p.w == nil {
+	if p.w == nil && len(p.fns) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
-	fmt.Fprintf(p.w, "[%d/%d] SKIP %s (dependency %s failed)\n", p.done, p.total, label, dep)
+	if p.w != nil {
+		fmt.Fprintf(p.w, "[%d/%d] SKIP %s (dependency %s failed)\n", p.done, p.total, label, dep)
+	}
+	p.emit(ProgressEvent{Status: "skipped", Label: label, Done: p.done, Total: p.total, Cause: dep})
+}
+
+// summary emits the per-graph report line and event. needed is how many
+// jobs the graph had to run (failures included); the rest were served
+// from the cache or the memo.
+func (p *progress) summary(jobs, needed, executed, failed, skipped, workers int) {
+	if p.w == nil && len(p.fns) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	served := jobs - needed
+	if p.w != nil {
+		fmt.Fprintf(p.w, "runner: %d jobs — %d executed, %d served from cache/memo (workers=%d)",
+			jobs, executed, served, workers)
+		if failed > 0 || skipped > 0 {
+			fmt.Fprintf(p.w, "; %d failed, %d skipped", failed, skipped)
+		}
+		fmt.Fprintln(p.w)
+	}
+	p.emit(ProgressEvent{
+		Status: "summary", Done: p.done, Total: p.total,
+		Jobs: jobs, Executed: executed, Served: served, Failed: failed, Skipped: skipped,
+	})
 }

@@ -43,6 +43,11 @@ type Options struct {
 	// Progress receives one line per executed job plus a per-graph
 	// summary; nil disables reporting.
 	Progress io.Writer
+	// OnProgress receives the structured form of the Progress lines for
+	// every graph; nil disables it. Per-graph sinks are added with
+	// Graph.OnProgress (splashd streams one request's events without
+	// seeing its neighbours').
+	OnProgress ProgressFunc
 
 	// KeepGoing runs graphs to completion past failed jobs instead of
 	// failing fast: dependents of a failure are skipped (completing with
@@ -89,16 +94,31 @@ type Counts struct {
 }
 
 // Runner schedules experiment graphs. It may run many graphs
-// sequentially; completed results are memoized across graphs, so a trace
-// recorded for Figure 3 is reused by the Figure 7–8 sweep.
+// sequentially or concurrently; completed results are memoized across
+// graphs, so a trace recorded for Figure 3 is reused by the Figure 7–8
+// sweep, and a long-running Runner (splashd) keeps every completed
+// experiment warm for later requests.
+//
+// A Runner is safe for concurrent use: many goroutines may build and
+// Wait on independent graphs at once. All graphs share one worker pool
+// (the Workers semaphore), one memo, one cache and one set of counters;
+// memoized result values are shared by reference across graphs and must
+// be treated as immutable by every consumer.
 type Runner struct {
 	opts Options
+	// sem is the worker pool shared by every graph: concurrent graphs
+	// multiplex the same Workers slots instead of multiplying them, so a
+	// daemon running many requests at once cannot oversubscribe the host.
+	// Jobs acquire a slot only when their dependencies are complete, so
+	// the shared semaphore cannot deadlock a dependency chain.
+	sem chan struct{}
 
 	memoMu sync.Mutex
 	memo   map[Key]any
 
-	failMu   sync.Mutex
-	failures []*JobError
+	failMu       sync.Mutex
+	failures     []*JobError
+	failuresLost int64
 
 	submitted, executed, cacheHits, memoHits atomic.Int64
 	retried, failed, skipped, timedOut       atomic.Int64
@@ -112,7 +132,11 @@ func New(opts Options) *Runner {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 50 * time.Millisecond
 	}
-	return &Runner{opts: opts, memo: map[Key]any{}}
+	return &Runner{
+		opts: opts,
+		sem:  make(chan struct{}, opts.Workers),
+		memo: map[Key]any{},
+	}
 }
 
 // Workers returns the configured parallelism.
@@ -132,18 +156,51 @@ func (r *Runner) Counts() Counts {
 	}
 }
 
+// maxFailureLog bounds the runner-wide failure log: a long-running
+// engine (splashd) serving failing requests for days must not grow it
+// without bound. Per-graph logs (Graph.Failures) are bounded by graph
+// size and are what request-scoped manifests read; overflow here loses
+// only the global log's tail, counted by MemoStats.FailuresLost.
+const maxFailureLog = 4096
+
 // Failures returns every failed and skipped job recorded so far, in
-// completion order — the raw material of the failure manifest.
+// completion order — the raw material of the failure manifest. The log
+// is capped at maxFailureLog entries; per-request manifests should use
+// Graph.Failures, which has no cap.
 func (r *Runner) Failures() []*JobError {
 	r.failMu.Lock()
 	defer r.failMu.Unlock()
 	return append([]*JobError(nil), r.failures...)
 }
 
-func (r *Runner) recordFailure(je *JobError) {
+func (r *Runner) recordFailure(g *Graph, je *JobError) {
 	r.failMu.Lock()
-	r.failures = append(r.failures, je)
+	if len(r.failures) < maxFailureLog {
+		r.failures = append(r.failures, je)
+	} else {
+		r.failuresLost++
+	}
 	r.failMu.Unlock()
+	g.recordFailure(je)
+}
+
+// MemoStats reports the size of the Runner's long-lived state, for a
+// daemon's metrics endpoint: memoized results held in memory, failure
+// log length, and failures dropped past the log cap.
+type MemoStats struct {
+	MemoEntries  int   `json:"memoEntries"`
+	FailureLog   int   `json:"failureLog"`
+	FailuresLost int64 `json:"failuresLost"`
+}
+
+// MemoStats returns the current long-lived state sizes.
+func (r *Runner) MemoStats() MemoStats {
+	r.memoMu.Lock()
+	entries := len(r.memo)
+	r.memoMu.Unlock()
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return MemoStats{MemoEntries: entries, FailureLog: len(r.failures), FailuresLost: r.failuresLost}
 }
 
 func (r *Runner) memoGet(k Key) (any, bool) {
@@ -241,20 +298,77 @@ type Spec struct {
 	Deps []Handle
 }
 
-// Graph is one batch of jobs executed by a single Wait call.
+// Graph is one batch of jobs executed by a single Wait call. Concurrent
+// graphs on one Runner execute independently — sharing the worker pool,
+// memo and cache, but with per-graph failure policy, failure log and
+// progress sinks — which is how splashd isolates requests on a shared
+// engine.
 type Graph struct {
 	r  *Runner
 	mu sync.Mutex
 
-	jobs   []*job
-	byKey  map[Key]*job
-	waited bool
-	err    error
+	jobs      []*job
+	byKey     map[Key]*job
+	waited    bool
+	err       error
+	keepGoing bool
+	fns       []ProgressFunc
+
+	failMu   sync.Mutex
+	failures []*JobError
 }
 
-// NewGraph starts an empty job graph.
+// NewGraph starts an empty job graph with the Runner's failure policy
+// and progress sinks.
 func (r *Runner) NewGraph() *Graph {
-	return &Graph{r: r, byKey: map[Key]*job{}}
+	g := &Graph{r: r, byKey: map[Key]*job{}, keepGoing: r.opts.KeepGoing}
+	if r.opts.OnProgress != nil {
+		g.fns = append(g.fns, r.opts.OnProgress)
+	}
+	return g
+}
+
+// SetKeepGoing overrides the Runner's KeepGoing policy for this graph:
+// a request-scoped graph can run to completion past failures (its
+// dependents skipped, failures recorded for Failures) while the engine's
+// other graphs stay fail-fast, and vice versa. Must be called before
+// Wait.
+func (g *Graph) SetKeepGoing(keep bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.waited {
+		panic("runner: SetKeepGoing after Wait")
+	}
+	g.keepGoing = keep
+}
+
+// OnProgress adds a progress sink observing only this graph's events
+// (see ProgressFunc for the delivery contract). Must be called before
+// Wait.
+func (g *Graph) OnProgress(fn ProgressFunc) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.waited {
+		panic("runner: OnProgress after Wait")
+	}
+	if fn != nil {
+		g.fns = append(g.fns, fn)
+	}
+}
+
+// Failures returns the failed and skipped jobs of this graph alone, in
+// completion order — the per-request twin of Runner.Failures, with no
+// log cap.
+func (g *Graph) Failures() []*JobError {
+	g.failMu.Lock()
+	defer g.failMu.Unlock()
+	return append([]*JobError(nil), g.failures...)
+}
+
+func (g *Graph) recordFailure(je *JobError) {
+	g.failMu.Lock()
+	g.failures = append(g.failures, je)
+	g.failMu.Unlock()
 }
 
 // Submit adds a job to the graph and returns its handle. Submitting a
@@ -363,13 +477,14 @@ func (g *Graph) resolve() []*job {
 }
 
 // execute runs the needed jobs: one goroutine per job waiting on its
-// dependencies, gated by a semaphore of Workers slots. Each job runs
-// through attempt (panic recovery, timeout, transient retry); under
-// KeepGoing a failure is recorded and its dependents are skipped instead
-// of cancelling the graph.
+// dependencies, gated by the Runner-wide semaphore of Workers slots
+// (shared with every other graph in flight). Each job runs through
+// attempt (panic recovery, timeout, transient retry); under the graph's
+// keep-going policy a failure is recorded and its dependents are skipped
+// instead of cancelling the graph.
 func (g *Graph) execute(parent context.Context, need []*job) error {
 	if len(need) == 0 {
-		g.report(0, 0, 0, 0)
+		newProgress(g.r.opts.Progress, g.fns, 0).summary(len(g.jobs), 0, 0, 0, 0, g.r.opts.Workers)
 		return parent.Err()
 	}
 	ctx, cancel := context.WithCancel(parent)
@@ -384,12 +499,12 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				cancel()
 			})
 		}
-		sem                       = make(chan struct{}, g.r.opts.Workers)
+		sem                       = g.r.sem
 		wg                        sync.WaitGroup
 		executed, failed, skipped atomic.Int64
 	)
-	keep := g.r.opts.KeepGoing
-	prog := newProgress(g.r.opts.Progress, len(need))
+	keep := g.keepGoing
+	prog := newProgress(g.r.opts.Progress, g.fns, len(need))
 	for _, j := range need {
 		wg.Add(1)
 		go func(j *job) {
@@ -417,7 +532,7 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 						}
 						g.r.skipped.Add(1)
 						skipped.Add(1)
-						g.r.recordFailure(je)
+						g.r.recordFailure(g, je)
 						prog.jobSkipped(j.label, d.label)
 						j.complete(nil, je)
 						return
@@ -451,7 +566,7 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				je := asJobError(j, err)
 				g.r.failed.Add(1)
 				failed.Add(1)
-				g.r.recordFailure(je)
+				g.r.recordFailure(g, je)
 				prog.jobFailed(j.label, je.Cause())
 				j.complete(nil, je)
 				if !keep {
@@ -478,7 +593,7 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 	if err := parent.Err(); err != nil {
 		return err
 	}
-	g.report(len(need), int(executed.Load()), int(failed.Load()), int(skipped.Load()))
+	prog.summary(len(g.jobs), len(need), int(executed.Load()), int(failed.Load()), int(skipped.Load()), g.r.opts.Workers)
 	return nil
 }
 
@@ -589,19 +704,4 @@ func asJobError(j *job, err error) *JobError {
 		TimedOut: errors.Is(err, ErrTimeout),
 		Err:      err,
 	}
-}
-
-// report emits the per-graph summary line.
-func (g *Graph) report(needed, executed, failed, skipped int) {
-	w := g.r.opts.Progress
-	if w == nil {
-		return
-	}
-	served := len(g.jobs) - needed
-	fmt.Fprintf(w, "runner: %d jobs — %d executed, %d served from cache/memo (workers=%d)",
-		len(g.jobs), executed, served, g.r.opts.Workers)
-	if failed > 0 || skipped > 0 {
-		fmt.Fprintf(w, "; %d failed, %d skipped", failed, skipped)
-	}
-	fmt.Fprintln(w)
 }

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+// admission enforces the per-client concurrency cap. The coalescer
+// bounds total load on the engine; this bounds how much of that
+// capacity one client can occupy, so a client fanning out a sweep
+// cannot starve everyone else — even when its requests would only
+// join flights.
+type admission struct {
+	limit int
+	mu    sync.Mutex
+	live  map[string]int
+	shed  int64 // cumulative 429s from this cap (metrics)
+}
+
+func newAdmission(perClient int) *admission {
+	return &admission{limit: perClient, live: make(map[string]int)}
+}
+
+// clientID identifies the requester: the X-Client-ID header when
+// present (how cooperating clients and tests name themselves), else the
+// remote address without the port, so one host's connections share a
+// budget.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// acquire admits one request for id, returning a release func, or
+// ok=false when the client is at its cap.
+func (a *admission) acquire(id string) (release func(), ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.live[id] >= a.limit {
+		a.shed++
+		return nil, false
+	}
+	a.live[id]++
+	return func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if a.live[id] <= 1 {
+			delete(a.live, id) // keep the map from accumulating dead clients
+		} else {
+			a.live[id]--
+		}
+	}, true
+}
+
+// counts snapshots the cap's state: distinct live clients and
+// cumulative shed requests.
+func (a *admission) counts() (clients int, shed int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.live), a.shed
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+)
+
+// sseWriter frames server-sent events onto an HTTP response. splashd
+// streams experiment progress this way: plain chunked HTTP, one
+// "progress" event per completed job, a terminal "result" (or "error")
+// event carrying the same bytes the non-streaming endpoint returns.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// newSSE prepares w for an event stream, or reports that the transport
+// cannot stream (no http.Flusher).
+func newSSE(w http.ResponseWriter) (*sseWriter, bool) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	return &sseWriter{w: w, f: f}, true
+}
+
+// event writes one named event. Multi-line payloads (the indented
+// result JSON) are framed as consecutive data: lines, which the SSE
+// wire format reassembles — newline-exact — on the client.
+func (s *sseWriter) event(name string, data []byte) {
+	fmt.Fprintf(s.w, "event: %s\n", name)
+	for _, line := range bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n")) {
+		fmt.Fprintf(s.w, "data: %s\n", line)
+	}
+	fmt.Fprint(s.w, "\n")
+	s.f.Flush()
+}
