@@ -1,0 +1,132 @@
+// Trace-container benchmarks: the columnar v2 format against the flat
+// v1 format on a recorded suite trace — encoded size (bytes/reference),
+// decode throughput, and out-of-core streaming replay against the
+// in-memory path. The acceptance numbers live in BENCH_tracev2.json:
+// v2 must be ≥ 2x smaller per reference with sequential decode within
+// 1.5x of v1's flat read.
+package splash2_test
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"splash2"
+	"splash2/internal/memsys"
+)
+
+// traceV2Bench holds one recorded suite trace in both serialized forms.
+type traceV2Bench struct {
+	tr *splash2.Trace
+	v1 []byte
+	v2 []byte
+}
+
+var traceV2State *traceV2Bench
+
+// benchTraceV2 records the fft suite trace once per process (the same
+// problem the replay benches use) and serializes it both ways.
+func benchTraceV2(b *testing.B) *traceV2Bench {
+	b.Helper()
+	if traceV2State != nil {
+		return traceV2State
+	}
+	tr, _, err := splash2.RecordTrace("fft", 8, map[string]int{"n": 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	if _, err := tr.WriteTo(&v1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tr.WriteV2(&v2); err != nil {
+		b.Fatal(err)
+	}
+	traceV2State = &traceV2Bench{tr: tr, v1: v1.Bytes(), v2: v2.Bytes()}
+	return traceV2State
+}
+
+// BenchmarkTraceV2Encode measures serialization throughput per format
+// and reports the headline size metrics: bytes per reference for each
+// container and the v1/v2 compression ratio.
+func BenchmarkTraceV2Encode(b *testing.B) {
+	s := benchTraceV2(b)
+	refs := float64(s.tr.Len())
+	b.Run("v1", func(b *testing.B) {
+		b.SetBytes(int64(len(s.v1)))
+		for i := 0; i < b.N; i++ {
+			if _, err := s.tr.WriteTo(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(s.v1))/refs, "bytes/ref")
+	})
+	b.Run("v2", func(b *testing.B) {
+		b.SetBytes(int64(len(s.v2)))
+		for i := 0; i < b.N; i++ {
+			if _, err := s.tr.WriteV2(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(s.v2))/refs, "bytes/ref")
+		b.ReportMetric(float64(len(s.v1))/float64(len(s.v2)), "x-smaller-than-v1")
+	})
+}
+
+// BenchmarkTraceV2Decode measures full-trace sequential decode: v1's
+// flat 8-bytes-per-event read against v2's varint+bitmap reconstruction
+// (the acceptance bound: v2 within 1.5x of v1). Mrefs/s is the
+// format-independent comparison; MB/s follows each container's size.
+func BenchmarkTraceV2Decode(b *testing.B) {
+	s := benchTraceV2(b)
+	decode := func(b *testing.B, data []byte) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := memsys.ReadTrace(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(s.tr.Len())*float64(b.N)/1e6/b.Elapsed().Seconds(), "Mrefs/s")
+	}
+	b.Run("v1", func(b *testing.B) { decode(b, s.v1) })
+	b.Run("v2", func(b *testing.B) { decode(b, s.v2) })
+}
+
+// BenchmarkTraceV2StreamReplay runs the paper's 11-size cache sweep from
+// the out-of-core TraceFile and from the in-memory trace: the cost of
+// O(block buffer) streaming versus a fully materialized stream.
+func BenchmarkTraceV2StreamReplay(b *testing.B) {
+	s := benchTraceV2(b)
+	var cfgs []splash2.MemConfig
+	for _, cs := range splash2.DefaultCacheSizes() {
+		cfgs = append(cfgs, splash2.MemConfig{Procs: 8, CacheSize: cs, Assoc: 4, LineSize: 64})
+	}
+	path := filepath.Join(b.TempDir(), "bench.sp2t")
+	if err := os.WriteFile(path, s.v2, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	tf, err := splash2.OpenTraceFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tf.Close()
+
+	b.Run("in-memory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := splash2.ReplayTraceMulti(s.tr, cfgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(cfgs)), "configs")
+	})
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := splash2.ReplayTraceMulti(tf, cfgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(cfgs)), "configs")
+	})
+}

@@ -79,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		procList   = fs.String("plist", "1,2,4,8,16,32", "processor counts for scaling sweeps")
 		scaleName  = fs.String("scale", "sweep", `problem sizes: "sweep", "default" or "paper"`)
 		modeName   = fs.String("mode", "live", `full-memory execution: "live" (inline simulation) or "record-replay" (trace once, replay per configuration)`)
+		spill      = fs.Bool("spill-traces", false, "stream recorded traces to on-disk v2 containers and replay out of core")
 		allAssocs  = fs.Bool("all-assocs", false, "Figure 3 with all associativities")
 		plot       = fs.Bool("plot", false, "render ASCII charts alongside the tables")
 		format     = fs.String("format", "text", `output format: "text", "json" or "csv"`)
@@ -104,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o := splash2.ReportOptions{
 		Procs: *procs, AllAssocs: *allAssocs, Plot: *plot, Workers: *workers,
 		KeepGoing: *keepGoing, Timeout: *timeout, Retries: *retries, RetryBackoff: *retryBackoff,
+		SpillTraces: *spill,
 	}
 	if *appsFlag != "" {
 		o.Apps = strings.Split(*appsFlag, ",")

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"splash2/internal/cli"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// recordTo records a small fft trace into dir and returns its path.
+func recordTo(t *testing.T, dir, format string) string {
+	t.Helper()
+	path := filepath.Join(dir, "fft."+format)
+	code, _, stderr := runCLI(t, "record", "-app", "fft", "-p", "2", "-opt", "n=64", "-o", path, "-format", format)
+	if code != cli.ExitOK {
+		t.Fatalf("record exited %d: %s", code, stderr)
+	}
+	return path
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"record"}, // -app and -o required
+		{"record", "-app", "fft", "-o", "x", "-format", "v3"},
+		{"record", "-badflag"},
+		{"replay"},             // -i required
+		{"info"},               // -i required
+		{"convert", "-i", "x"}, // -o required
+		{"convert", "-i", "x", "-o", "y", "-to", "v9"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != cli.ExitUsage {
+			t.Errorf("run(%q) = %d, want %d", args, code, cli.ExitUsage)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.trace")
+	if err := os.WriteFile(garbage, []byte("this is not a trace container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"record", "-app", "no-such-program", "-o", filepath.Join(dir, "x")},
+		{"replay", "-i", filepath.Join(dir, "missing.trace")},
+		{"replay", "-i", garbage},
+		{"info", "-i", garbage},
+		{"convert", "-i", garbage, "-o", filepath.Join(dir, "y")},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != cli.ExitRuntime {
+			t.Errorf("run(%q) = %d, want %d", args, code, cli.ExitRuntime)
+		}
+		if !strings.Contains(stderr, "trace:") {
+			t.Errorf("run(%q) stderr lacks a descriptive error: %q", args, stderr)
+		}
+	}
+}
+
+// TestStreamReplayMatchesInMemory pins the out-of-core promise at the
+// CLI surface: replaying a v2 container with -stream prints exactly the
+// bytes of the in-memory replay, for both the single-configuration and
+// sweep paths.
+func TestStreamReplayMatchesInMemory(t *testing.T) {
+	v2 := recordTo(t, t.TempDir(), "v2")
+
+	for _, extra := range [][]string{
+		{"-cache", "16384", "-assoc", "2"},
+		{"-sweep"},
+	} {
+		mem := append([]string{"replay", "-i", v2}, extra...)
+		str := append(append([]string{"replay", "-i", v2}, extra...), "-stream")
+		code, memOut, stderr := runCLI(t, mem...)
+		if code != cli.ExitOK {
+			t.Fatalf("in-memory replay exited %d: %s", code, stderr)
+		}
+		code, strOut, stderr := runCLI(t, str...)
+		if code != cli.ExitOK {
+			t.Fatalf("streaming replay exited %d: %s", code, stderr)
+		}
+		if memOut != strOut {
+			t.Errorf("streaming replay diverges for %q:\n got %s\nwant %s", extra, strOut, memOut)
+		}
+	}
+}
+
+// TestStreamReplayRejectsV1 gives the v1-specific guidance rather than
+// a generic magic error.
+func TestStreamReplayRejectsV1(t *testing.T) {
+	v1 := recordTo(t, t.TempDir(), "v1")
+	code, _, stderr := runCLI(t, "replay", "-i", v1, "-stream")
+	if code != cli.ExitRuntime {
+		t.Fatalf("streaming a v1 trace exited %d, want %d", code, cli.ExitRuntime)
+	}
+	if !strings.Contains(stderr, "convert") {
+		t.Errorf("error does not point at trace convert: %s", stderr)
+	}
+}
+
+// TestConvertRoundTrip: v1 → v2 → v1 must reproduce the original flat
+// bytes exactly, and every form must replay identically.
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	v1 := recordTo(t, dir, "v1")
+	v2 := filepath.Join(dir, "fft.sp2t")
+	back := filepath.Join(dir, "fft.back.trace")
+
+	if code, _, stderr := runCLI(t, "convert", "-i", v1, "-o", v2); code != cli.ExitOK {
+		t.Fatalf("convert to v2 exited %d: %s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "convert", "-i", v2, "-o", back, "-to", "v1"); code != cli.ExitOK {
+		t.Fatalf("convert back to v1 exited %d: %s", code, stderr)
+	}
+
+	orig, err := os.ReadFile(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, round) {
+		t.Fatalf("v1 → v2 → v1 round trip changed the bytes: %d vs %d", len(orig), len(round))
+	}
+
+	fi1, err := os.Stat(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi2, err := os.Stat(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi2.Size() >= fi1.Size() {
+		t.Errorf("v2 container (%d bytes) is not smaller than flat v1 (%d bytes)", fi2.Size(), fi1.Size())
+	}
+
+	code, v1Out, stderr := runCLI(t, "replay", "-i", v1, "-sweep")
+	if code != cli.ExitOK {
+		t.Fatalf("v1 replay exited %d: %s", code, stderr)
+	}
+	code, v2Out, stderr := runCLI(t, "replay", "-i", v2, "-sweep")
+	if code != cli.ExitOK {
+		t.Fatalf("v2 replay exited %d: %s", code, stderr)
+	}
+	if v1Out != v2Out {
+		t.Errorf("v2 replay diverges from v1:\n got %s\nwant %s", v2Out, v1Out)
+	}
+}
+
+// TestInfoReportsBothFormats: info prints counts for either container,
+// with the block shape only for v2.
+func TestInfoReportsBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	v1 := recordTo(t, dir, "v1")
+	v2 := recordTo(t, dir, "v2")
+
+	code, out, stderr := runCLI(t, "info", "-i", v1)
+	if code != cli.ExitOK {
+		t.Fatalf("info v1 exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"format          v1", "events", "processors      2", "bytes/reference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("v1 info lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "blocks") {
+		t.Errorf("v1 info reports a block index:\n%s", out)
+	}
+
+	code, out, stderr = runCLI(t, "info", "-i", v2)
+	if code != cli.ExitOK {
+		t.Fatalf("info v2 exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"format          v2", "blocks", "events/block", "bytes/block", "epochs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("v2 info lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStreamFaultInjection drills the block-read fault point from the
+// CLI: an injected error surfaces as a descriptive runtime failure.
+func TestStreamFaultInjection(t *testing.T) {
+	v2 := recordTo(t, t.TempDir(), "v2")
+	code, _, stderr := runCLI(t,
+		"replay", "-i", v2, "-stream", "-fault", "error@2=trace.read.block:*")
+	if code != cli.ExitRuntime {
+		t.Fatalf("fault-injected replay exited %d, want %d (stderr: %s)", code, cli.ExitRuntime, stderr)
+	}
+	if !strings.Contains(stderr, "injected") {
+		t.Errorf("stderr does not surface the injected fault: %s", stderr)
+	}
+}

@@ -14,7 +14,9 @@
 //     across reruns — no wall-clock reads, no global math/rand, no map
 //     iteration order in result paths.
 //   - faultpoints: fault-injection site labels are literals from the
-//     documented job:/cache.get:/cache.put:/trace.read taxonomy.
+//     documented job:/cache.get:/cache.put:/trace.read taxonomy
+//     (trace.read.footer and trace.read.block:<i> cover the v2
+//     container's out-of-core reads).
 //
 // A finding can be suppressed with a directive comment on the same line
 // or the line directly above:

@@ -6,6 +6,7 @@ package faultpts
 import (
 	"context"
 	"io"
+	"strconv"
 
 	"splash2/internal/fault"
 )
@@ -29,6 +30,14 @@ func goodConst(inj *fault.Injector, r io.Reader) io.Reader {
 	return inj.Reader(traceOp, r)
 }
 
+func goodV2Blocks(inj *fault.Injector, i int) error {
+	if err := inj.Do(context.Background(), "trace.read.footer"); err != nil {
+		return err
+	}
+	_ = inj.Data("trace.read.block:"+strconv.Itoa(i), nil)
+	return nil
+}
+
 func bad(inj *fault.Injector, r io.Reader, label string) {
 	_ = inj.Do(context.Background(), "disk.write:x") // want faultpoints
 	_ = inj.Reader(label, r)                         // want faultpoints
@@ -36,6 +45,6 @@ func bad(inj *fault.Injector, r io.Reader, label string) {
 
 func badReassigned(inj *fault.Injector, key string) {
 	op := "job:" + key
-	op = key // second assignment: prefix no longer statically known
+	op = key                             // second assignment: prefix no longer statically known
 	_ = inj.Do(context.Background(), op) // want faultpoints
 }

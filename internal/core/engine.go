@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -30,6 +32,8 @@ type Engine struct {
 	ctx       context.Context
 	keepGoing bool
 	mode      ExecMode
+	spillDir  string // non-empty: record jobs spill v2 traces here
+	fault     *fault.Injector
 
 	// Request scope (nil on a root engine): Scoped views share r — and
 	// with it the worker pool, memo and cache — but carry their own
@@ -92,6 +96,8 @@ func (e *Engine) Scoped(o ScopeOptions) *Engine {
 		ctx:        ctx,
 		keepGoing:  o.KeepGoing,
 		mode:       o.ExecMode,
+		spillDir:   e.spillDir,
+		fault:      e.fault,
 		onProgress: o.OnProgress,
 		scope:      &requestScope{},
 	}
@@ -161,6 +167,15 @@ type EngineOptions struct {
 	// ExecMode selects live simulation or record-then-replay for
 	// full-memory experiments (see ExecMode).
 	ExecMode ExecMode
+
+	// SpillTraces makes record jobs stream each recorded trace to an
+	// on-disk columnar v2 container and replay it out of core through a
+	// memsys.TraceFile, instead of holding the flat event stream in
+	// memory — the difference between "fits" and "doesn't" for
+	// paper-scale inputs. Spilled traces are content-addressed under
+	// CacheDir/traces (a temporary directory when the cache is off) and
+	// reused across processes after an integrity check.
+	SpillTraces bool
 }
 
 // NewEngine creates an engine. It fails only when the cache directory
@@ -179,7 +194,19 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var spillDir string
+	if o.SpillTraces {
+		spillDir = filepath.Join(os.TempDir(), "splash2-spill")
+		if o.CacheDir != "" {
+			spillDir = filepath.Join(o.CacheDir, "traces")
+		}
+		if err := os.MkdirAll(spillDir, 0o777); err != nil {
+			return nil, fmt.Errorf("core: opening trace spill directory: %w", err)
+		}
+	}
 	return &Engine{
+		spillDir: spillDir,
+		fault:    o.Fault,
 		r: runner.New(runner.Options{
 			Workers:      o.Workers,
 			Cache:        cache,
@@ -255,10 +282,11 @@ type traceIdent struct {
 	Opts  map[string]int `json:"opts"`
 }
 
-// recordOut bundles what a record job produces: the trace plus the
-// recording run's counters.
+// recordOut bundles what a record job produces: the reference stream —
+// an in-memory *memsys.Trace, or a *memsys.TraceFile streaming a
+// spilled v2 container out of core — plus the recording run's counters.
 type recordOut struct {
-	Trace *memsys.Trace
+	Trace memsys.TraceSource
 	Stats mach.Stats
 }
 
@@ -318,6 +346,9 @@ func (e *Engine) replayRunJob(g *runner.Graph, app string, cfg mach.Config, over
 // instead), though it is memoized in memory so the Figure-3 and
 // Figure-7/8 sweeps share a single recording per program.
 func (e *Engine) recordJob(g *runner.Graph, id traceIdent) runner.Job[recordOut] {
+	if e.spillDir != "" {
+		return e.recordSpillJob(g, id)
+	}
 	return runner.Submit(g, runner.Spec{
 		Label:   fmt.Sprintf("record %s p=%d", id.App, id.Procs),
 		Key:     runner.KeyOf("record", id),
@@ -343,13 +374,18 @@ func (e *Engine) recordStatsJob(g *runner.Graph, rec runner.Job[recordOut], id t
 	})
 }
 
-// ReplaySweep replays an already-loaded trace (e.g. from a trace file)
-// through each configuration in parallel. Replays are keyed by a digest
-// of the trace content, so repeated sweeps over the same trace file are
-// served from the cache.
-func (e *Engine) ReplaySweep(tr *memsys.Trace, cfgs []memsys.Config) ([]memsys.Stats, error) {
+// ReplaySweep replays an already-loaded reference stream (an in-memory
+// trace or an opened TraceFile) through each configuration in parallel.
+// Replays are keyed by a digest of the stream content — the digest is
+// format-independent (v1 bytes of the same events), so converting a
+// trace file between v1 and v2 never invalidates cached replays.
+func (e *Engine) ReplaySweep(src memsys.TraceSource, cfgs []memsys.Config) ([]memsys.Stats, error) {
+	wt, ok := src.(io.WriterTo)
+	if !ok {
+		return nil, fmt.Errorf("core: trace source %T is not digestable (io.WriterTo)", src)
+	}
 	h := sha256.New()
-	if _, err := tr.WriteTo(h); err != nil {
+	if _, err := wt.WriteTo(h); err != nil {
 		return nil, err
 	}
 	digest := hex.EncodeToString(h.Sum(nil))
@@ -361,7 +397,7 @@ func (e *Engine) ReplaySweep(tr *memsys.Trace, cfgs []memsys.Config) ([]memsys.S
 			Label: fmt.Sprintf("replay trace %dK/%s/%dB", cfg.CacheSize/1024, assocLabel(cfg.Assoc), cfg.LineSize),
 			Key:   runner.KeyOf("replayfile", digest, cfg),
 		}, func(ctx context.Context) (memsys.Stats, error) {
-			return memsys.Replay(tr, cfg)
+			return memsys.Replay(src, cfg)
 		})
 	}
 	if err := g.Wait(e.ctx); err != nil {
@@ -380,10 +416,10 @@ func (e *Engine) ReplaySweep(tr *memsys.Trace, cfgs []memsys.Config) ([]memsys.S
 
 // ReplaySweep is the package-level serial form of Engine.ReplaySweep
 // with configurable parallelism and no disk cache.
-func ReplaySweep(tr *memsys.Trace, cfgs []memsys.Config, workers int) ([]memsys.Stats, error) {
+func ReplaySweep(src memsys.TraceSource, cfgs []memsys.Config, workers int) ([]memsys.Stats, error) {
 	e, err := NewEngine(EngineOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	return e.ReplaySweep(tr, cfgs)
+	return e.ReplaySweep(src, cfgs)
 }

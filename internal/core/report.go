@@ -52,6 +52,10 @@ type ReportOptions struct {
 	// ExecMode selects live simulation or record-then-replay for
 	// full-memory experiments (cmd/characterize's -mode flag).
 	ExecMode ExecMode
+	// SpillTraces streams recorded traces to on-disk columnar v2
+	// containers and replays them out of core (cmd/characterize's
+	// -spill-traces flag); see EngineOptions.SpillTraces.
+	SpillTraces bool
 }
 
 // engineOptions extracts the scheduler configuration.
@@ -66,6 +70,7 @@ func (o ReportOptions) engineOptions() EngineOptions {
 		RetryBackoff: o.RetryBackoff,
 		Fault:        o.Fault,
 		ExecMode:     o.ExecMode,
+		SpillTraces:  o.SpillTraces,
 	}
 }
 

@@ -96,8 +96,10 @@ func (e *Engine) workingSetSweepJob(g *runner.Graph, rec runner.Job[recordOut], 
 // workingSetMissRates computes the assoc-major miss-rate grid of a
 // Figure-3 sweep: grid[ai][ci] is the percentage miss rate with 64-byte
 // lines at assocs[ai], cacheSizes[ci] — numerically identical, point by
-// point, to replaying each configuration separately.
-func workingSetMissRates(tr *memsys.Trace, procs int, cacheSizes, assocs []int) ([][]float64, error) {
+// point, to replaying each configuration separately. The stream may be
+// in memory or an out-of-core TraceFile; both passes consume it block
+// by block.
+func workingSetMissRates(tr memsys.TraceSource, procs int, cacheSizes, assocs []int) ([][]float64, error) {
 	grid := make([][]float64, len(assocs))
 	for i := range grid {
 		grid[i] = make([]float64, len(cacheSizes))

@@ -5,7 +5,8 @@
 // numeric results of the experiments that survive.
 //
 // An Injector holds an ordered list of Rules. Code under test calls it at
-// named injection points ("job:<label>", "cache.get:<key>", "trace.read"):
+// named injection points ("job:<label>", "cache.get:<key>", "trace.read",
+// "trace.read.footer", "trace.read.block:<i>"):
 // Do evaluates the error/panic/delay rules for an operation, Data and
 // Reader apply short-read truncation to bytes and streams. Every firing
 // is logged, so tests can assert that a run's failure manifest lists

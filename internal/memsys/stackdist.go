@@ -3,6 +3,7 @@ package memsys
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // This file implements a Mattson-style LRU stack-distance simulation of a
@@ -144,11 +145,85 @@ const (
 	slotInval = -2 // removed by a coherence invalidation
 )
 
-// StackDistances runs the one-pass simulation of the trace at the given
-// line size. The profile answers any cache size from lineSize up to
-// maxCacheSize. Measurement-reset markers zero the counters while
-// leaving every stack warm, exactly like System.ResetStats.
-func StackDistances(t *Trace, lineSize, maxCacheSize int) (*StackProfile, error) {
+// sdStack is one processor's stack state. The Fenwick tree indexes
+// access slots, which grow one per reference — sizing it by reference
+// count (as the pre-streaming implementation did) is O(trace) memory,
+// the very thing out-of-core replay exists to avoid. Instead the tree
+// starts small and, when the slot clock reaches its capacity, compact
+// renumbers the occupied slots 1..m in order. Renumbering preserves
+// every between-slot count, so depths — and therefore the profile — are
+// bit-identical to the unbounded-slot computation. Occupied slots
+// (residents plus holes) never exceed the lines the processor has ever
+// touched: the total only grows on an insertion with no hole to consume
+// (at which point it equals the resident count), so tree memory is
+// O(address space / line size), independent of trace length.
+type sdStack struct {
+	tree  fenwick
+	holes holeHeap
+	clock int
+	last  []int64 // line -> slot, or a sentinel
+}
+
+// sdInitialCap is the starting (and minimum post-compaction) Fenwick
+// capacity: big enough that compaction cost amortizes to noise, small
+// enough to be irrelevant per processor.
+const sdInitialCap = 1 << 16
+
+// ensureSlot guarantees the next slot (clock+1) fits the tree,
+// compacting and growing when it does not.
+func (st *sdStack) ensureSlot() {
+	if st.clock+1 < len(st.tree) {
+		return
+	}
+	st.compact()
+}
+
+// sdSlot is one occupied stack slot during compaction: the line
+// resident there, or -1 for an invalidation hole.
+type sdSlot struct {
+	slot int
+	line int64
+}
+
+// compact renumbers the occupied slots 1..m, preserving their order,
+// and rebuilds the tree with fresh headroom.
+func (st *sdStack) compact() {
+	var occ []sdSlot
+	for line, s := range st.last {
+		if s >= 0 {
+			occ = append(occ, sdSlot{slot: int(s), line: int64(line)})
+		}
+	}
+	for _, h := range st.holes {
+		occ = append(occ, sdSlot{slot: h, line: -1})
+	}
+	sort.Slice(occ, func(i, j int) bool { return occ[i].slot < occ[j].slot })
+	newCap := 2 * (len(occ) + 2)
+	if newCap < sdInitialCap {
+		newCap = sdInitialCap
+	}
+	st.tree = make(fenwick, newCap)
+	st.holes = st.holes[:0]
+	for rank, o := range occ {
+		s := rank + 1
+		st.tree.add(s, 1)
+		if o.line >= 0 {
+			st.last[o.line] = int64(s)
+		} else {
+			st.holes.push(s)
+		}
+	}
+	st.clock = len(occ)
+}
+
+// StackDistances runs the one-pass simulation of the stream at the
+// given line size. The profile answers any cache size from lineSize up
+// to maxCacheSize. Measurement-reset markers zero the counters while
+// leaving every stack warm, exactly like System.ResetStats. The stream
+// is consumed block by block with slot-compacted trees, so peak memory
+// is O(block buffer + address space) — a TraceFile profiles out of
+// core, and the result is bit-identical to the in-memory pass.
+func StackDistances(src TraceSource, lineSize, maxCacheSize int) (*StackProfile, error) {
 	if lineSize < WordBytes || lineSize&(lineSize-1) != 0 {
 		return nil, fmt.Errorf("memsys: line size must be a power of two ≥ %d, got %d", WordBytes, lineSize)
 	}
@@ -158,117 +233,124 @@ func StackDistances(t *Trace, lineSize, maxCacheSize int) (*StackProfile, error)
 	shift := uint(bits.TrailingZeros(uint(lineSize)))
 	maxLines := maxCacheSize / lineSize
 
-	// One pre-scan: processor count, line-index range, and per-processor
-	// access counts (the Fenwick tree sizes).
-	var maxProc int
-	var maxLine uint64
-	counts := make([]int, 128)
-	for _, e := range t.events {
-		if e == resetMarker {
-			continue
-		}
-		p := int(e >> 1 & 0x7f)
-		counts[p]++
-		if p > maxProc {
-			maxProc = p
-		}
-		if l := (e >> 8) >> shift; l > maxLine {
-			maxLine = l
-		}
-	}
-	nproc := maxProc + 1
+	// The stream summary replaces the old pre-scan: cached on an
+	// in-memory trace, free from the index footer of a TraceFile.
+	meta := src.Meta()
+	nproc := meta.MaxProc + 1
 	if nproc > 64 {
 		return nil, fmt.Errorf("memsys: at most 64 processors supported (sharer bitset), trace has %d", nproc)
 	}
-	lines := maxLine + 1
+	lines := uint64(meta.MaxAddr)>>shift + 1
 
 	sp := &StackProfile{lineSize: lineSize, maxLines: maxLines, procs: make([]stackCounts, nproc)}
-	last := make([][]int64, nproc) // [proc][line] -> Fenwick slot or sentinel
-	trees := make([]fenwick, nproc)
-	holes := make([]holeHeap, nproc)
-	clock := make([]int, nproc)
+	stacks := make([]sdStack, nproc)
 	for p := 0; p < nproc; p++ {
 		l := make([]int64, lines)
 		for i := range l {
 			l[i] = slotNever
 		}
-		last[p] = l
-		trees[p] = make(fenwick, counts[p]+1)
+		var refs uint64
+		if p < len(meta.ProcRefs) {
+			refs = meta.ProcRefs[p]
+		}
+		capHint := int(refs) + 1
+		if refs >= sdInitialCap {
+			capHint = sdInitialCap
+		}
+		stacks[p] = sdStack{tree: make(fenwick, capHint), last: l}
 		sp.procs[p].hist = make([]uint64, maxLines+1)
 	}
 	holders := make([]uint64, lines) // line -> bitset of stack-resident procs
 
-	for _, e := range t.events {
-		if e == resetMarker {
-			for p := range sp.procs {
-				c := &sp.procs[p]
-				c.reads, c.writes, c.cold, c.coherence = 0, 0, 0, 0
-				for i := range c.hist {
-					c.hist[i] = 0
+	err := src.blocks(func(events []uint64) error {
+		for _, e := range events {
+			if e == resetMarker {
+				for p := range sp.procs {
+					c := &sp.procs[p]
+					c.reads, c.writes, c.cold, c.coherence = 0, 0, 0, 0
+					for i := range c.hist {
+						c.hist[i] = 0
+					}
+				}
+				continue
+			}
+			p := int(e >> 1 & 0x7f)
+			line := (e >> 8) >> shift
+			// These fire only for streams whose index footer understates
+			// the ranges the blocks actually use (a lying or corrupt v2
+			// file); an in-memory trace's meta is exact.
+			if p >= nproc {
+				return fmt.Errorf("memsys: corrupt trace: processor %d beyond declared maximum %d", p, meta.MaxProc)
+			}
+			if line >= lines {
+				return fmt.Errorf("memsys: corrupt trace: address %#x beyond declared maximum %#x", e>>8, uint64(meta.MaxAddr))
+			}
+			write := e&1 == 1
+
+			c := &sp.procs[p]
+			if write {
+				c.writes++
+			} else {
+				c.reads++
+			}
+
+			st := &stacks[p]
+			slot := st.last[line]
+			st.ensureSlot()
+			st.clock++
+			now := st.clock
+			switch slot {
+			case slotNever, slotInval:
+				if slot == slotNever {
+					c.cold++
+				} else {
+					c.coherence++
+				}
+				// The line enters every cache; the insertion fills the
+				// frontmost freed slot, if an invalidation left one.
+				if len(st.holes) > 0 {
+					st.tree.add(st.holes.popMax(), -1)
+				}
+			default:
+				// Compaction may have renumbered the slot read above.
+				cur := int(st.last[line])
+				// Depth = stack slots (resident lines AND holes) above this
+				// one; hit in any cache of more than depth lines.
+				d := int(st.tree.sum(now-1) - st.tree.sum(cur))
+				if d > maxLines {
+					d = maxLines
+				}
+				c.hist[d]++
+				if len(st.holes) > 0 && st.holes[0] > cur {
+					// A hole sits above the line: caches that missed fill their
+					// freed slot, so the topmost hole migrates down to the old
+					// position (which stays occupied, now as a hole).
+					st.tree.add(st.holes.popMax(), -1)
+					st.holes.push(cur)
+				} else {
+					st.tree.add(cur, -1)
 				}
 			}
-			continue
-		}
-		p := int(e >> 1 & 0x7f)
-		line := (e >> 8) >> shift
-		write := e&1 == 1
+			st.tree.add(now, 1)
+			st.last[line] = int64(now)
+			holders[line] |= 1 << uint(p)
 
-		c := &sp.procs[p]
-		if write {
-			c.writes++
-		} else {
-			c.reads++
-		}
-
-		tree := trees[p]
-		slot := last[p][line]
-		clock[p]++
-		now := clock[p]
-		switch slot {
-		case slotNever, slotInval:
-			if slot == slotNever {
-				c.cold++
-			} else {
-				c.coherence++
-			}
-			// The line enters every cache; the insertion fills the
-			// frontmost freed slot, if an invalidation left one.
-			if len(holes[p]) > 0 {
-				tree.add(holes[p].popMax(), -1)
-			}
-		default:
-			// Depth = stack slots (resident lines AND holes) above this
-			// one; hit in any cache of more than depth lines.
-			d := int(tree.sum(now-1) - tree.sum(int(slot)))
-			if d > maxLines {
-				d = maxLines
-			}
-			c.hist[d]++
-			if len(holes[p]) > 0 && holes[p][0] > int(slot) {
-				// A hole sits above the line: caches that missed fill their
-				// freed slot, so the topmost hole migrates down to the old
-				// position (which stays occupied, now as a hole).
-				tree.add(holes[p].popMax(), -1)
-				holes[p].push(int(slot))
-			} else {
-				tree.add(int(slot), -1)
+			if write {
+				// Illinois-MESI: after any write the writer is the sole holder —
+				// every other resident copy leaves its stack, its slot staying
+				// behind as a hole (see file comment).
+				for rem := holders[line] &^ (1 << uint(p)); rem != 0; rem &= rem - 1 {
+					q := bits.TrailingZeros64(rem)
+					stacks[q].holes.push(int(stacks[q].last[line]))
+					stacks[q].last[line] = slotInval
+				}
+				holders[line] = 1 << uint(p)
 			}
 		}
-		tree.add(now, 1)
-		last[p][line] = int64(now)
-		holders[line] |= 1 << uint(p)
-
-		if write {
-			// Illinois-MESI: after any write the writer is the sole holder —
-			// every other resident copy leaves its stack, its slot staying
-			// behind as a hole (see file comment).
-			for rem := holders[line] &^ (1 << uint(p)); rem != 0; rem &= rem - 1 {
-				q := bits.TrailingZeros64(rem)
-				holes[q].push(int(last[q][line]))
-				last[q][line] = slotInval
-			}
-			holders[line] = 1 << uint(p)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sp, nil
 }

@@ -24,9 +24,82 @@ type Trace struct {
 	// events packs one access per entry: addr<<8 | proc<<1 | write.
 	events []uint64
 
+	// spans is the per-processor run structure of events, when known: the
+	// batched recorder's merge produces one span per (epoch, processor)
+	// run and the v2 decoder one per block, so the columnar v2 writer can
+	// emit epoch-stamped blocks without rediscovering the runs. nil for
+	// traces recorded through the serialized single-event path, where
+	// WriteV2 derives runs (and reset-marker eras as epochs) by scanning.
+	spans []traceSpan
+
 	// Home map of the recording machine, at its line granularity.
 	homeLineSize int
 	homes        []int32
+
+	// One-pass stream summary (max processor, address range, per-proc
+	// reference counts), computed lazily and cached: MaxProc, ReplayMulti
+	// and StackDistances all consult it, and traces are shared read-only
+	// across concurrent replay jobs, so the scan must run at most once.
+	metaOnce sync.Once
+	meta     TraceMeta
+}
+
+// traceSpan is one maximal run of consecutive events issued by a single
+// processor within one synchronization epoch (proc == spanMarker flags a
+// measurement-reset marker, n == 1).
+type traceSpan struct {
+	epoch uint64
+	proc  int
+	n     int
+}
+
+// spanMarker is the traceSpan proc value of a reset-marker span.
+const spanMarker = -1
+
+// TraceMeta is the one-pass summary of a reference stream: everything a
+// replay needs to pre-size its tables without walking the events. For an
+// in-memory Trace it is computed once and cached; a v2 trace file stores
+// it in the index footer, so no decode pass is needed at all.
+type TraceMeta struct {
+	// HomeLineSize is the home-map granularity of the recording machine.
+	HomeLineSize int
+	// MaxProc is the highest processor id referencing memory (0 for an
+	// empty trace).
+	MaxProc int
+	// MinProcs is the processor count the stream demands of a replay
+	// machine: every referencing processor and every home node must exist.
+	MinProcs int
+	// MaxAddr is the highest byte address referenced.
+	MaxAddr Addr
+	// Refs counts memory references (reset markers excluded).
+	Refs uint64
+	// Markers counts measurement-reset markers.
+	Markers uint64
+	// ProcRefs is the per-processor reference count, indexed by id;
+	// length MaxProc+1 (nil when Refs == 0).
+	ProcRefs []uint64
+}
+
+// Len returns the total stream length in events, markers included.
+func (m TraceMeta) Len() int { return int(m.Refs + m.Markers) }
+
+// TraceSource is a replayable reference stream: either an in-memory
+// Trace or an out-of-core TraceFile streaming a v2 container from disk.
+// ReplayMulti and StackDistances consume sources block by block, so
+// their peak memory is O(block buffer + address space), never O(trace).
+//
+// The blocks method is unexported on purpose: a source must uphold
+// in-package invariants (events yielded in exact recorded order, buffers
+// valid only until the callback returns), so only memsys types implement
+// it.
+type TraceSource interface {
+	// Meta returns the stream summary (cheap: cached or footer-backed).
+	Meta() TraceMeta
+	// HomeFn adapts the recorded home map to a replay line size.
+	HomeFn(lineSize int) HomeFn
+	// blocks calls yield for consecutive chunks of the event stream, in
+	// recorded order. The slice is only valid until yield returns.
+	blocks(yield func(events []uint64) error) error
 }
 
 // traceEvent packs an access. Processor id 127 is reserved as the
@@ -50,16 +123,21 @@ func (t *Trace) decode(i int) (proc int, a Addr, write bool) {
 // Len returns the number of recorded references.
 func (t *Trace) Len() int { return len(t.events) }
 
-// HomeFn adapts the recorded home map to any replay line size: the home
-// of a byte address is looked up at the recording granularity.
-func (t *Trace) HomeFn(lineSize int) HomeFn {
+// homeFn adapts a recorded home map to any replay line size: the home of
+// a byte address is looked up at the recording granularity.
+func homeFn(homes []int32, homeLineSize, lineSize int) HomeFn {
 	return func(line uint64) int {
-		recLine := line * uint64(lineSize) / uint64(t.homeLineSize)
-		if recLine < uint64(len(t.homes)) {
-			return int(t.homes[recLine])
+		recLine := line * uint64(lineSize) / uint64(homeLineSize)
+		if recLine < uint64(len(homes)) {
+			return int(homes[recLine])
 		}
 		return 0
 	}
+}
+
+// HomeFn adapts the recorded home map to any replay line size.
+func (t *Trace) HomeFn(lineSize int) HomeFn {
+	return homeFn(t.homes, t.homeLineSize, lineSize)
 }
 
 // maxTraceProcs is the number of processor ids a trace can carry: the
@@ -189,8 +267,11 @@ type mergeRun struct {
 // (markers first), then local index. Cross-processor order inside one
 // epoch is a choice — any order is legal there, because an epoch by
 // construction contains no release→acquire edge — and this fixed choice
-// is what makes recordings byte-identical across runs.
-func (r *Recorder) mergeBatches() []uint64 {
+// is what makes recordings byte-identical across runs. Alongside the
+// flat stream it returns the (epoch, proc) span structure — the merged
+// runs are exactly the column blocks of the v2 container, so WriteV2
+// can emit them without rediscovery.
+func (r *Recorder) mergeBatches() ([]uint64, []traceSpan) {
 	var runs []mergeRun
 	total := 0
 	for _, e := range r.markers {
@@ -231,10 +312,17 @@ func (r *Recorder) mergeBatches() []uint64 {
 		return runs[i].proc < runs[j].proc
 	})
 	out := make([]uint64, 0, total)
+	var spans []traceSpan
 	for _, run := range runs {
 		if run.proc < 0 {
 			out = append(out, resetMarker)
+			spans = append(spans, traceSpan{epoch: run.epoch, proc: spanMarker, n: 1})
 			continue
+		}
+		if k := len(spans) - 1; k >= 0 && spans[k].proc == run.proc && spans[k].epoch == run.epoch {
+			spans[k].n += run.n
+		} else {
+			spans = append(spans, traceSpan{epoch: run.epoch, proc: run.proc, n: run.n})
 		}
 		st := &r.streams[run.proc]
 		ci, off := run.ci, run.off
@@ -253,7 +341,7 @@ func (r *Recorder) mergeBatches() []uint64 {
 			}
 		}
 	}
-	return out
+	return out, spans
 }
 
 // batchedLocked reports whether the lock-free batched capture path was
@@ -281,36 +369,49 @@ func (r *Recorder) Finish(homes []int32) *Trace {
 		if len(r.tr.events) > 0 {
 			panic("memsys: Recorder mixed Record/RecordReset with the batched capture path")
 		}
-		r.tr.events = r.mergeBatches()
+		r.tr.events, r.tr.spans = r.mergeBatches()
 		r.streams = nil
 	}
 	r.tr.homes = append([]int32(nil), homes...)
 	return &r.tr
 }
 
-// scan computes the highest processor id and byte address of the trace in
-// one pass, skipping reset markers (whose packed encoding would otherwise
-// read as processor 127 at address 0).
-func (t *Trace) scan() (maxProc int, maxAddr Addr) {
-	for _, e := range t.events {
-		if e == resetMarker {
-			continue
+// Meta returns the stream summary, computing the one-pass scan on first
+// use and caching it (the trace is immutable once handed out, and may be
+// consulted by many replay jobs concurrently).
+func (t *Trace) Meta() TraceMeta {
+	t.metaOnce.Do(func() {
+		m := TraceMeta{HomeLineSize: t.homeLineSize}
+		var procRefs [maxTraceProcs + 1]uint64
+		for _, e := range t.events {
+			if e == resetMarker {
+				m.Markers++
+				continue
+			}
+			m.Refs++
+			p := int(e >> 1 & 0x7f)
+			procRefs[p]++
+			if p > m.MaxProc {
+				m.MaxProc = p
+			}
+			if a := Addr(e >> 8); a > m.MaxAddr {
+				m.MaxAddr = a
+			}
 		}
-		if p := int(e >> 1 & 0x7f); p > maxProc {
-			maxProc = p
+		if m.Refs > 0 {
+			m.ProcRefs = append([]uint64(nil), procRefs[:m.MaxProc+1]...)
 		}
-		if a := Addr(e >> 8); a > maxAddr {
-			maxAddr = a
-		}
-	}
-	return maxProc, maxAddr
+		m.MinProcs = minProcs(m.MaxProc, t.homes)
+		t.meta = m
+	})
+	return t.meta
 }
 
-// minProcs returns the processor count the trace demands of a replay
+// minProcs returns the processor count a stream demands of a replay
 // machine: every referencing processor and every home node must exist.
-func (t *Trace) minProcs(maxProc int) int {
+func minProcs(maxProc int, homes []int32) int {
 	need := maxProc + 1
-	for _, h := range t.homes {
+	for _, h := range homes {
 		if int(h)+1 > need {
 			need = int(h) + 1
 		}
@@ -318,114 +419,168 @@ func (t *Trace) minProcs(maxProc int) int {
 	return need
 }
 
-// Replay feeds the trace through a fresh memory system with the given
+// replayBlockSize is the event-block granularity of in-memory replay:
+// each system consumes a whole block before the next system starts it,
+// so its cache and directory state stay hot, and the per-block lastWrite
+// buffer stays small enough to live in L2.
+const replayBlockSize = 4096
+
+// blocks yields the in-memory event stream in replayBlockSize chunks
+// (no copy — the yielded slices alias the trace).
+func (t *Trace) blocks(yield func(events []uint64) error) error {
+	for lo := 0; lo < len(t.events); lo += replayBlockSize {
+		hi := lo + replayBlockSize
+		if hi > len(t.events) {
+			hi = len(t.events)
+		}
+		if err := yield(t.events[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replay feeds the stream through a fresh memory system with the given
 // configuration and returns the resulting statistics.
-func Replay(t *Trace, cfg Config) (Stats, error) {
-	out, err := ReplayMulti(t, []Config{cfg})
+func Replay(src TraceSource, cfg Config) (Stats, error) {
+	out, err := ReplayMulti(src, []Config{cfg})
 	if err != nil {
 		return Stats{}, err
 	}
 	return out[0], nil
 }
 
-// ReplayMulti feeds the trace through one fresh memory system per
+// ReplayMulti feeds the stream through one fresh memory system per
 // configuration in a single fused pass: event decode, reset handling and
-// the address-range pre-scan happen once for the whole sweep instead of
+// the address-range summary happen once for the whole sweep instead of
 // once per configuration, and every reference enters each system through
-// the lock-free single-threaded path. When several CPUs are available
-// the systems are sharded across them — each system is still driven by
-// exactly one goroutine over the read-only stream, so the statistics are
-// unchanged by the sharding. Configurations may differ in any parameter,
-// line size included. The returned statistics are, position by position,
-// exactly what per-configuration Replay calls would produce (the systems
-// share nothing but the decoded stream).
-func ReplayMulti(t *Trace, cfgs []Config) ([]Stats, error) {
+// the lock-free single-threaded path. The stream is consumed block by
+// block with the per-word write history computed incrementally per
+// block, so peak memory is O(block buffer + address space) — never
+// O(trace) — and a multi-gigabyte TraceFile replays out-of-core on a
+// small box. When several CPUs are available the systems are sharded
+// across them — each system is still driven by exactly one goroutine
+// over the read-only stream, so the statistics are unchanged by the
+// sharding. Configurations may differ in any parameter, line size
+// included. The returned statistics are, position by position, exactly
+// what per-configuration Replay calls would produce (the systems share
+// nothing but the decoded stream).
+func ReplayMulti(src TraceSource, cfgs []Config) ([]Stats, error) {
 	if len(cfgs) == 0 {
 		return nil, nil
 	}
-	maxProc, maxAddr := t.scan()
-	need := t.minProcs(maxProc)
+	meta := src.Meta()
 	systems := make([]*System, len(cfgs))
 	for i, cfg := range cfgs {
 		cfg = cfg.WithDefaults()
-		if cfg.Procs < need {
-			return nil, fmt.Errorf("memsys: trace needs ≥ %d processors, replay machine has %d", need, cfg.Procs)
+		if cfg.Procs < meta.MinProcs {
+			return nil, fmt.Errorf("memsys: trace needs ≥ %d processors, replay machine has %d", meta.MinProcs, cfg.Procs)
 		}
-		sys, err := New(cfg, t.HomeFn(cfg.LineSize))
+		sys, err := New(cfg, src.HomeFn(cfg.LineSize))
 		if err != nil {
 			return nil, err
 		}
-		// Pre-size tables from the trace's address range.
+		// Pre-size tables from the stream's address range.
 		sys.useExternalWords()
-		sys.Reserve(uint64(maxAddr)/WordBytes + 1)
+		sys.Reserve(uint64(meta.MaxAddr)/WordBytes + 1)
 		systems[i] = sys
 	}
 
 	// The per-word write history that drives true/false-sharing
 	// classification is a property of the stream alone — every system
-	// advances seq identically — so compute it once for the whole sweep
-	// instead of keeping (and randomly probing) one words table per
-	// system: lastWrite[i] packs the most recent write to event i's word
-	// before event i as seq<<7 | writer+1, 0 when never written.
-	lastWrite := make([]uint64, len(t.events))
-	words := make([]uint64, uint64(maxAddr)/WordBytes+1)
+	// advances seq identically — so compute it once per block for the
+	// whole sweep: lastWrite[i] packs the most recent write to event i's
+	// word before event i as seq<<7 | writer+1, 0 when never written.
+	// The words table persists across blocks (it is O(address space),
+	// like every system's own tables); the lastWrite buffer is O(block).
+	words := make([]uint64, uint64(meta.MaxAddr)/WordBytes+1)
 	var seq uint64
-	for i, e := range t.events {
-		if e == resetMarker {
-			continue
-		}
-		seq++
-		w := Addr(e >> 8).Word()
-		lastWrite[i] = words[w]
-		if e&1 == 1 {
-			words[w] = seq<<7 | (e>>1&0x7f + 1)
+	var lw []uint64
+
+	replayBlock := func(subset []*System, events, lw []uint64) {
+		for _, sys := range subset {
+			for i, e := range events {
+				if e == resetMarker {
+					sys.resetStatsLocked()
+					continue
+				}
+				sys.replayAccessExt(int(e>>1&0x7f), Addr(e>>8), e&1 == 1, lw[i])
+			}
 		}
 	}
 
-	// Events are replayed in blocks with the system loop outside: each
-	// system consumes a whole block before the next system starts it, so
-	// its cache and directory state stay hot instead of being flushed by
-	// the other systems' state on every reference. Per system the stream
-	// is still processed strictly in order, so results are unchanged.
-	const block = 4096
-	replayInto := func(subset []*System) {
-		for lo := 0; lo < len(t.events); lo += block {
-			hi := lo + block
-			if hi > len(t.events) {
-				hi = len(t.events)
-			}
-			for _, sys := range subset {
-				for i, e := range t.events[lo:hi] {
-					if e == resetMarker {
-						sys.resetStatsLocked()
-						continue
-					}
-					sys.replayAccessExt(int(e>>1&0x7f), Addr(e>>8), e&1 == 1, lastWrite[lo+i])
-				}
-			}
-		}
-	}
+	// Persistent workers over system shards: every worker replays each
+	// block into its own systems, with a barrier per block so the shared
+	// block and lastWrite buffers can be reused for the next one. Per
+	// system the stream is still processed strictly in order, so results
+	// are unchanged by the sharding.
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(systems) {
 		workers = len(systems)
 	}
-	if workers <= 1 {
-		replayInto(systems)
-	} else {
-		var wg sync.WaitGroup
+	type blockWork struct{ events, lw []uint64 }
+	var chans []chan blockWork
+	var wg sync.WaitGroup
+	if workers > 1 {
 		chunk := (len(systems) + workers - 1) / workers
 		for lo := 0; lo < len(systems); lo += chunk {
 			hi := lo + chunk
 			if hi > len(systems) {
 				hi = len(systems)
 			}
-			wg.Add(1)
+			ch := make(chan blockWork)
+			chans = append(chans, ch)
 			go func(subset []*System) {
-				defer wg.Done()
-				replayInto(subset)
+				for w := range ch {
+					replayBlock(subset, w.events, w.lw)
+					wg.Done()
+				}
 			}(systems[lo:hi])
 		}
+	}
+
+	err := src.blocks(func(events []uint64) error {
+		if cap(lw) < len(events) {
+			lw = make([]uint64, len(events))
+		}
+		b := lw[:len(events)]
+		for i, e := range events {
+			if e == resetMarker {
+				b[i] = 0
+				continue
+			}
+			// Bounds defenses fire only for streams whose index footer
+			// understates the ranges the blocks actually use (a lying or
+			// corrupt v2 file); an in-memory trace's meta is exact.
+			if p := int(e >> 1 & 0x7f); p > meta.MaxProc {
+				return fmt.Errorf("memsys: corrupt trace: processor %d beyond declared maximum %d", p, meta.MaxProc)
+			}
+			w := Addr(e >> 8).Word()
+			if w >= uint64(len(words)) {
+				return fmt.Errorf("memsys: corrupt trace: address %#x beyond declared maximum %#x", e>>8, uint64(meta.MaxAddr))
+			}
+			seq++
+			b[i] = words[w]
+			if e&1 == 1 {
+				words[w] = seq<<7 | (e>>1&0x7f + 1)
+			}
+		}
+		if chans == nil {
+			replayBlock(systems, events, b)
+			return nil
+		}
+		wg.Add(len(chans))
+		for _, ch := range chans {
+			ch <- blockWork{events, b}
+		}
 		wg.Wait()
+		return nil
+	})
+	for _, ch := range chans {
+		close(ch)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	out := make([]Stats, len(cfgs))
@@ -435,11 +590,13 @@ func ReplayMulti(t *Trace, cfgs []Config) ([]Stats, error) {
 	return out, nil
 }
 
-// traceMagic identifies the serialized format.
+// traceMagic identifies the flat v1 serialized format.
 const traceMagic = 0x53504c32 // "SPL2"
 
-// WriteTo serializes the trace (little-endian binary): magic, line size,
-// home count, homes, event count, events. It implements io.WriterTo.
+// WriteTo serializes the trace in the flat v1 format (little-endian
+// binary): magic, line size, home count, homes, event count, events —
+// 8 bytes per event. It implements io.WriterTo. WriteV2 produces the
+// compact columnar container instead; ReadTrace accepts both.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	write := func(v any) error {
@@ -511,17 +668,27 @@ func readChunked[T any](r io.Reader, n uint64, what string) ([]T, error) {
 	return out, nil
 }
 
-// ReadTrace deserializes a trace written by WriteTo. The input is treated
-// as untrusted: truncated or corrupt files yield a descriptive error,
-// never a panic or an unbounded allocation.
+// ReadTrace deserializes a trace written by WriteTo or WriteV2, sniffing
+// the version from the magic. The input is treated as untrusted:
+// truncated or corrupt files yield a descriptive error, never a panic or
+// an unbounded allocation.
 func ReadTrace(r io.Reader) (*Trace, error) {
-	var magic, lineSize uint32
+	var magic uint32
 	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
 		return nil, fmt.Errorf("memsys: trace truncated reading magic: %w", err)
 	}
-	if magic != traceMagic {
-		return nil, fmt.Errorf("memsys: bad trace magic %#x (want %#x)", magic, traceMagic)
+	switch magic {
+	case traceMagic:
+		return readTraceV1(r)
+	case traceMagicV2:
+		return readTraceV2(r)
 	}
+	return nil, fmt.Errorf("memsys: bad trace magic %#x (want %#x or %#x)", magic, traceMagic, traceMagicV2)
+}
+
+// readTraceV1 decodes the flat v1 body following the magic.
+func readTraceV1(r io.Reader) (*Trace, error) {
+	var lineSize uint32
 	if err := binary.Read(r, binary.LittleEndian, &lineSize); err != nil {
 		return nil, fmt.Errorf("memsys: trace truncated reading home line size: %w", err)
 	}
@@ -549,6 +716,5 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 
 // MaxProc returns the highest processor id appearing in the trace.
 func (t *Trace) MaxProc() int {
-	p, _ := t.scan()
-	return p
+	return t.Meta().MaxProc
 }

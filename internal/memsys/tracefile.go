@@ -1,0 +1,378 @@
+package memsys
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"splash2/internal/fault"
+)
+
+// TraceFile is an out-of-core view of a v2 trace container: the header
+// and index footer are parsed at open, the event blocks stay on disk.
+// It implements TraceSource, so ReplayMulti and StackDistances stream
+// it block by block with O(block buffer) peak memory — a multi-gigabyte
+// paper-scale trace replays without ever materializing the stream. The
+// footer also enables random access: DecodeBlock and Window decode any
+// (processor, epoch) region without touching the prefix.
+//
+// A TraceFile is safe for concurrent readers of distinct blocks
+// (DecodeBlock and Window allocate their own buffers; the underlying
+// ReaderAt must be concurrency-safe, as *os.File is); the streaming
+// blocks pass reuses one buffer and is single-consumer like any
+// TraceSource.
+type TraceFile struct {
+	r      io.ReaderAt
+	size   int64
+	closer io.Closer
+	inj    *fault.Injector
+
+	homeLineSize int
+	homes        []int32
+	meta         TraceMeta
+	index        []BlockInfo
+	footerOff    int64
+}
+
+// BlockInfo describes one block of a v2 container, as recorded in the
+// index footer: what it holds and where its bytes live.
+type BlockInfo struct {
+	// Marker flags a measurement-reset marker block (Proc is meaningless,
+	// Events is 1).
+	Marker bool
+	// Proc is the processor whose events the block holds.
+	Proc int
+	// Epoch is the synchronization epoch the block was recorded in.
+	Epoch uint64
+	// Events is the number of events in the block.
+	Events int
+	// Offset is the block's byte offset in the file (at its tag byte).
+	Offset int64
+	// Size is the block's encoded length in bytes, tag included.
+	Size int64
+}
+
+// OpenTraceFile opens an on-disk v2 trace for out-of-core streaming.
+// The injector (nil for none) supplies the chaos suite's fault points:
+// "trace.read" covers the open and header read, "trace.read.footer" the
+// index footer, and "trace.read.block:<i>" each block decode.
+func OpenTraceFile(path string, inj *fault.Injector) (*TraceFile, error) {
+	if err := inj.Do(context.Background(), "trace.read"); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tf, err := NewTraceFile(f, fi.Size(), inj)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tf.closer = f
+	return tf, nil
+}
+
+// NewTraceFile parses the header and index footer of a v2 container
+// held by any ReaderAt (a file, an mmap, a byte slice). The input is
+// untrusted: a corrupt or lying footer yields a descriptive error,
+// never a panic or an allocation beyond the file's own size.
+func NewTraceFile(r io.ReaderAt, size int64, inj *fault.Injector) (*TraceFile, error) {
+	// Smallest legal file: 16-byte header, end tag, 7-byte empty footer,
+	// 12-byte trailer.
+	if size < 16+1+7+12 {
+		return nil, fmt.Errorf("memsys: trace truncated: %d bytes is smaller than an empty v2 container", size)
+	}
+	hr := inj.Reader("trace.read", io.NewSectionReader(r, 0, size))
+	var fixed [16]byte
+	if _, err := io.ReadFull(hr, fixed[:]); err != nil {
+		return nil, fmt.Errorf("memsys: trace truncated reading header: %w", err)
+	}
+	if magic := binary.LittleEndian.Uint32(fixed[0:4]); magic != traceMagicV2 {
+		if magic == traceMagic {
+			return nil, fmt.Errorf("memsys: trace is flat v1 format; convert to v2 for out-of-core streaming (trace convert)")
+		}
+		return nil, fmt.Errorf("memsys: bad trace magic %#x (want %#x)", magic, traceMagicV2)
+	}
+	lineSize := binary.LittleEndian.Uint32(fixed[4:8])
+	if lineSize == 0 || lineSize > maxHomeLineSize {
+		return nil, fmt.Errorf("memsys: corrupt trace: home line size %d out of range (1..%d)", lineSize, maxHomeLineSize)
+	}
+	nh := binary.LittleEndian.Uint64(fixed[8:16])
+	if nh > uint64(size)/4 {
+		return nil, fmt.Errorf("memsys: corrupt trace: home map of %d entries cannot fit in %d bytes", nh, size)
+	}
+	homes, err := readChunked[int32](hr, nh, "home map")
+	if err != nil {
+		return nil, err
+	}
+	firstBlockOff := int64(16 + 4*len(homes))
+
+	var trailer [12]byte
+	if _, err := r.ReadAt(trailer[:], size-12); err != nil {
+		return nil, fmt.Errorf("memsys: trace truncated reading trailer: %w", err)
+	}
+	if magic := binary.LittleEndian.Uint32(trailer[8:12]); magic != traceIndexMagic {
+		return nil, fmt.Errorf("memsys: corrupt trace: bad index magic %#x (want %#x)", magic, traceIndexMagic)
+	}
+	footerLen := binary.LittleEndian.Uint64(trailer[0:8])
+	// Compare in the unsigned domain: a footer length with the top bit
+	// set must not wrap negative and slip past the bound.
+	avail := size - 12 - firstBlockOff - 1
+	if avail < 0 || footerLen < 7 || footerLen > uint64(avail) {
+		return nil, fmt.Errorf("memsys: corrupt trace: trailer footer length %d out of range", footerLen)
+	}
+	footerOff := size - 12 - int64(footerLen)
+	if err := inj.Do(context.Background(), "trace.read.footer"); err != nil {
+		return nil, err
+	}
+	fb := make([]byte, footerLen)
+	if _, err := r.ReadAt(fb, footerOff); err != nil {
+		return nil, fmt.Errorf("memsys: trace truncated reading index footer: %w", err)
+	}
+	fb = inj.Data("trace.read.footer", fb)
+	fr := bytes.NewReader(fb)
+	foot, err := parseV2Footer(fr)
+	if err != nil {
+		return nil, err
+	}
+	if fr.Len() != 0 {
+		return nil, fmt.Errorf("memsys: corrupt trace: index footer has %d trailing bytes", fr.Len())
+	}
+	if foot.firstBlockOff != firstBlockOff {
+		return nil, fmt.Errorf("memsys: corrupt trace: index footer says blocks start at %d, header ends at %d", foot.firstBlockOff, firstBlockOff)
+	}
+
+	index := make([]BlockInfo, len(foot.blocks))
+	off := firstBlockOff
+	for i, b := range foot.blocks {
+		index[i] = BlockInfo{Marker: b.marker, Proc: b.proc, Epoch: b.epoch, Events: b.events, Offset: off, Size: b.size}
+		off += b.size
+	}
+	if off+1 != footerOff {
+		return nil, fmt.Errorf("memsys: corrupt trace: index footer block sizes end at %d, footer starts at %d", off+1, footerOff)
+	}
+	var end [1]byte
+	if _, err := r.ReadAt(end[:], off); err != nil {
+		return nil, fmt.Errorf("memsys: trace truncated reading end tag: %w", err)
+	}
+	if end[0] != v2TagEnd {
+		return nil, fmt.Errorf("memsys: corrupt trace: block sequence ends with tag %d (want %d)", end[0], v2TagEnd)
+	}
+
+	maxProc := 0
+	if foot.nprocs > 0 {
+		maxProc = foot.nprocs - 1
+	}
+	meta := TraceMeta{
+		HomeLineSize: int(lineSize),
+		MaxProc:      maxProc,
+		MinProcs:     minProcs(maxProc, homes),
+		MaxAddr:      foot.maxAddr,
+		Refs:         foot.refs,
+		Markers:      foot.markers,
+		ProcRefs:     foot.procRefs,
+	}
+	return &TraceFile{
+		r: r, size: size, inj: inj,
+		homeLineSize: int(lineSize), homes: homes,
+		meta: meta, index: index, footerOff: footerOff,
+	}, nil
+}
+
+// Close releases the underlying file (no-op for a TraceFile built over
+// a caller-owned ReaderAt).
+func (tf *TraceFile) Close() error {
+	if tf.closer == nil {
+		return nil
+	}
+	return tf.closer.Close()
+}
+
+// Meta returns the stream summary straight from the index footer — no
+// decode pass.
+func (tf *TraceFile) Meta() TraceMeta { return tf.meta }
+
+// Len returns the total stream length in events, markers included.
+func (tf *TraceFile) Len() int { return int(tf.meta.Refs + tf.meta.Markers) }
+
+// HomeFn adapts the recorded home map to a replay line size.
+func (tf *TraceFile) HomeFn(lineSize int) HomeFn {
+	return homeFn(tf.homes, tf.homeLineSize, lineSize)
+}
+
+// Index returns the block index (a copy).
+func (tf *TraceFile) Index() []BlockInfo {
+	return append([]BlockInfo(nil), tf.index...)
+}
+
+// decodeBlockInto reads and decodes block i, appending its packed
+// events to dst (raw is a reusable scratch buffer). The block's own
+// header must agree with the index footer entry — a block that lies
+// about its contents is reported, not trusted.
+func (tf *TraceFile) decodeBlockInto(i int, raw []byte, dst []uint64) (events []uint64, rawOut []byte, err error) {
+	info := tf.index[i]
+	if err := tf.inj.Do(context.Background(), "trace.read.block:"+strconv.Itoa(i)); err != nil {
+		return dst, raw, err
+	}
+	if cap(raw) < int(info.Size) {
+		raw = make([]byte, info.Size)
+	}
+	buf := raw[:info.Size]
+	if _, err := tf.r.ReadAt(buf, info.Offset); err != nil {
+		return dst, raw, fmt.Errorf("memsys: trace truncated reading block %d (%d bytes at offset %d): %w", i, info.Size, info.Offset, err)
+	}
+	buf = tf.inj.Data("trace.read.block:"+strconv.Itoa(i), buf)
+	br := bytes.NewReader(buf)
+	tag, err := br.ReadByte()
+	if err != nil {
+		return dst, raw, fmt.Errorf("memsys: trace truncated reading block %d tag: %w", i, err)
+	}
+	if info.Marker {
+		if tag != v2TagMarker {
+			return dst, raw, fmt.Errorf("memsys: corrupt trace: block %d has tag %d, index footer says marker", i, tag)
+		}
+		epoch, err := readUvarint(br, "marker epoch")
+		if err != nil {
+			return dst, raw, err
+		}
+		if epoch != info.Epoch {
+			return dst, raw, fmt.Errorf("memsys: corrupt trace: block %d records epoch %d, index footer says %d", i, epoch, info.Epoch)
+		}
+		if br.Len() != 0 {
+			return dst, raw, fmt.Errorf("memsys: corrupt trace: marker block %d has %d trailing bytes", i, br.Len())
+		}
+		return append(dst, resetMarker), raw, nil
+	}
+	if tag != v2TagEvents {
+		return dst, raw, fmt.Errorf("memsys: corrupt trace: block %d has tag %d, index footer says events", i, tag)
+	}
+	proc, epoch, count, payloadLen, err := readV2EventsHeader(br, 0)
+	if err != nil {
+		return dst, raw, err
+	}
+	if proc != info.Proc || epoch != info.Epoch || count != info.Events {
+		return dst, raw, fmt.Errorf("memsys: corrupt trace: block %d header (proc=%d epoch=%d events=%d) disagrees with index footer (proc=%d epoch=%d events=%d)",
+			i, proc, epoch, count, info.Proc, info.Epoch, info.Events)
+	}
+	if br.Len() != payloadLen {
+		return dst, raw, fmt.Errorf("memsys: corrupt trace: block %d payload length %d, %d bytes remain after header", i, payloadLen, br.Len())
+	}
+	payload := buf[len(buf)-br.Len():]
+	events, maxA, err := decodeV2Payload(payload, proc, count, dst)
+	if err != nil {
+		return dst, raw, err
+	}
+	if maxA > tf.meta.MaxAddr {
+		return dst, raw, fmt.Errorf("memsys: corrupt trace: block %d address %#x beyond footer maximum %#x", i, uint64(maxA), uint64(tf.meta.MaxAddr))
+	}
+	return events, raw, nil
+}
+
+// DecodeBlock decodes block i independently — no prefix decode, one
+// bounded read — returning its packed events (a fresh slice).
+func (tf *TraceFile) DecodeBlock(i int) ([]uint64, error) {
+	if i < 0 || i >= len(tf.index) {
+		return nil, fmt.Errorf("memsys: block %d out of range (trace has %d)", i, len(tf.index))
+	}
+	events, _, err := tf.decodeBlockInto(i, nil, nil)
+	return events, err
+}
+
+// Window extracts one processor's references within an epoch range
+// [epochLo, epochHi] as a fresh in-memory Trace (same home map), using
+// the index footer to decode only the matching blocks — random access
+// with no prefix decode. Reset markers are not included.
+func (tf *TraceFile) Window(proc int, epochLo, epochHi uint64) (*Trace, error) {
+	out := &Trace{homeLineSize: tf.homeLineSize, homes: append([]int32(nil), tf.homes...)}
+	var raw []byte
+	for i := range tf.index {
+		info := tf.index[i]
+		if info.Marker || info.Proc != proc || info.Epoch < epochLo || info.Epoch > epochHi {
+			continue
+		}
+		var err error
+		out.events, raw, err = tf.decodeBlockInto(i, raw, out.events)
+		if err != nil {
+			return nil, err
+		}
+		if k := len(out.spans) - 1; k >= 0 && out.spans[k].epoch == info.Epoch {
+			out.spans[k].n += info.Events
+		} else {
+			out.spans = append(out.spans, traceSpan{epoch: info.Epoch, proc: proc, n: info.Events})
+		}
+	}
+	return out, nil
+}
+
+// WriteTo serializes the stream in flat v1 format, block by block —
+// the byte-identical output of the equivalent in-memory Trace.WriteTo.
+// It makes a TraceFile digestable wherever a result digest or a v2→v1
+// conversion needs the canonical flat bytes, still with O(block
+// buffer) peak memory.
+func (tf *TraceFile) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(uint32(traceMagic)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(tf.homeLineSize)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(tf.homes))); err != nil {
+		return n, err
+	}
+	if err := write(tf.homes); err != nil {
+		return n, err
+	}
+	if err := write(uint64(tf.Len())); err != nil {
+		return n, err
+	}
+	err := tf.blocks(func(events []uint64) error {
+		return write(events)
+	})
+	if err != nil {
+		return n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// blocks streams the whole file in index order, reusing one decode
+// buffer per block — the TraceSource contract ReplayMulti and
+// StackDistances consume. Peak memory is one encoded block plus one
+// decoded block, independent of trace length.
+func (tf *TraceFile) blocks(yield func(events []uint64) error) error {
+	var raw []byte
+	var events []uint64
+	for i := range tf.index {
+		var err error
+		events, raw, err = tf.decodeBlockInto(i, raw, events[:0])
+		if err != nil {
+			return err
+		}
+		if err := yield(events); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,666 @@
+package memsys
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file implements the columnar v2 trace container. The flat v1
+// format spends 8 bytes on every event; paper-scale inputs (Barnes 16K,
+// FFT 64K, Radix 1M keys) produce reference streams where that — plus
+// ReplayMulti's equal-sized lastWrite side array — is the binding memory
+// constraint. The v2 container exploits the structure PR 5's batched
+// capture already exposes: the stream is a sequence of per-processor
+// epoch runs, so the processor id is block metadata instead of a
+// per-event field, the read/write flags compress to a bitmap column,
+// and the address column — highly sequential within one processor's
+// run — delta+varint encodes to a byte or two per reference.
+//
+// On-disk layout (all varints are encoding/binary uvarint/varint):
+//
+//	header   magic "SPL3" u32 · homeLineSize u32 · nhomes u64 · homes []int32
+//	blocks   a sequence of tagged blocks:
+//	         tag 0 (events): proc u8 · epoch uvarint · count uvarint ·
+//	             payloadLen uvarint · payload
+//	             payload = write bitmap (⌈count/8⌉ bytes, bit i = event i
+//	             is a write) · addresses (first absolute uvarint, then
+//	             zigzag-varint deltas)
+//	         tag 1 (marker): epoch uvarint — a measurement-reset marker
+//	         tag 2 (end): terminates the block sequence
+//	footer   version uvarint (2) · firstBlockOff · nprocs · maxAddr ·
+//	         refs · markers · per-proc ref counts (nprocs uvarints) ·
+//	         nblocks · per-block entries (tag u8 · [proc u8] ·
+//	         epochDelta uvarint · [count uvarint] · size uvarint)
+//	trailer  footerLen u64 · index magic "SP2I" u32
+//
+// Blocks decode independently: each header carries everything the
+// payload needs, so a reader can decode blocks in parallel or decode
+// only a (proc, epoch) window selected from the footer. The trailer is
+// fixed-size, so a ReaderAt finds the footer without scanning, and the
+// footer's per-block sizes turn into absolute offsets by prefix sum —
+// random access with no prefix decode (see TraceFile). Epochs are
+// nondecreasing across blocks (the recorder's merge order), which is
+// why the footer stores deltas.
+//
+// Forward compatibility: the footer leads with a version; readers must
+// reject versions they don't know. New per-block information must go in
+// new tags (readers reject unknown tags) or a new version, never by
+// appending to existing structures.
+
+// traceMagicV2 identifies the columnar v2 container ("SPL3").
+const traceMagicV2 = 0x53504c33
+
+// TraceMagicV1 and TraceMagicV2 expose the two container magics (the
+// file's first four little-endian bytes) so tools can sniff a format
+// without attempting a decode.
+const (
+	TraceMagicV1 = traceMagic
+	TraceMagicV2 = traceMagicV2
+)
+
+// traceIndexMagic ends a v2 file ("SP2I" little-endian); a ReaderAt
+// checks it before trusting the trailing footer length.
+const traceIndexMagic = 0x49325053
+
+// v2 block tags.
+const (
+	v2TagEvents = 0
+	v2TagMarker = 1
+	v2TagEnd    = 2
+)
+
+// v2BlockCap is the encoder's events-per-block cap: large enough to
+// amortize headers to noise, small enough that one decoded block plus
+// its lastWrite buffer stays cache-resident during streaming replay.
+const v2BlockCap = 4096
+
+// v2MaxBlockEvents bounds the event count an untrusted block header may
+// claim, capping the per-block allocation a corrupt file can demand.
+const v2MaxBlockEvents = 1 << 20
+
+// maxTraceAddr is the largest encodable byte address: the packed event
+// word keeps 56 bits for the address.
+const maxTraceAddr = 1<<56 - 1
+
+// v2MaxPayload bounds an events-block payload: the write bitmap plus at
+// most binary.MaxVarintLen64 bytes per address.
+func v2MaxPayload(count int) int {
+	return (count+7)/8 + count*binary.MaxVarintLen64
+}
+
+// v2MaxBlockSize bounds a whole events block (tag, proc, three varint
+// header fields, payload) for validating untrusted footer entries.
+func v2MaxBlockSize(count int) int64 {
+	return int64(2 + 3*binary.MaxVarintLen64 + v2MaxPayload(count))
+}
+
+// v2Block describes one encoded block — the unit of the index footer.
+type v2Block struct {
+	marker bool
+	proc   int
+	epoch  uint64
+	events int   // 1 for a marker
+	size   int64 // encoded bytes, tag included
+}
+
+// deriveSpans reconstructs the (epoch, proc) run structure of a flat
+// event stream that was recorded without epoch stamps (the serialized
+// Record path, or a v1 file): runs break at processor changes, and
+// reset markers open a new era numbered like the batched recorder does
+// — the marker sorts with the epoch that follows it.
+func deriveSpans(events []uint64) []traceSpan {
+	var spans []traceSpan
+	var era uint64
+	for _, e := range events {
+		if e == resetMarker {
+			era++
+			spans = append(spans, traceSpan{epoch: era, proc: spanMarker, n: 1})
+			continue
+		}
+		p := int(e >> 1 & 0x7f)
+		if k := len(spans) - 1; k >= 0 && spans[k].proc == p && spans[k].epoch == era {
+			spans[k].n++
+		} else {
+			spans = append(spans, traceSpan{epoch: era, proc: p, n: 1})
+		}
+	}
+	return spans
+}
+
+// appendV2Events encodes one events block. Addresses delta-encode
+// against the block's own first address only, so the block decodes with
+// no context from its predecessors.
+func appendV2Events(buf, scratch []byte, proc int, epoch uint64, events []uint64) (out, outScratch []byte) {
+	payload := scratch[:0]
+	nb := (len(events) + 7) / 8
+	for i := 0; i < nb; i++ {
+		payload = append(payload, 0)
+	}
+	for i, e := range events {
+		if e&1 == 1 {
+			payload[i/8] |= 1 << (i % 8)
+		}
+	}
+	var prev uint64
+	for i, e := range events {
+		a := e >> 8
+		if i == 0 {
+			payload = binary.AppendUvarint(payload, a)
+		} else {
+			payload = binary.AppendVarint(payload, int64(a)-int64(prev))
+		}
+		prev = a
+	}
+	buf = append(buf, v2TagEvents, byte(proc))
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(events)))
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return buf, payload
+}
+
+// appendV2Footer encodes the index footer (everything between the end
+// tag and the fixed trailer).
+func appendV2Footer(buf []byte, firstBlockOff int64, m TraceMeta, blocks []v2Block) []byte {
+	buf = binary.AppendUvarint(buf, 2)
+	buf = binary.AppendUvarint(buf, uint64(firstBlockOff))
+	nprocs := 0
+	if m.Refs > 0 {
+		nprocs = m.MaxProc + 1
+	}
+	buf = binary.AppendUvarint(buf, uint64(nprocs))
+	buf = binary.AppendUvarint(buf, uint64(m.MaxAddr))
+	buf = binary.AppendUvarint(buf, m.Refs)
+	buf = binary.AppendUvarint(buf, m.Markers)
+	for p := 0; p < nprocs; p++ {
+		buf = binary.AppendUvarint(buf, m.ProcRefs[p])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(blocks)))
+	var prevEpoch uint64
+	for _, b := range blocks {
+		if b.marker {
+			buf = append(buf, v2TagMarker)
+		} else {
+			buf = append(buf, v2TagEvents, byte(b.proc))
+		}
+		buf = binary.AppendUvarint(buf, b.epoch-prevEpoch)
+		prevEpoch = b.epoch
+		if !b.marker {
+			buf = binary.AppendUvarint(buf, uint64(b.events))
+		}
+		buf = binary.AppendUvarint(buf, uint64(b.size))
+	}
+	return buf
+}
+
+// WriteV2 serializes the trace in the columnar v2 container. Traces
+// recorded through the batched path carry their (epoch, proc) run
+// structure from the merge, so the blocks are emitted directly from the
+// already-block-shaped sub-streams; otherwise the runs are derived by
+// one scan. ReadTrace accepts both formats; a v2→v1→v2 round trip is
+// byte-identical.
+func (t *Trace) WriteV2(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	hdr := make([]byte, 0, 16+4*len(t.homes))
+	hdr = binary.LittleEndian.AppendUint32(hdr, traceMagicV2)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(t.homeLineSize))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(t.homes)))
+	for _, h := range t.homes {
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(h))
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return n, err
+	}
+	n += int64(len(hdr))
+	firstBlockOff := n
+
+	spans := t.spans
+	if spans == nil {
+		spans = deriveSpans(t.events)
+	}
+	var blocks []v2Block
+	var buf, scratch []byte
+	pos := 0
+	for _, sp := range spans {
+		if sp.proc == spanMarker {
+			buf = append(buf[:0], v2TagMarker)
+			buf = binary.AppendUvarint(buf, sp.epoch)
+			blocks = append(blocks, v2Block{marker: true, epoch: sp.epoch, events: 1, size: int64(len(buf))})
+			if _, err := bw.Write(buf); err != nil {
+				return n, err
+			}
+			n += int64(len(buf))
+			pos += sp.n
+			continue
+		}
+		for done := 0; done < sp.n; {
+			take := sp.n - done
+			if take > v2BlockCap {
+				take = v2BlockCap
+			}
+			buf, scratch = appendV2Events(buf[:0], scratch, sp.proc, sp.epoch, t.events[pos+done:pos+done+take])
+			blocks = append(blocks, v2Block{proc: sp.proc, epoch: sp.epoch, events: take, size: int64(len(buf))})
+			if _, err := bw.Write(buf); err != nil {
+				return n, err
+			}
+			n += int64(len(buf))
+			done += take
+		}
+		pos += sp.n
+	}
+	if err := bw.WriteByte(v2TagEnd); err != nil {
+		return n, err
+	}
+	n++
+
+	footer := appendV2Footer(buf[:0], firstBlockOff, t.Meta(), blocks)
+	if _, err := bw.Write(footer); err != nil {
+		return n, err
+	}
+	n += int64(len(footer))
+	trailer := binary.LittleEndian.AppendUint64(nil, uint64(len(footer)))
+	trailer = binary.LittleEndian.AppendUint32(trailer, traceIndexMagic)
+	if _, err := bw.Write(trailer); err != nil {
+		return n, err
+	}
+	n += int64(len(trailer))
+	return n, bw.Flush()
+}
+
+// decodeV2Payload decodes one events-block payload, appending the
+// packed events to dst. The payload must be exactly consumed. Returns
+// the grown slice and the block's largest address.
+func decodeV2Payload(payload []byte, proc, count int, dst []uint64) ([]uint64, Addr, error) {
+	nb := (count + 7) / 8
+	if len(payload) < nb {
+		return dst, 0, fmt.Errorf("memsys: corrupt trace: block payload %d bytes, write bitmap alone needs %d", len(payload), nb)
+	}
+	bitmap := payload[:nb]
+	rest := payload[nb:]
+	var addr uint64
+	var maxA Addr
+	for i := 0; i < count; i++ {
+		if i == 0 {
+			v, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return dst, 0, fmt.Errorf("memsys: corrupt trace: block base address varint truncated or overlong")
+			}
+			rest = rest[n:]
+			addr = v
+		} else {
+			d, n := binary.Varint(rest)
+			if n <= 0 {
+				return dst, 0, fmt.Errorf("memsys: corrupt trace: address delta varint truncated or overlong (event %d of %d)", i, count)
+			}
+			rest = rest[n:]
+			addr = uint64(int64(addr) + d)
+		}
+		if addr > maxTraceAddr {
+			return dst, 0, fmt.Errorf("memsys: corrupt trace: address %#x exceeds the 56-bit event encoding", addr)
+		}
+		e := addr<<8 | uint64(proc)<<1
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			e |= 1
+		}
+		dst = append(dst, e)
+		if Addr(addr) > maxA {
+			maxA = Addr(addr)
+		}
+	}
+	if len(rest) != 0 {
+		return dst, 0, fmt.Errorf("memsys: corrupt trace: block payload has %d bytes beyond its %d events", len(rest), count)
+	}
+	return dst, maxA, nil
+}
+
+// readUvarint reads one varint field from an untrusted stream,
+// labelling truncation/overflow with the field name.
+func readUvarint(s io.ByteReader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(s)
+	if err != nil {
+		return 0, fmt.Errorf("memsys: trace truncated reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+// readV2EventsHeader reads and validates the header fields of an events
+// block (after the tag): proc, epoch, count, payloadLen. Shared by the
+// sequential decoder and TraceFile's per-block decode.
+func readV2EventsHeader(s io.ByteReader, prevEpoch uint64) (proc int, epoch uint64, count, payloadLen int, err error) {
+	b, err := s.ReadByte()
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("memsys: trace truncated reading block processor: %w", err)
+	}
+	proc = int(b)
+	if proc >= maxTraceProcs {
+		return 0, 0, 0, 0, fmt.Errorf("memsys: corrupt trace: block processor %d out of range (0-%d)", proc, maxTraceProcs-1)
+	}
+	epoch, err = readUvarint(s, "block epoch")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if epoch < prevEpoch {
+		return 0, 0, 0, 0, fmt.Errorf("memsys: corrupt trace: block epoch %d after epoch %d (must be nondecreasing)", epoch, prevEpoch)
+	}
+	c, err := readUvarint(s, "block event count")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if c == 0 || c > v2MaxBlockEvents {
+		return 0, 0, 0, 0, fmt.Errorf("memsys: corrupt trace: block event count %d out of range (1-%d)", c, v2MaxBlockEvents)
+	}
+	count = int(c)
+	pl, err := readUvarint(s, "block payload length")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if pl < uint64((count+7)/8+1) || pl > uint64(v2MaxPayload(count)) {
+		return 0, 0, 0, 0, fmt.Errorf("memsys: corrupt trace: block payload length %d implausible for %d events", pl, count)
+	}
+	payloadLen = int(pl)
+	return proc, epoch, count, payloadLen, nil
+}
+
+// v2Footer is the parsed index footer.
+type v2Footer struct {
+	firstBlockOff int64
+	nprocs        int
+	maxAddr       Addr
+	refs, markers uint64
+	procRefs      []uint64
+	blocks        []v2Block
+}
+
+// parseV2Footer reads the footer from an untrusted stream. Counts are
+// cross-validated (blocks against refs+markers) so a lying footer
+// cannot demand allocations beyond what its own byte stream backs.
+func parseV2Footer(s io.ByteReader) (v2Footer, error) {
+	var f v2Footer
+	version, err := readUvarint(s, "footer version")
+	if err != nil {
+		return f, err
+	}
+	if version != 2 {
+		return f, fmt.Errorf("memsys: corrupt trace: unsupported footer version %d (want 2)", version)
+	}
+	off, err := readUvarint(s, "footer first-block offset")
+	if err != nil {
+		return f, err
+	}
+	f.firstBlockOff = int64(off)
+	np, err := readUvarint(s, "footer processor count")
+	if err != nil {
+		return f, err
+	}
+	if np > maxTraceProcs {
+		return f, fmt.Errorf("memsys: corrupt trace: footer processor count %d out of range (0-%d)", np, maxTraceProcs)
+	}
+	f.nprocs = int(np)
+	ma, err := readUvarint(s, "footer max address")
+	if err != nil {
+		return f, err
+	}
+	if ma > maxTraceAddr {
+		return f, fmt.Errorf("memsys: corrupt trace: footer max address %#x exceeds the 56-bit event encoding", ma)
+	}
+	f.maxAddr = Addr(ma)
+	if f.refs, err = readUvarint(s, "footer reference count"); err != nil {
+		return f, err
+	}
+	if f.markers, err = readUvarint(s, "footer marker count"); err != nil {
+		return f, err
+	}
+	if f.nprocs > 0 {
+		f.procRefs = make([]uint64, f.nprocs)
+		var sum uint64
+		for p := range f.procRefs {
+			if f.procRefs[p], err = readUvarint(s, "footer per-processor reference count"); err != nil {
+				return f, err
+			}
+			sum += f.procRefs[p]
+		}
+		if sum != f.refs {
+			return f, fmt.Errorf("memsys: corrupt trace: footer per-processor counts sum to %d, reference count says %d", sum, f.refs)
+		}
+	} else if f.refs != 0 {
+		return f, fmt.Errorf("memsys: corrupt trace: footer claims %d references but no processors", f.refs)
+	}
+	nb, err := readUvarint(s, "footer block count")
+	if err != nil {
+		return f, err
+	}
+	if nb > f.refs+f.markers {
+		return f, fmt.Errorf("memsys: corrupt trace: footer block count %d exceeds %d events", nb, f.refs+f.markers)
+	}
+	var prevEpoch uint64
+	var events, markers uint64
+	for i := uint64(0); i < nb; i++ {
+		tag, err := s.ReadByte()
+		if err != nil {
+			return f, fmt.Errorf("memsys: trace truncated reading footer block entry %d: %w", i, err)
+		}
+		var b v2Block
+		switch tag {
+		case v2TagEvents:
+			pb, err := s.ReadByte()
+			if err != nil {
+				return f, fmt.Errorf("memsys: trace truncated reading footer block entry %d: %w", i, err)
+			}
+			b.proc = int(pb)
+			if b.proc >= f.nprocs {
+				return f, fmt.Errorf("memsys: corrupt trace: footer block %d names processor %d beyond count %d", i, b.proc, f.nprocs)
+			}
+		case v2TagMarker:
+			b.marker = true
+		default:
+			return f, fmt.Errorf("memsys: corrupt trace: footer block %d has unknown tag %d", i, tag)
+		}
+		d, err := readUvarint(s, "footer block epoch delta")
+		if err != nil {
+			return f, err
+		}
+		b.epoch = prevEpoch + d
+		prevEpoch = b.epoch
+		if b.marker {
+			b.events = 1
+			markers++
+		} else {
+			c, err := readUvarint(s, "footer block event count")
+			if err != nil {
+				return f, err
+			}
+			if c == 0 || c > v2MaxBlockEvents {
+				return f, fmt.Errorf("memsys: corrupt trace: footer block %d event count %d out of range (1-%d)", i, c, v2MaxBlockEvents)
+			}
+			b.events = int(c)
+			events += c
+		}
+		sz, err := readUvarint(s, "footer block size")
+		if err != nil {
+			return f, err
+		}
+		b.size = int64(sz)
+		min := int64(2)
+		var max int64 = 1 + binary.MaxVarintLen64
+		if !b.marker {
+			min = 6
+			max = v2MaxBlockSize(b.events)
+		}
+		if b.size < min || b.size > max {
+			return f, fmt.Errorf("memsys: corrupt trace: footer block %d size %d implausible", i, b.size)
+		}
+		f.blocks = append(f.blocks, b)
+	}
+	if events != f.refs || markers != f.markers {
+		return f, fmt.Errorf("memsys: corrupt trace: footer blocks hold %d references and %d markers, counts say %d and %d",
+			events, markers, f.refs, f.markers)
+	}
+	return f, nil
+}
+
+// byteCounter counts bytes consumed from a buffered stream, so the
+// sequential v2 decoder can check the footer's claimed block sizes
+// against what it actually read.
+type byteCounter struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *byteCounter) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func (c *byteCounter) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readTraceV2 decodes the v2 body following the magic (sequential,
+// whole-trace; see TraceFile for out-of-core streaming). The input is
+// untrusted: every header field is bounds-checked before allocation,
+// and the index footer must agree with the blocks actually decoded.
+func readTraceV2(r io.Reader) (*Trace, error) {
+	c := &byteCounter{br: bufio.NewReader(r), n: 4} // magic already consumed
+
+	var fixed [12]byte
+	if _, err := io.ReadFull(c, fixed[:]); err != nil {
+		return nil, fmt.Errorf("memsys: trace truncated reading header: %w", err)
+	}
+	lineSize := binary.LittleEndian.Uint32(fixed[0:4])
+	if lineSize == 0 || lineSize > maxHomeLineSize {
+		return nil, fmt.Errorf("memsys: corrupt trace: home line size %d out of range (1..%d)", lineSize, maxHomeLineSize)
+	}
+	nh := binary.LittleEndian.Uint64(fixed[4:12])
+	homes, err := readChunked[int32](c, nh, "home map")
+	if err != nil {
+		return nil, err
+	}
+	firstBlockOff := c.n
+
+	var events []uint64
+	var spans []traceSpan
+	var blocks []v2Block
+	var payload []byte
+	var procRefs [maxTraceProcs]uint64
+	meta := TraceMeta{HomeLineSize: int(lineSize)}
+	var prevEpoch uint64
+	for {
+		start := c.n
+		tag, err := c.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("memsys: trace truncated reading block tag: %w", err)
+		}
+		if tag == v2TagEnd {
+			break
+		}
+		switch tag {
+		case v2TagEvents:
+			proc, epoch, count, payloadLen, err := readV2EventsHeader(c, prevEpoch)
+			if err != nil {
+				return nil, err
+			}
+			prevEpoch = epoch
+			if cap(payload) < payloadLen {
+				payload = make([]byte, payloadLen)
+			}
+			buf := payload[:payloadLen]
+			if _, err := io.ReadFull(c, buf); err != nil {
+				return nil, fmt.Errorf("memsys: trace truncated reading block payload (%d bytes wanted): %w", payloadLen, err)
+			}
+			var maxA Addr
+			events, maxA, err = decodeV2Payload(buf, proc, count, events)
+			if err != nil {
+				return nil, err
+			}
+			if maxA > meta.MaxAddr {
+				meta.MaxAddr = maxA
+			}
+			if proc > meta.MaxProc {
+				meta.MaxProc = proc
+			}
+			meta.Refs += uint64(count)
+			procRefs[proc] += uint64(count)
+			if k := len(spans) - 1; k >= 0 && spans[k].proc == proc && spans[k].epoch == epoch {
+				spans[k].n += count
+			} else {
+				spans = append(spans, traceSpan{epoch: epoch, proc: proc, n: count})
+			}
+			blocks = append(blocks, v2Block{proc: proc, epoch: epoch, events: count, size: c.n - start})
+		case v2TagMarker:
+			epoch, err := readUvarint(c, "marker epoch")
+			if err != nil {
+				return nil, err
+			}
+			if epoch < prevEpoch {
+				return nil, fmt.Errorf("memsys: corrupt trace: marker epoch %d after epoch %d (must be nondecreasing)", epoch, prevEpoch)
+			}
+			prevEpoch = epoch
+			events = append(events, resetMarker)
+			meta.Markers++
+			spans = append(spans, traceSpan{epoch: epoch, proc: spanMarker, n: 1})
+			blocks = append(blocks, v2Block{marker: true, epoch: epoch, events: 1, size: c.n - start})
+		default:
+			return nil, fmt.Errorf("memsys: corrupt trace: unknown block tag %d", tag)
+		}
+	}
+
+	f, err := parseV2Footer(c)
+	if err != nil {
+		return nil, err
+	}
+	footerLen := c.n - firstBlockOff
+	for _, b := range blocks {
+		footerLen -= b.size
+	}
+	footerLen-- // end tag
+	if f.firstBlockOff != firstBlockOff {
+		return nil, fmt.Errorf("memsys: corrupt trace: index footer says blocks start at %d, header ends at %d", f.firstBlockOff, firstBlockOff)
+	}
+	wantProcs := 0
+	if meta.Refs > 0 {
+		wantProcs = meta.MaxProc + 1
+	}
+	if f.nprocs != wantProcs || f.maxAddr != meta.MaxAddr || f.refs != meta.Refs || f.markers != meta.Markers {
+		return nil, fmt.Errorf("memsys: corrupt trace: index footer summary (procs=%d maxAddr=%#x refs=%d markers=%d) disagrees with blocks (procs=%d maxAddr=%#x refs=%d markers=%d)",
+			f.nprocs, uint64(f.maxAddr), f.refs, f.markers, wantProcs, uint64(meta.MaxAddr), meta.Refs, meta.Markers)
+	}
+	for p := 0; p < f.nprocs; p++ {
+		if f.procRefs[p] != procRefs[p] {
+			return nil, fmt.Errorf("memsys: corrupt trace: index footer counts %d references for processor %d, blocks hold %d", f.procRefs[p], p, procRefs[p])
+		}
+	}
+	if len(f.blocks) != len(blocks) {
+		return nil, fmt.Errorf("memsys: corrupt trace: index footer lists %d blocks, file holds %d", len(f.blocks), len(blocks))
+	}
+	for i, b := range blocks {
+		if f.blocks[i] != b {
+			return nil, fmt.Errorf("memsys: corrupt trace: index footer entry %d %+v disagrees with block %+v", i, f.blocks[i], b)
+		}
+	}
+	var trailer [12]byte
+	if _, err := io.ReadFull(c, trailer[:]); err != nil {
+		return nil, fmt.Errorf("memsys: trace truncated reading trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(trailer[0:8]); got != uint64(footerLen) {
+		return nil, fmt.Errorf("memsys: corrupt trace: trailer footer length %d, footer occupies %d bytes", got, footerLen)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[8:12]); got != traceIndexMagic {
+		return nil, fmt.Errorf("memsys: corrupt trace: bad index magic %#x (want %#x)", got, traceIndexMagic)
+	}
+
+	if meta.Refs > 0 {
+		meta.ProcRefs = append([]uint64(nil), procRefs[:meta.MaxProc+1]...)
+	}
+	meta.MinProcs = minProcs(meta.MaxProc, homes)
+	tr := &Trace{homeLineSize: int(lineSize), homes: homes, events: events, spans: spans}
+	tr.metaOnce.Do(func() { tr.meta = meta })
+	return tr, nil
+}

@@ -13,7 +13,7 @@ import (
 // program's reference stream): old cache entries then simply stop
 // matching and experiments are recomputed — there is no explicit cache
 // invalidation step.
-const SuiteVersion = "splash2-suite-v4" // v4: batched reference capture changes FullMem interleavings and recorded trace order
+const SuiteVersion = "splash2-suite-v5" // v5: columnar v2 trace container, spilled record jobs, streaming replay
 
 // Key is the content address of one experiment: the SHA-256 of the suite
 // version, the experiment kind, and the canonical JSON encoding of every

@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"sync"
 	"testing"
+	"time"
 
 	"splash2/internal/core"
+	"splash2/internal/fault"
 )
 
 // TestLoadCoalescedSweeps is the daemon's load drill: hundreds of
@@ -43,7 +45,17 @@ func TestLoadCoalescedSweeps(t *testing.T) {
 		t.Fatalf("bad test geometry: %d clients over %d shapes", clients, len(shapes))
 	}
 
-	s, ts := newTestServer(t, core.EngineOptions{Workers: 4}, Options{
+	// The drill asserts overlap (flights ≪ requests), so each shape's
+	// first flight must stay open until the slowest clients have sent
+	// their requests. The engine keeps getting faster while 240
+	// concurrent connects on a small host spread arrivals over hundreds
+	// of milliseconds, so without a floor a shape fragments into many
+	// short memo-served flights and the count says nothing about
+	// coalescing. A deterministic delay on first job execution (memoized
+	// reruns don't re-execute, so only the cold flights are held) pins
+	// the overlap window without changing any result bytes.
+	inj := fault.New(1, fault.Rule{Pattern: "job:*", Action: fault.Delay, Delay: 150 * time.Millisecond})
+	s, ts := newTestServer(t, core.EngineOptions{Workers: 4, Fault: inj}, Options{
 		MaxInflight: 2,
 		// Queue generously: this drill measures coalescing, not load
 		// shedding, so no request should see 429.

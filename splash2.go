@@ -127,6 +127,14 @@ type (
 	// Trace is a recorded reference stream replayable through any cache
 	// configuration (see RecordTrace / ReplayTrace).
 	Trace = memsys.Trace
+	// TraceSource is a replayable reference stream: an in-memory *Trace
+	// or an out-of-core *TraceFile streaming a v2 container from disk.
+	TraceSource = memsys.TraceSource
+	// TraceMeta is the one-pass stream summary of a TraceSource.
+	TraceMeta = memsys.TraceMeta
+	// TraceFile is an out-of-core v2 trace opened for block streaming
+	// and (proc, epoch) random access (see OpenTraceFile).
+	TraceFile = memsys.TraceFile
 	// MemConfig configures a memory system for trace replay.
 	MemConfig = memsys.Config
 	// StackProfile is a one-pass LRU stack-distance profile of a trace:
@@ -226,8 +234,9 @@ type (
 	// (ReportOptions.Fault). Chaos tests and the -fault CLI flags use it.
 	FaultInjector = fault.Injector
 	// FaultRule describes one injection: a wildcard pattern over
-	// operation names ("job:<label>", "cache.get:<key>", "trace.read"),
-	// an action (error, panic, delay, short read) and an occurrence.
+	// operation names ("job:<label>", "cache.get:<key>", "trace.read",
+	// "trace.read.footer", "trace.read.block:<i>"), an action (error,
+	// panic, delay, short read) and an occurrence.
 	FaultRule = fault.Rule
 	// FailureRecord is one lost experiment in a failure manifest.
 	FailureRecord = core.FailureRecord
@@ -273,29 +282,37 @@ func RecordTrace(app string, procs int, opts map[string]int) (*Trace, Stats, err
 	return core.RecordApp(app, procs, opts)
 }
 
-// ReplayTrace feeds a recorded trace through a fresh memory system.
-func ReplayTrace(t *Trace, cfg MemConfig) (MemStats, error) { return memsys.Replay(t, cfg) }
+// ReplayTrace feeds a recorded reference stream through a fresh memory
+// system.
+func ReplayTrace(src TraceSource, cfg MemConfig) (MemStats, error) { return memsys.Replay(src, cfg) }
 
-// ReplayTraceMulti feeds one recorded trace through a fresh memory
-// system per configuration in a single fused pass over the events: the
-// stream is decoded once for the whole sweep. The results are, position
-// by position, exactly what per-configuration ReplayTrace calls return.
-func ReplayTraceMulti(t *Trace, cfgs []MemConfig) ([]MemStats, error) {
-	return memsys.ReplayMulti(t, cfgs)
+// ReplayTraceMulti feeds one recorded reference stream through a fresh
+// memory system per configuration in a single fused pass: the stream is
+// decoded once for the whole sweep, block by block with O(block buffer)
+// peak memory. The results are, position by position, exactly what
+// per-configuration ReplayTrace calls return.
+func ReplayTraceMulti(src TraceSource, cfgs []MemConfig) ([]MemStats, error) {
+	return memsys.ReplayMulti(src, cfgs)
 }
 
 // StackDistances computes a one-pass Mattson stack-distance profile of a
-// recorded trace at the given line size: one traversal yields the exact
-// miss counts of every fully-associative LRU cache size up to
+// recorded reference stream at the given line size: one traversal yields
+// the exact miss counts of every fully-associative LRU cache size up to
 // maxCacheSize, coherence invalidations included.
-func StackDistances(t *Trace, lineSize, maxCacheSize int) (*StackProfile, error) {
-	return memsys.StackDistances(t, lineSize, maxCacheSize)
+func StackDistances(src TraceSource, lineSize, maxCacheSize int) (*StackProfile, error) {
+	return memsys.StackDistances(src, lineSize, maxCacheSize)
 }
+
+// OpenTraceFile opens an on-disk v2 trace for out-of-core streaming:
+// the index footer is parsed at open, event blocks stream from disk
+// during replay. Convert a v1 trace with `trace convert`.
+func OpenTraceFile(path string) (*TraceFile, error) { return memsys.OpenTraceFile(path, nil) }
 
 // ReplaySweep replays one recorded trace through each configuration,
 // scheduling the replays across workers goroutines (≤ 0 selects
-// GOMAXPROCS). Replay is read-only on the trace, and results are
-// identical to serial ReplayTrace calls.
-func ReplaySweep(t *Trace, cfgs []MemConfig, workers int) ([]MemStats, error) {
-	return core.ReplaySweep(t, cfgs, workers)
+// GOMAXPROCS). Replay is read-only on the trace — an out-of-core
+// TraceFile streams its blocks independently per worker — and results
+// are identical to serial ReplayTrace calls.
+func ReplaySweep(src TraceSource, cfgs []MemConfig, workers int) ([]MemStats, error) {
+	return core.ReplaySweep(src, cfgs, workers)
 }
