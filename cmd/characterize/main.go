@@ -25,6 +25,19 @@
 //	characterize -failures fail.json  # write the JSON failure manifest
 //	characterize -fault 'error@2=job:run fft*' -fault-seed 7   # chaos drill
 //
+// Crash safety and multi-process sharing:
+//
+//	characterize -resume              # reclaim a crashed run, then re-run (cache hits are the resume)
+//	characterize -deadline 10m        # whole-run deadline; doomed work cancelled promptly
+//	characterize -lease-ttl 10s      # cross-process work-lease expiry (0 disables leases)
+//	characterize -no-journal          # skip the durable run journal
+//
+// Runs that share a cache directory hold per-experiment work leases, so
+// two concurrent processes execute each expensive job once and the loser
+// adopts the winner's stored result. Every run appends a journal under
+// <cache-dir>/journal; after a kill -9, -resume reports what the dead
+// run finished and sweeps its stale leases and temp files.
+//
 // Under -keep-going the run completes past failures: lost rows render as
 // FAILED(label: cause) placeholders, the failure manifest summarizes the
 // damage, and the process exits with status 2 instead of 0.
@@ -90,6 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 
+		resume       = fs.Bool("resume", false, "reclaim crashed runs in the cache dir (report dead journals, sweep stale leases/temps) before running")
+		deadline     = fs.Duration("deadline", 0, "whole-run deadline; doomed work is cancelled promptly (0 = none)")
+		leaseTTL     = fs.Duration("lease-ttl", splash2.DefaultLeaseTTL, "cross-process work-lease expiry; concurrent runs sharing the cache dir coalesce jobs (0 disables)")
+		noJournal    = fs.Bool("no-journal", false, "disable the durable run journal under <cache-dir>/journal")
 		keepGoing    = fs.Bool("keep-going", false, "complete past failed experiments (exit 2, FAILED placeholders)")
 		timeout      = fs.Duration("timeout", 0, "per-experiment attempt timeout (0 = none)")
 		retries      = fs.Int("retries", 0, "extra attempts for transiently failing experiments")
@@ -105,7 +122,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o := splash2.ReportOptions{
 		Procs: *procs, AllAssocs: *allAssocs, Plot: *plot, Workers: *workers,
 		KeepGoing: *keepGoing, Timeout: *timeout, Retries: *retries, RetryBackoff: *retryBackoff,
-		SpillTraces: *spill,
+		SpillTraces: *spill, Deadline: *deadline, NoJournal: *noJournal,
+	}
+	if *leaseTTL <= 0 {
+		o.LeaseTTL = -1 // user asked for no leases
+	} else {
+		o.LeaseTTL = *leaseTTL
 	}
 	if *appsFlag != "" {
 		o.Apps = strings.Split(*appsFlag, ",")
@@ -138,6 +160,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			o.CacheDir = dir
 		}
+	}
+	if *resume {
+		if o.CacheDir == "" {
+			fmt.Fprintln(stderr, "characterize: -resume requires a cache directory")
+			return exitUsage
+		}
+		rep, err := splash2.Resume(o.CacheDir, *leaseTTL)
+		if err != nil {
+			fmt.Fprintln(stderr, "characterize:", err)
+			return exitRuntime
+		}
+		rep.Render(stderr)
 	}
 	if *progress {
 		o.Progress = stderr

@@ -13,6 +13,8 @@
 //	splashd -max-inflight 4 -max-queue 16 -per-client 8
 //	splashd -timeout 5m -retries 2   # per-experiment fault policy
 //	splashd -drain-timeout 30s       # graceful SIGTERM budget
+//	splashd -lease-ttl 10s           # cross-process work-lease expiry (0 disables)
+//	splashd -no-journal              # skip the durable run journal
 //	splashd -progress                # per-experiment progress on stderr
 //	splashd -fault 'error@2=job:run fft*' -fault-seed 7   # chaos drill
 //
@@ -28,6 +30,18 @@
 // Identical concurrent requests coalesce onto one execution; saturation
 // sheds load with 429 + Retry-After. SIGINT/SIGTERM stops accepting
 // work, drains live flights up to -drain-timeout, then exits.
+//
+// Clients may bound a request with a deadline — the timeoutMs body
+// field, the deadline query parameter ("30s", "2m"), or the
+// X-Splashd-Deadline header. Doomed work is cancelled rather than left
+// to wedge an execution slot, and the client gets 504 with a JSON error
+// carrying the CLI exit-taxonomy code. Deadlines are excluded from the
+// request's content address, so impatient and patient clients coalesce.
+//
+// Daemons sharing a cache directory (or sharing one with characterize
+// runs) hold cross-process work leases, executing each expensive
+// experiment once fleet-wide; every run appends a durable journal under
+// <cache-dir>/journal for `characterize -resume` crash forensics.
 //
 // Exit status: 0 — clean shutdown; 1 — usage error; 3 — runtime error.
 package main
@@ -72,6 +86,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxQueue    = fs.Int("max-queue", 16, "experiments queued behind the executing ones")
 		perClient   = fs.Int("per-client", 8, "concurrent requests per client")
 
+		leaseTTL  = fs.Duration("lease-ttl", splash2.DefaultLeaseTTL, "cross-process work-lease expiry; concurrent processes sharing the cache dir coalesce jobs (0 disables)")
+		noJournal = fs.Bool("no-journal", false, "disable the durable run journal under <cache-dir>/journal")
+
 		timeout      = fs.Duration("timeout", 0, "per-experiment attempt timeout (0 = none)")
 		retries      = fs.Int("retries", 0, "extra attempts for transiently failing experiments")
 		retryBackoff = fs.Duration("retry-backoff", 0, "first-retry delay, doubling per retry (0 = default)")
@@ -92,6 +109,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers: *workers,
 		Context: ctx,
 		Timeout: *timeout, Retries: *retries, RetryBackoff: *retryBackoff,
+		NoJournal: *noJournal,
+	}
+	if *leaseTTL <= 0 {
+		eo.LeaseTTL = -1 // user asked for no leases
+	} else {
+		eo.LeaseTTL = *leaseTTL
 	}
 	var err error
 	if eo.ExecMode, err = cli.ParseExecMode(*modeName); err != nil {
@@ -131,6 +154,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "splashd:", err)
 		return cli.ExitRuntime
 	}
+	// Close writes the journal's run.end marker; without it the next
+	// resume would report this daemon as a crashed run.
+	defer engine.Close()
 	srv := serve.New(ctx, engine, serve.Options{
 		MaxInflight: *maxInflight,
 		MaxQueue:    *maxQueue,

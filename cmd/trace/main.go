@@ -13,6 +13,8 @@
 //	trace replay -i fft.sp2t -sweep -stream  # out-of-core: blocks stream from disk
 //	trace info -i fft.sp2t                   # counts, bytes/reference, block shape
 //	trace convert -i fft.trace -o fft.sp2t   # v1 → v2 (and -to v1 for the reverse)
+//	trace verify -i fft.sp2t                 # decode every block, check the sidecar hash
+//	trace verify -dir ~/.cache/splash2/traces  # audit a whole spill directory
 //
 // Traces come in two formats: the flat v1 stream (one packed word per
 // event) and the columnar v2 container (delta-compressed per-processor
@@ -64,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return info(args[1:], stdout, stderr)
 	case "convert":
 		return convert(args[1:], stdout, stderr)
+	case "verify":
+		return verify(args[1:], stdout, stderr)
 	default:
 		usage(stderr)
 		return cli.ExitUsage
@@ -71,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(stderr io.Writer) {
-	fmt.Fprintln(stderr, "usage: trace record|replay|info|convert [flags]")
+	fmt.Fprintln(stderr, "usage: trace record|replay|info|convert|verify [flags]")
 }
 
 func fail(stderr io.Writer, err error) int {

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"splash2/internal/cli"
+	"splash2/internal/memsys"
+)
+
+// writeSidecar writes the engine-format sidecar for a container with the
+// given hash (the container's real hash unless the test lies on purpose).
+func writeSidecar(t *testing.T, container, sum string) {
+	t.Helper()
+	data, err := json.Marshal(sidecarSum{TraceSum: sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(container+".json", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hashFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestVerifyUsage(t *testing.T) {
+	for _, args := range [][]string{
+		{"verify"},                         // one of -i/-dir required
+		{"verify", "-i", "x", "-dir", "y"}, // not both
+		{"verify", "-badflag"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != cli.ExitUsage {
+			t.Errorf("run(%q) = %d, want %d", args, code, cli.ExitUsage)
+		}
+	}
+}
+
+// TestVerifyCleanContainers: freshly recorded containers of both formats
+// verify clean, with the v2 path reporting its block decode.
+func TestVerifyCleanContainers(t *testing.T) {
+	dir := t.TempDir()
+	v1 := recordTo(t, dir, "v1")
+	v2 := recordTo(t, dir, "v2")
+
+	code, out, stderr := runCLI(t, "verify", "-i", v1)
+	if code != cli.ExitOK {
+		t.Fatalf("verify v1 exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(out, "v1 full decode") || !strings.Contains(out, "no sidecar") {
+		t.Errorf("v1 verify output lacks its proofs: %s", out)
+	}
+
+	code, out, stderr = runCLI(t, "verify", "-i", v2)
+	if code != cli.ExitOK {
+		t.Fatalf("verify v2 exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(out, "blocks") {
+		t.Errorf("v2 verify output lacks the block count: %s", out)
+	}
+}
+
+// TestVerifySidecar: a matching sidecar is part of the proof; a lying
+// one fails the container.
+func TestVerifySidecar(t *testing.T) {
+	dir := t.TempDir()
+	v2 := recordTo(t, dir, "v2")
+	writeSidecar(t, v2, hashFile(t, v2))
+
+	code, out, stderr := runCLI(t, "verify", "-i", v2)
+	if code != cli.ExitOK {
+		t.Fatalf("verify with good sidecar exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(out, "sidecar sha256") {
+		t.Errorf("verify output lacks the sidecar proof: %s", out)
+	}
+
+	writeSidecar(t, v2, strings.Repeat("00", 32))
+	code, _, stderr = runCLI(t, "verify", "-i", v2)
+	if code != cli.ExitRuntime {
+		t.Fatalf("verify with lying sidecar exited %d, want %d", code, cli.ExitRuntime)
+	}
+	if !strings.Contains(stderr, "mismatch") {
+		t.Errorf("stderr does not name the hash mismatch: %s", stderr)
+	}
+}
+
+// TestVerifyCorruptBlock: flipping a block's tag byte is caught by the
+// per-block cross-check against the index footer.
+func TestVerifyCorruptBlock(t *testing.T) {
+	dir := t.TempDir()
+	v2 := recordTo(t, dir, "v2")
+
+	tf, err := memsys.OpenTraceFile(v2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := tf.Index()[0].Offset
+	tf.Close()
+	f, err := os.OpenFile(v2, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, offset); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	code, _, stderr := runCLI(t, "verify", "-i", v2)
+	if code != cli.ExitRuntime {
+		t.Fatalf("verify of corrupt container exited %d, want %d (stderr: %s)", code, cli.ExitRuntime, stderr)
+	}
+}
+
+// TestVerifyDir audits a spill directory: one good pair and one damaged
+// container → exit 3 naming only the damaged one; an empty directory is
+// a clean no-op.
+func TestVerifyDir(t *testing.T) {
+	empty := t.TempDir()
+	if code, _, stderr := runCLI(t, "verify", "-dir", empty); code != cli.ExitOK {
+		t.Fatalf("verify of empty dir exited %d: %s", code, stderr)
+	}
+
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.sp2t")
+	bad := filepath.Join(dir, "bad.sp2t")
+	src := recordTo(t, t.TempDir(), "v2")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeSidecar(t, good, hashFile(t, good))
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeSidecar(t, bad, strings.Repeat("11", 32))
+
+	code, out, stderr := runCLI(t, "verify", "-dir", dir)
+	if code != cli.ExitRuntime {
+		t.Fatalf("verify of damaged dir exited %d, want %d", code, cli.ExitRuntime)
+	}
+	if !strings.Contains(out, "good.sp2t ok") {
+		t.Errorf("good container not reported ok: %s", out)
+	}
+	if !strings.Contains(stderr, "bad.sp2t") || !strings.Contains(stderr, "1 of 2") {
+		t.Errorf("damage report wrong: %s", stderr)
+	}
+}

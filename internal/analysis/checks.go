@@ -46,7 +46,7 @@ func ChecksWith(cfg Config) []*Check {
 		{Name: "accounting", Doc: "Peek/Init/Raw on mach arrays bypass the reference stream; allowed only in init/verify code", Run: runAccounting},
 		{Name: "procflow", Doc: "*mach.Proc must not be stored in globals/structs or captured across goroutine spawns", Run: runProcflow},
 		{Name: "determinism", Doc: "no wall-clock reads, global math/rand, or map-order iteration in result-producing packages", Run: cfg.runDeterminism},
-		{Name: "faultpoints", Doc: "fault injection labels must be literals from the job:/cache.get:/cache.put:/trace.read[.footer|.block:] taxonomy", Run: runFaultpoints},
+		{Name: "faultpoints", Doc: "fault injection labels must be literals from the job:/cache.get:/cache.put:/trace.read[.footer|.block:]/lease.acquire:/journal.append taxonomy", Run: runFaultpoints},
 		{Name: "tracecapture", Doc: "per-reference memsys entry points (Recorder.Record*, System.Access*) are reserved for internal/mach's batched capture path", Run: runTracecapture},
 	}
 }
@@ -383,6 +383,7 @@ var faultLabelArg = map[string]int{"Do": 1, "Data": 0, "Reader": 0}
 var faultTaxonomy = []string{
 	"job:", "cache.get:", "cache.put:",
 	"trace.read", "trace.read.footer", "trace.read.block:",
+	"lease.acquire:", "journal.append",
 }
 
 // validFaultLabel reports whether a label (or its known literal prefix)

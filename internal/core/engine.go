@@ -30,6 +30,8 @@ import (
 type Engine struct {
 	r         *runner.Runner
 	ctx       context.Context
+	cancel    context.CancelFunc // releases the engine deadline (root only)
+	journal   *runner.Journal    // durable run journal (root only)
 	keepGoing bool
 	mode      ExecMode
 	spillDir  string // non-empty: record jobs spill v2 traces here
@@ -176,12 +178,30 @@ type EngineOptions struct {
 	// CacheDir/traces (a temporary directory when the cache is off) and
 	// reused across processes after an integrity check.
 	SpillTraces bool
+
+	// LeaseTTL configures cross-process work leases on the cache (on by
+	// default whenever CacheDir is set): 0 selects the default TTL,
+	// negative disables leases. Leases coalesce expensive jobs across
+	// processes sharing one cache directory; a crashed holder's lease
+	// expires after the TTL and is taken over, never deadlocked on.
+	LeaseTTL time.Duration
+	// NoJournal disables the durable run journal. With a cache directory
+	// set, each engine run otherwise appends its job lifecycle to
+	// CacheDir/journal/<runID>.jsonl — the crash-forensics record that
+	// `characterize -resume` reads back.
+	NoJournal bool
+	// Deadline bounds the whole engine run: jobs past it are cancelled
+	// promptly (distinct from Timeout, which bounds one attempt).
+	// 0 disables.
+	Deadline time.Duration
 }
 
-// NewEngine creates an engine. It fails only when the cache directory
-// cannot be opened.
+// NewEngine creates an engine. It fails only when the cache or journal
+// directory cannot be opened. Callers owning the engine's lifecycle
+// should Close it when done so the run journal records a clean end.
 func NewEngine(o EngineOptions) (*Engine, error) {
 	var cache *runner.Cache
+	var journal *runner.Journal
 	if o.CacheDir != "" {
 		c, err := runner.OpenCache(o.CacheDir)
 		if err != nil {
@@ -189,10 +209,25 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 		}
 		cache = c
 		cache.SetFault(o.Fault)
+		if o.LeaseTTL >= 0 {
+			cache.EnableLeases(o.LeaseTTL)
+		}
+		if !o.NoJournal {
+			j, err := runner.OpenJournal(runner.JournalDir(o.CacheDir))
+			if err != nil {
+				return nil, err
+			}
+			j.SetFault(o.Fault)
+			journal = j
+		}
 	}
 	ctx := o.Context
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if o.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.Deadline)
 	}
 	var spillDir string
 	if o.SpillTraces {
@@ -201,12 +236,18 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 			spillDir = filepath.Join(o.CacheDir, "traces")
 		}
 		if err := os.MkdirAll(spillDir, 0o777); err != nil {
+			if cancel != nil {
+				cancel()
+			}
 			return nil, fmt.Errorf("core: opening trace spill directory: %w", err)
 		}
+		sweepSpillOrphans(spillDir, spillOrphanAge)
 	}
 	return &Engine{
 		spillDir: spillDir,
 		fault:    o.Fault,
+		journal:  journal,
+		cancel:   cancel,
 		r: runner.New(runner.Options{
 			Workers:      o.Workers,
 			Cache:        cache,
@@ -216,12 +257,35 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 			Retries:      o.Retries,
 			RetryBackoff: o.RetryBackoff,
 			Fault:        o.Fault,
+			Journal:      journal,
 		}),
 		ctx:       ctx,
 		keepGoing: o.KeepGoing,
 		mode:      o.ExecMode,
 	}, nil
 }
+
+// Close ends the engine run cleanly: the run journal gets its run.end
+// event (a journal without one is, by definition, a crashed run) and the
+// engine deadline's resources are released. Safe on a Scoped view and
+// safe to call more than once; experiments already in flight are not
+// interrupted by Close itself.
+func (e *Engine) Close() error {
+	var err error
+	if e.journal != nil {
+		err = e.journal.Close(e.r.Counts())
+		e.journal = nil
+	}
+	if e.cancel != nil {
+		e.cancel()
+	}
+	return err
+}
+
+// Journal returns the engine's durable run journal, or nil when
+// journaling is disabled (no cache directory, NoJournal, or a Scoped
+// view — scopes share the root engine's journal through the runner).
+func (e *Engine) Journal() *runner.Journal { return e.journal }
 
 // Counts returns the engine's cumulative scheduling counters (jobs
 // executed, cache hits, memo hits, retries, failures, skips).

@@ -38,6 +38,7 @@ func CollectResults(o ReportOptions) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer e.Close()
 	return e.CollectResults(o)
 }
 

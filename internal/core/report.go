@@ -56,6 +56,16 @@ type ReportOptions struct {
 	// containers and replays them out of core (cmd/characterize's
 	// -spill-traces flag); see EngineOptions.SpillTraces.
 	SpillTraces bool
+
+	// LeaseTTL configures cross-process work leases (see
+	// EngineOptions.LeaseTTL): 0 default, negative disables.
+	LeaseTTL time.Duration
+	// NoJournal disables the durable run journal (see
+	// EngineOptions.NoJournal).
+	NoJournal bool
+	// Deadline bounds the whole run; 0 disables (see
+	// EngineOptions.Deadline).
+	Deadline time.Duration
 }
 
 // engineOptions extracts the scheduler configuration.
@@ -71,6 +81,9 @@ func (o ReportOptions) engineOptions() EngineOptions {
 		Fault:        o.Fault,
 		ExecMode:     o.ExecMode,
 		SpillTraces:  o.SpillTraces,
+		LeaseTTL:     o.LeaseTTL,
+		NoJournal:    o.NoJournal,
+		Deadline:     o.Deadline,
 	}
 }
 
@@ -104,6 +117,7 @@ func Report(w io.Writer, o ReportOptions) error {
 	if err != nil {
 		return err
 	}
+	defer e.Close()
 	return e.Report(w, o)
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"splash2/internal/apps"
 	"splash2/internal/runner"
@@ -53,6 +54,14 @@ type Request struct {
 	// KeepGoing completes the experiment past failures: lost rows carry
 	// FAILED placeholders and the response includes a failure manifest.
 	KeepGoing bool `json:"keepGoing,omitempty"`
+	// TimeoutMillis is the request deadline in milliseconds: the request
+	// fails with context.DeadlineExceeded (splashd: 504) when its
+	// experiments cannot finish in time, instead of running doomed work
+	// to completion. 0 means no deadline. The deadline is excluded from
+	// the request's Key/ETag — how long a client will wait does not
+	// change what the answer is, so impatient and patient requests for
+	// the same experiment still coalesce.
+	TimeoutMillis int64 `json:"timeoutMs,omitempty"`
 }
 
 // Kinds lists the accepted Request.Kind values in presentation order.
@@ -245,8 +254,16 @@ func (r Request) Canonical() (Request, error) {
 			return r, fmt.Errorf("core: line size %d not a power of two in [8, %d]", ls, maxReqLineBytes)
 		}
 	}
+	if r.TimeoutMillis < 0 {
+		return r, fmt.Errorf("core: negative timeoutMs %d", r.TimeoutMillis)
+	}
 	r.Opts = canonOpts(r.Opts)
 	return r, nil
+}
+
+// Deadline returns the request deadline as a duration (0 = none).
+func (r Request) Deadline() time.Duration {
+	return time.Duration(r.TimeoutMillis) * time.Millisecond
 }
 
 // Key is the request's content address: the suite-versioned hash of its
@@ -259,6 +276,9 @@ func (r Request) Key() runner.Key {
 	if err != nil {
 		panic(fmt.Sprintf("core: Key of invalid request: %v", err))
 	}
+	// The deadline is patience, not identity: requests differing only in
+	// TimeoutMillis ask for the same experiment and must coalesce.
+	cr.TimeoutMillis = 0
 	return runner.KeyOf("request", cr)
 }
 
@@ -297,6 +317,17 @@ func (e *Engine) Do(ctx context.Context, req Request, onProgress runner.Progress
 	cr, err := req.Canonical()
 	if err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := cr.Deadline(); d > 0 {
+		// Min semantics: never extend a deadline the caller already set.
+		if cur, ok := ctx.Deadline(); !ok || time.Until(cur) > d { //splash:allow determinism deadline plumbing; cancellation timing, never in results
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
 	}
 	scale, _ := ParseScale(cr.Scale)
 	mode, _ := ParseExecMode(cr.Mode)

@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"splash2/internal/mach"
 	"splash2/internal/memsys"
@@ -32,6 +34,57 @@ import (
 // recording run's counters plus the container's SHA-256, and a reader
 // that finds a mismatched hash (concurrent writer, torn update,
 // corruption) re-records instead of replaying the wrong bytes.
+
+// spillOrphanAge guards the open-time orphan sweep: writeSpilled renames
+// the container before the sidecar, so a live concurrent writer presents
+// an unpaired container for a moment. Only pairs broken for longer than
+// this are crash debris. An explicit resume sweeps with age 0 — the dead
+// process is known dead.
+const spillOrphanAge = time.Hour
+
+// sweepSpillOrphans removes the halves of broken container/sidecar pairs
+// older than age from a spill directory: a container without a sidecar
+// can never be verified and will never be read; a sidecar without its
+// container describes nothing. loadSpilled already treats both as
+// misses, so the sweep reclaims disk, not correctness. Returns the
+// removed paths; best-effort on I/O errors.
+func sweepSpillOrphans(dir string, age time.Duration) (removed []string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	present := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			present[e.Name()] = true
+		}
+	}
+	now := time.Now() //splash:allow determinism sweep age check; file janitor, never reaches results
+	oldEnough := func(name string) bool {
+		info, err := os.Stat(filepath.Join(dir, name))
+		return err == nil && now.Sub(info.ModTime()) > age
+	}
+	for _, e := range entries { // ReadDir order: sorted, deterministic
+		name := e.Name()
+		var partner string
+		switch {
+		case strings.HasSuffix(name, ".sp2t.json"):
+			partner = strings.TrimSuffix(name, ".json")
+		case strings.HasSuffix(name, ".sp2t"):
+			partner = name + ".json"
+		default:
+			continue // temp files and strangers are sweepTmp's business
+		}
+		if present[partner] || !oldEnough(name) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if os.Remove(path) == nil {
+			removed = append(removed, path)
+		}
+	}
+	return removed
+}
 
 // spillSidecar is the JSON sidecar of one spilled trace container.
 type spillSidecar struct {

@@ -1,0 +1,23 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+)
+
+// crashProcess is how a firing Crash rule kills the process. It is a
+// variable so unit tests can observe the crash without dying; everything
+// else gets the real thing: SIGKILL-equivalent termination with no
+// deferred functions, no flushes, no atexit — the closest a process can
+// come to being kill -9'd by an operator.
+var crashProcess = func(op string) {
+	// A note on stderr is best-effort and unbuffered; the chaos harness
+	// uses it to confirm the death was the injected one.
+	fmt.Fprintf(os.Stderr, "fault: injected crash at %s\n", op)
+	if p, err := os.FindProcess(os.Getpid()); err == nil {
+		p.Kill() // SIGKILL on unix: no handlers, no cleanup
+	}
+	// Kill is asynchronous (and a no-op on some platforms for self);
+	// make death certain. 137 = 128+SIGKILL, matching the signal path.
+	os.Exit(137)
+}

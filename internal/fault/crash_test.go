@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCrashRuleFires swaps the process killer for a recorder and checks
+// that a Crash rule fires exactly at its selected occurrence — the
+// kill -9 chaos harness depends on that precision to place crashes.
+func TestCrashRuleFires(t *testing.T) {
+	saved := crashProcess
+	defer func() { crashProcess = saved }()
+	var crashedAt []string
+	crashProcess = func(op string) { crashedAt = append(crashedAt, op) }
+
+	inj := New(1, Rule{Pattern: "cache.put:*", Action: Crash, Nth: 2})
+	ctx := context.Background()
+	inj.Do(ctx, "cache.put:aa")
+	inj.Do(ctx, "cache.get:aa") // non-matching op
+	inj.Do(ctx, "cache.put:bb") // second match: the crash
+	inj.Do(ctx, "cache.put:cc")
+
+	if len(crashedAt) != 1 || crashedAt[0] != "cache.put:bb" {
+		t.Fatalf("crashed at %v, want exactly [cache.put:bb]", crashedAt)
+	}
+	fired := inj.Fired()
+	if len(fired) != 1 || fired[0].Action != Crash {
+		t.Fatalf("fired log = %+v, want one Crash firing", fired)
+	}
+}
+
+// TestCrashSpecParses: the chaos harness builds crash rules from the
+// -fault flag syntax; they must round-trip through Parse.
+func TestCrashSpecParses(t *testing.T) {
+	rules, err := Parse("crash@1=lease.acquire:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Action != Crash || rules[0].Nth != 1 ||
+		rules[0].Pattern != "lease.acquire:*" {
+		t.Fatalf("parsed rules = %+v", rules)
+	}
+	if rules[0].Action.String() != "crash" {
+		t.Fatalf("Action.String() = %q, want crash", rules[0].Action.String())
+	}
+}

@@ -5,8 +5,9 @@
 // numeric results of the experiments that survive.
 //
 // An Injector holds an ordered list of Rules. Code under test calls it at
-// named injection points ("job:<label>", "cache.get:<key>", "trace.read",
-// "trace.read.footer", "trace.read.block:<i>"):
+// named injection points ("job:<label>", "cache.get:<key>",
+// "cache.put:<key>", "trace.read", "trace.read.footer",
+// "trace.read.block:<i>", "lease.acquire:<key>", "journal.append"):
 // Do evaluates the error/panic/delay rules for an operation, Data and
 // Reader apply short-read truncation to bytes and streams. Every firing
 // is logged, so tests can assert that a run's failure manifest lists
@@ -42,6 +43,12 @@ const (
 	Delay
 	// ShortRead truncates the operation's data to Rule.Keep bytes.
 	ShortRead
+	// Crash hard-kills the process at the operation — the injected
+	// equivalent of kill -9: no deferred functions, no cleanup, no
+	// flushes. The kill-9 chaos suite re-execs a real binary with a
+	// crash rule and asserts that a restart against the same cache
+	// directory recovers completely.
+	Crash
 )
 
 // String names the action (progress output, firing logs).
@@ -55,6 +62,8 @@ func (a Action) String() string {
 		return "delay"
 	case ShortRead:
 		return "shortread"
+	case Crash:
+		return "crash"
 	}
 	return fmt.Sprintf("action(%d)", int(a))
 }
@@ -222,10 +231,11 @@ func (i *Injector) evaluate(op string, pred func(Action) bool) []Rule {
 	return out
 }
 
-// Do evaluates the Error, Panic and Delay rules for op: firing Delay
-// rules stall (honouring ctx), a firing Panic rule panics, and a firing
-// Error rule returns an *InjectedError. Callers place Do where a real
-// fault could strike — the start of a job, a cache read, a file open.
+// Do evaluates the Error, Panic, Delay and Crash rules for op: firing
+// Delay rules stall (honouring ctx), a firing Crash rule hard-kills the
+// process, a firing Panic rule panics, and a firing Error rule returns
+// an *InjectedError. Callers place Do where a real fault could strike —
+// the start of a job, a cache read, a file open.
 func (i *Injector) Do(ctx context.Context, op string) error {
 	if i == nil {
 		return nil
@@ -233,6 +243,7 @@ func (i *Injector) Do(ctx context.Context, op string) error {
 	fired := i.evaluate(op, func(a Action) bool { return a != ShortRead })
 	var delay time.Duration
 	doPanic := false
+	doCrash := false
 	var errRule *Rule
 	for idx := range fired {
 		switch ru := fired[idx]; ru.Action {
@@ -242,11 +253,16 @@ func (i *Injector) Do(ctx context.Context, op string) error {
 			}
 		case Panic:
 			doPanic = true
+		case Crash:
+			doCrash = true
 		case Error:
 			if errRule == nil {
 				errRule = &fired[idx]
 			}
 		}
+	}
+	if doCrash {
+		crashProcess(op)
 	}
 	if delay > 0 {
 		if ctx == nil {
@@ -310,7 +326,8 @@ func (i *Injector) Reader(op string, r io.Reader) io.Reader {
 //	rule  = action ["(" arg ")"] ["@" nth] "=" pattern
 //
 // Actions: "error", "terror" (transient error), "panic", "delay" (arg:
-// duration) and "shortread" (arg: bytes to keep). nth follows Rule.Nth.
+// duration), "shortread" (arg: bytes to keep) and "crash" (hard process
+// kill — see Crash). nth follows Rule.Nth.
 // Example: "error=job:run fft*;delay(50ms)@2=job:wsweep*".
 func Parse(spec string) ([]Rule, error) {
 	var rules []Rule
@@ -363,6 +380,8 @@ func Parse(spec string) ([]Rule, error) {
 			}
 			ru.Action = ShortRead
 			ru.Keep = n
+		case "crash":
+			ru.Action = Crash
 		default:
 			return nil, fmt.Errorf("fault: rule %q: unknown action %q", part, action)
 		}

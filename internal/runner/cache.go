@@ -47,11 +47,12 @@ import (
 // Cached values decoded by Get are handed to multiple graphs by the
 // runner's memo; consumers must treat them as immutable.
 //
-// SetFault is the one exception: it must be called before the cache is
-// shared (it is test/CLI setup, not a runtime control).
+// SetFault and EnableLeases are the exceptions: they must be called
+// before the cache is shared (test/CLI setup, not runtime controls).
 type Cache struct {
 	dir string
 	inj *fault.Injector
+	ls  *leases
 }
 
 // DefaultDir returns the default cache location, <user cache dir>/splash2
@@ -86,27 +87,102 @@ func (c *Cache) Dir() string { return c.dir }
 
 // SetFault attaches a fault injector to the cache's I/O paths: reads
 // evaluate "cache.get:<key>" (errors and short reads), writes evaluate
-// "cache.put:<key>". nil detaches.
-func (c *Cache) SetFault(inj *fault.Injector) { c.inj = inj }
+// "cache.put:<key>", lease acquisitions evaluate "lease.acquire:<key>".
+// nil detaches.
+func (c *Cache) SetFault(inj *fault.Injector) {
+	c.inj = inj
+	if c.ls != nil {
+		c.ls.inj = inj
+	}
+}
+
+// EnableLeases turns on cross-process work leases (see lease.go) with
+// the given TTL; ttl <= 0 selects DefaultLeaseTTL. Like SetFault it is
+// setup-time configuration.
+func (c *Cache) EnableLeases(ttl time.Duration) {
+	c.ls = newLeases(c.dir, ttl)
+	c.ls.inj = c.inj
+}
+
+// leaseManager returns the lease manager, or nil when leases are
+// disabled (or the cache itself is nil).
+func (c *Cache) leaseManager() *leases {
+	if c == nil {
+		return nil
+	}
+	return c.ls
+}
 
 // staleTmpAge is how old an orphaned temporary file must be before the
 // open-time sweep deletes it. The margin keeps the sweep from racing a
 // concurrent run's in-flight Put, whose tmp files live for milliseconds.
 const staleTmpAge = time.Hour
 
-// sweepStaleTmp deletes temporary files left behind by crashed runs.
+// sweepStaleTmp deletes temporary files left behind by crashed runs:
+// cache entry temps (".tmp-*"), spill container/sidecar temps
+// ("<key>.tmp*", "<key>.json.tmp*") and lease-reap leftovers
+// (".reap-*"). Real artifacts (.json entries, .sp2t containers and
+// their .sp2t.json sidecars, .lease files, journal .jsonl) never match.
 // Best-effort: sweep errors never fail OpenCache.
 func sweepStaleTmp(dir string) {
+	sweepTmp(dir, staleTmpAge)
+}
+
+// sweepTmp removes temp artifacts older than age under dir.
+func sweepTmp(dir string, age time.Duration) (removed []string) {
 	now := time.Now()
 	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() {
 			return nil
 		}
-		if strings.HasPrefix(info.Name(), ".tmp-") && now.Sub(info.ModTime()) > staleTmpAge {
-			os.Remove(path)
+		name := info.Name()
+		if !strings.Contains(name, ".tmp") && !strings.Contains(name, ".reap-") {
+			return nil
+		}
+		if now.Sub(info.ModTime()) > age {
+			if os.Remove(path) == nil {
+				removed = append(removed, path)
+			}
 		}
 		return nil
 	})
+	return removed
+}
+
+// SweepCrashed reclaims artifacts orphaned by dead runs, for an explicit
+// resume: every temp file regardless of age, and every lease that is
+// expired (mtime beyond ttl) or whose recorded owner is a dead process
+// on this host. Live remote owners are untouched — their heartbeat keeps
+// the mtime fresh. Returns the removed paths for the resume report.
+func (c *Cache) SweepCrashed(ttl time.Duration) []string {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	removed := sweepTmp(c.dir, 0)
+	host, _ := os.Hostname()
+	filepath.Walk(c.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(info.Name(), ".lease") {
+			return nil
+		}
+		stale := time.Since(info.ModTime()) > ttl
+		if !stale {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil
+			}
+			var rec leaseRecord
+			if json.Unmarshal(data, &rec) != nil {
+				stale = true // unparsable lease: nobody can release it
+			} else if rec.Host == host && rec.PID > 0 && !pidAlive(rec.PID) {
+				stale = true
+			}
+		}
+		if stale && os.Remove(path) == nil {
+			removed = append(removed, path)
+		}
+		return nil
+	})
+	return removed
 }
 
 // envelope is the on-disk entry format: the result value plus a SHA-256
@@ -124,10 +200,15 @@ func (c *Cache) path(k Key) string {
 // Get loads the entry for k and decodes it with decode. Any failure —
 // missing or unreadable file, unparsable envelope, checksum mismatch,
 // decode error, even a decode panic — is a miss; damaged entries are
-// removed so the recomputed result can be stored cleanly.
-func (c *Cache) Get(k Key, decode func([]byte) (any, error)) (v any, ok bool) {
+// removed so the recomputed result can be stored cleanly. ctx scopes
+// the fault evaluation (injected delays honour request cancellation);
+// nil selects context.Background.
+func (c *Cache) Get(ctx context.Context, k Key, decode func([]byte) (any, error)) (v any, ok bool) {
 	if k.IsZero() {
 		return nil, false
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	// Adversarial entry bytes (or an injected fault) may panic the
 	// decoder; a cache read must degrade to a miss, never crash the run.
@@ -137,7 +218,7 @@ func (c *Cache) Get(k Key, decode func([]byte) (any, error)) (v any, ok bool) {
 		}
 	}()
 	op := "cache.get:" + k.String()
-	if err := c.inj.Do(context.Background(), op); err != nil {
+	if err := c.inj.Do(ctx, op); err != nil {
 		return nil, false
 	}
 	path := c.path(k)
@@ -158,17 +239,21 @@ func (c *Cache) Get(k Key, decode func([]byte) (any, error)) (v any, ok bool) {
 
 // Put stores value (already-encoded result bytes) under k atomically. A
 // failed or faulted Put loses only cache warmth, never data: the caller
-// already holds the result.
-func (c *Cache) Put(k Key, value []byte) (err error) {
+// already holds the result. ctx scopes the fault evaluation; nil selects
+// context.Background.
+func (c *Cache) Put(ctx context.Context, k Key, value []byte) (err error) {
 	if k.IsZero() {
 		return fmt.Errorf("runner: Put with zero key")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("runner: cache put panicked: %v", p)
 		}
 	}()
-	if err := c.inj.Do(context.Background(), "cache.put:"+k.String()); err != nil {
+	if err := c.inj.Do(ctx, "cache.put:"+k.String()); err != nil {
 		return err
 	}
 	env, err := json.Marshal(envelope{Sum: valueSum(value), Value: value})

@@ -136,7 +136,7 @@ func TestCacheFaultInjection(t *testing.T) {
 	}
 	k := KeyOf("cache-fault", "entry")
 	val, _ := json.Marshal(1234)
-	if err := cache.Put(k, val); err != nil {
+	if err := cache.Put(context.Background(), k, val); err != nil {
 		t.Fatal(err)
 	}
 	decode := func(b []byte) (any, error) {
@@ -144,35 +144,35 @@ func TestCacheFaultInjection(t *testing.T) {
 		err := json.Unmarshal(b, &v)
 		return v, err
 	}
-	if v, ok := cache.Get(k, decode); !ok || v != 1234 {
+	if v, ok := cache.Get(context.Background(), k, decode); !ok || v != 1234 {
 		t.Fatalf("clean Get = %v, %v", v, ok)
 	}
 
 	// Injected read error → miss.
 	cache.SetFault(fault.New(1, fault.Rule{Pattern: "cache.get:*", Action: fault.Error, Nth: 1}))
-	if _, ok := cache.Get(k, decode); ok {
+	if _, ok := cache.Get(context.Background(), k, decode); ok {
 		t.Fatal("faulted Get served a hit")
 	}
 	// Rule consumed (Nth=1): next Get sees the intact entry.
-	if v, ok := cache.Get(k, decode); !ok || v != 1234 {
+	if v, ok := cache.Get(context.Background(), k, decode); !ok || v != 1234 {
 		t.Fatalf("post-fault Get = %v, %v", v, ok)
 	}
 
 	// Injected short read corrupts the envelope mid-flight → miss (and
 	// the on-disk entry is dropped as damaged, so the next run recomputes).
 	cache.SetFault(fault.New(1, fault.Rule{Pattern: "cache.get:*", Action: fault.ShortRead, Keep: 10}))
-	if _, ok := cache.Get(k, decode); ok {
+	if _, ok := cache.Get(context.Background(), k, decode); ok {
 		t.Fatal("short-read Get served a hit")
 	}
 
 	// Injected put error is surfaced, not fatal.
 	cache.SetFault(fault.New(1, fault.Rule{Pattern: "cache.put:*", Action: fault.Error}))
-	if err := cache.Put(k, val); err == nil {
+	if err := cache.Put(context.Background(), k, val); err == nil {
 		t.Fatal("faulted Put succeeded")
 	}
 	// Injected put panic is recovered into an error.
 	cache.SetFault(fault.New(1, fault.Rule{Pattern: "cache.put:*", Action: fault.Panic}))
-	if err := cache.Put(k, val); err == nil {
+	if err := cache.Put(context.Background(), k, val); err == nil {
 		t.Fatal("panicking Put returned nil error")
 	}
 }
@@ -185,10 +185,10 @@ func TestCacheGetRecoversDecodePanic(t *testing.T) {
 	}
 	k := KeyOf("cache-panic", "entry")
 	val, _ := json.Marshal("boom")
-	if err := cache.Put(k, val); err != nil {
+	if err := cache.Put(context.Background(), k, val); err != nil {
 		t.Fatal(err)
 	}
-	v, ok := cache.Get(k, func(b []byte) (any, error) { panic("decoder bug") })
+	v, ok := cache.Get(context.Background(), k, func(b []byte) (any, error) { panic("decoder bug") })
 	if ok || v != nil {
 		t.Fatalf("panicking decode served a hit: %v", v)
 	}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -19,13 +20,13 @@ func TestCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := KeyOf("test", "roundtrip")
-	if _, ok := c.Get(k, decodeInt); ok {
+	if _, ok := c.Get(context.Background(), k, decodeInt); ok {
 		t.Fatal("hit on empty cache")
 	}
-	if err := c.Put(k, []byte("123")); err != nil {
+	if err := c.Put(context.Background(), k, []byte("123")); err != nil {
 		t.Fatal(err)
 	}
-	v, ok := c.Get(k, decodeInt)
+	v, ok := c.Get(context.Background(), k, decodeInt)
 	if !ok || v.(int) != 123 {
 		t.Fatalf("got %v, %v", v, ok)
 	}
@@ -36,10 +37,10 @@ func TestCachePutZeroKeyRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put(Key{}, []byte("1")); err == nil {
+	if err := c.Put(context.Background(), Key{}, []byte("1")); err == nil {
 		t.Fatal("zero key accepted")
 	}
-	if _, ok := c.Get(Key{}, decodeInt); ok {
+	if _, ok := c.Get(context.Background(), Key{}, decodeInt); ok {
 		t.Fatal("zero key hit")
 	}
 }
@@ -70,7 +71,7 @@ func TestCacheCorruptionIsAMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := KeyOf("test", "corrupt")
-	if err := c.Put(k, []byte("42")); err != nil {
+	if err := c.Put(context.Background(), k, []byte("42")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -82,7 +83,7 @@ func TestCacheCorruptionIsAMiss(t *testing.T) {
 	}
 	for name, corrupt := range corruptions {
 		t.Run(name, func(t *testing.T) {
-			if err := c.Put(k, []byte("42")); err != nil {
+			if err := c.Put(context.Background(), k, []byte("42")); err != nil {
 				t.Fatal(err)
 			}
 			files := cacheFiles(t, dir)
@@ -90,17 +91,17 @@ func TestCacheCorruptionIsAMiss(t *testing.T) {
 				t.Fatalf("cache files = %d, want 1", len(files))
 			}
 			corrupt(files[0])
-			if _, ok := c.Get(k, decodeInt); ok {
+			if _, ok := c.Get(context.Background(), k, decodeInt); ok {
 				t.Fatal("corrupted entry served as a hit")
 			}
 			if left := cacheFiles(t, dir); len(left) != 0 {
 				t.Fatalf("corrupted entry not removed: %v", left)
 			}
 			// The slot is reusable after recomputation.
-			if err := c.Put(k, []byte("42")); err != nil {
+			if err := c.Put(context.Background(), k, []byte("42")); err != nil {
 				t.Fatal(err)
 			}
-			if v, ok := c.Get(k, decodeInt); !ok || v.(int) != 42 {
+			if v, ok := c.Get(context.Background(), k, decodeInt); !ok || v.(int) != 42 {
 				t.Fatalf("recomputed entry not served: %v %v", v, ok)
 			}
 		})
@@ -123,7 +124,7 @@ func TestCacheSharding(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := KeyOf("test", "shard")
-	if err := c.Put(k, []byte("1")); err != nil {
+	if err := c.Put(context.Background(), k, []byte("1")); err != nil {
 		t.Fatal(err)
 	}
 	want := filepath.Join(dir, k.String()[:2], k.String()[2:]+".json")

@@ -46,7 +46,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 				i := g + r
 				switch r % 4 {
 				case 0:
-					if err := c.Put(key(i), value(i)); err != nil {
+					if err := c.Put(context.Background(), key(i), value(i)); err != nil {
 						t.Errorf("Put: %v", err)
 					}
 				case 3:
@@ -54,7 +54,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 					// miss, never return garbage or crash.
 					os.WriteFile(c.path(key(i)), []byte("not json"), 0o644)
 				default:
-					if v, ok := c.Get(key(i), decode); ok {
+					if v, ok := c.Get(context.Background(), key(i), decode); ok {
 						if got, want := v.(int), i%keys; got != want {
 							t.Errorf("Get(key %d) = %d, want %d (torn read)", want, got, want)
 						}
@@ -67,10 +67,10 @@ func TestCacheConcurrentAccess(t *testing.T) {
 
 	// After the storm, every key must round-trip cleanly again.
 	for i := 0; i < keys; i++ {
-		if err := c.Put(key(i), value(i)); err != nil {
+		if err := c.Put(context.Background(), key(i), value(i)); err != nil {
 			t.Fatalf("final Put: %v", err)
 		}
-		v, ok := c.Get(key(i), decode)
+		v, ok := c.Get(context.Background(), key(i), decode)
 		if !ok || v.(int) != i {
 			t.Fatalf("final Get(key %d) = %v, %v", i, v, ok)
 		}
@@ -312,7 +312,7 @@ func TestCacheSharedAcrossConcurrentGraphs(t *testing.T) {
 	if n != 5 {
 		t.Fatalf("cache holds %d entries, want 5", n)
 	}
-	v, ok := c.Get(KeyOf("shared", 0), func(b []byte) (any, error) {
+	v, ok := c.Get(context.Background(), KeyOf("shared", 0), func(b []byte) (any, error) {
 		var x int
 		return x, json.Unmarshal(b, &x)
 	})

@@ -69,6 +69,9 @@ type Options struct {
 	// Fault is the deterministic fault injector threaded through job
 	// execution and cache I/O; nil disables injection.
 	Fault *fault.Injector
+	// Journal is the durable run journal receiving job lifecycle events;
+	// nil disables journaling.
+	Journal *Journal
 }
 
 // Counts reports what a Runner has done so far.
@@ -91,6 +94,15 @@ type Counts struct {
 	Skipped int64
 	// TimedOut counts attempts abandoned at the job timeout.
 	TimedOut int64
+	// LeaseAcquired counts jobs executed under a held cross-process
+	// lease (leases enabled, this process won the key).
+	LeaseAcquired int64
+	// LeaseShared counts jobs satisfied by another process's result:
+	// this process lost the lease race and read the winner's cache
+	// entry instead of recomputing.
+	LeaseShared int64
+	// LeaseTakeovers counts stale leases reclaimed from dead processes.
+	LeaseTakeovers int64
 }
 
 // Runner schedules experiment graphs. It may run many graphs
@@ -120,8 +132,9 @@ type Runner struct {
 	failures     []*JobError
 	failuresLost int64
 
-	submitted, executed, cacheHits, memoHits atomic.Int64
-	retried, failed, skipped, timedOut       atomic.Int64
+	submitted, executed, cacheHits, memoHits   atomic.Int64
+	retried, failed, skipped, timedOut         atomic.Int64
+	leaseAcquired, leaseShared, leaseTakeovers atomic.Int64
 }
 
 // New creates a Runner.
@@ -132,11 +145,18 @@ func New(opts Options) *Runner {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 50 * time.Millisecond
 	}
-	return &Runner{
+	r := &Runner{
 		opts: opts,
 		sem:  make(chan struct{}, opts.Workers),
 		memo: map[Key]any{},
 	}
+	if ls := opts.Cache.leaseManager(); ls != nil {
+		ls.takeovers = func(key string) {
+			r.leaseTakeovers.Add(1)
+			r.opts.Journal.LeaseTakeover(key)
+		}
+	}
+	return r
 }
 
 // Workers returns the configured parallelism.
@@ -153,6 +173,10 @@ func (r *Runner) Counts() Counts {
 		Failed:    r.failed.Load(),
 		Skipped:   r.skipped.Load(),
 		TimedOut:  r.timedOut.Load(),
+
+		LeaseAcquired:  r.leaseAcquired.Load(),
+		LeaseShared:    r.leaseShared.Load(),
+		LeaseTakeovers: r.leaseTakeovers.Load(),
 	}
 }
 
@@ -433,7 +457,7 @@ func (g *Graph) Wait(ctx context.Context) error {
 		return g.err
 	}
 	g.waited = true
-	need := g.resolve()
+	need := g.resolve(ctx)
 	g.mu.Unlock()
 
 	g.err = g.execute(ctx, need)
@@ -444,7 +468,7 @@ func (g *Graph) Wait(ctx context.Context) error {
 // the on-disk cache, and returns the jobs that must execute. A cache hit
 // stops the walk, so the dependencies of fully-cached sweeps are never
 // demanded.
-func (g *Graph) resolve() []*job {
+func (g *Graph) resolve(ctx context.Context) []*job {
 	var need []*job
 	var visit func(j *job)
 	visit = func(j *job) {
@@ -456,7 +480,7 @@ func (g *Graph) resolve() []*job {
 			return
 		}
 		if !j.noStore && g.r.opts.Cache != nil && !j.key.IsZero() {
-			if v, ok := g.r.opts.Cache.Get(j.key, j.decode); ok {
+			if v, ok := g.r.opts.Cache.Get(ctx, j.key, j.decode); ok {
 				g.r.cacheHits.Add(1)
 				g.r.memoPut(j.key, v)
 				j.complete(v, nil)
@@ -533,6 +557,7 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 						g.r.skipped.Add(1)
 						skipped.Add(1)
 						g.r.recordFailure(g, je)
+						g.r.opts.Journal.JobFail(je)
 						prog.jobSkipped(j.label, d.label)
 						j.complete(nil, je)
 						return
@@ -553,7 +578,8 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				j.complete(nil, ctx.Err())
 				return
 			}
-			v, err := g.attempt(ctx, j)
+			g.r.opts.Journal.JobStart(j.label, keyStr(j.key))
+			v, shared, err := g.runLeased(ctx, j)
 			g.r.executed.Add(1)
 			executed.Add(1)
 			if err != nil {
@@ -567,6 +593,7 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				g.r.failed.Add(1)
 				failed.Add(1)
 				g.r.recordFailure(g, je)
+				g.r.opts.Journal.JobFail(je)
 				prog.jobFailed(j.label, je.Cause())
 				j.complete(nil, je)
 				if !keep {
@@ -577,11 +604,11 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 			j.complete(v, nil)
 			if !j.key.IsZero() {
 				g.r.memoPut(j.key, v)
-				if !j.noStore && g.r.opts.Cache != nil {
-					if data, err := json.Marshal(v); err == nil {
-						g.r.opts.Cache.Put(j.key, data) // best-effort
-					}
-				}
+			}
+			if shared {
+				g.r.opts.Journal.JobShared(j.label, keyStr(j.key))
+			} else {
+				g.r.opts.Journal.JobDone(j.label, keyStr(j.key), j.attempts)
 			}
 			prog.jobDone(j.label)
 		}(j)
@@ -595,6 +622,62 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 	}
 	prog.summary(len(g.jobs), len(need), int(executed.Load()), int(failed.Load()), int(skipped.Load()), g.r.opts.Workers)
 	return nil
+}
+
+// runLeased executes a job, coalescing with other processes when
+// cross-process leases are enabled on the cache. The winner of a key's
+// lease runs the job and stores the result durably *before* releasing
+// the lease, so losers polling the cache observe result-then-release,
+// never a gap. Losers wait on the winner's entry instead of recomputing
+// (shared=true); if the winner dies its lease expires and is taken over,
+// so the loop always terminates in a local execution or a shared result.
+// Jobs without a storable key — and any lease-layer error — fall back to
+// plain local execution: leases are an optimisation, never a gate.
+func (g *Graph) runLeased(ctx context.Context, j *job) (v any, shared bool, err error) {
+	c := g.r.opts.Cache
+	ls := c.leaseManager()
+	if ls == nil || j.key.IsZero() || j.noStore {
+		v, err = g.runStored(ctx, j)
+		return v, false, err
+	}
+	for {
+		state, release := ls.tryAcquire(ctx, j.key)
+		switch state {
+		case leaseWon:
+			g.r.leaseAcquired.Add(1)
+			v, err = g.runStored(ctx, j)
+			release()
+			return v, false, err
+		case leaseErr:
+			v, err = g.runStored(ctx, j)
+			return v, false, err
+		default: // leaseLost: another live process is computing this key
+			v, ok, werr := ls.wait(ctx, c, j.key, j.decode)
+			if werr != nil {
+				return nil, false, werr
+			}
+			if ok {
+				g.r.leaseShared.Add(1)
+				return v, true, nil
+			}
+			// The winner vanished without storing (crash or failure):
+			// re-contend and, if we win, run the job ourselves.
+		}
+	}
+}
+
+// runStored runs a job's attempt loop and, on success, stores the result
+// in the on-disk cache (best-effort). Storing here — inside the lease
+// window rather than after it — is what makes cross-process hand-off
+// race-free.
+func (g *Graph) runStored(ctx context.Context, j *job) (any, error) {
+	v, err := g.attempt(ctx, j)
+	if err == nil && !j.key.IsZero() && !j.noStore && g.r.opts.Cache != nil {
+		if data, merr := json.Marshal(v); merr == nil {
+			g.r.opts.Cache.Put(ctx, j.key, data) // best-effort
+		}
+	}
+	return v, err
 }
 
 // attempt runs a job up to 1+Retries times. Only failures marked

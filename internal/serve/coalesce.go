@@ -135,7 +135,19 @@ func (c *coalescer) join(ctx context.Context, req core.Request) (*flight, bool) 
 	c.started++
 	c.mu.Unlock()
 
-	go c.run(ctx, req, f)
+	// The leader's deadline bounds the flight context: doomed work is
+	// cancelled whether it is still queued for a slot or already
+	// executing, so an expired request never wedges the pipeline. (The
+	// deadline is excluded from the content address, so a patient and an
+	// impatient client still coalesce — the leader's patience governs.)
+	go func() {
+		fctx, cancel := ctx, context.CancelFunc(func() {})
+		if d := req.Deadline(); d > 0 {
+			fctx, cancel = context.WithTimeout(ctx, d)
+		}
+		defer cancel()
+		c.run(fctx, req, f)
+	}()
 	return f, true
 }
 

@@ -84,6 +84,26 @@ type Metrics struct {
 		FailuresLost int64   `json:"failuresLost"`
 	} `json:"engine"`
 
+	// Lease: cross-process work-lease activity on the shared cache dir
+	// (zero unless another process contends for the same experiments).
+	Lease struct {
+		Acquired  int64 `json:"acquired"`  // jobs executed under a won lease
+		Shared    int64 `json:"shared"`    // jobs adopted from another process's lease
+		Takeovers int64 `json:"takeovers"` // stale leases reclaimed from dead owners
+	} `json:"lease"`
+
+	// Journal: the durable run journal under <cache-dir>/journal.
+	Journal struct {
+		Enabled  bool   `json:"enabled"`
+		RunID    string `json:"runId,omitempty"`
+		Appended int64  `json:"appended"` // events durably written this run
+	} `json:"journal"`
+
+	// Deadlines: request-deadline outcomes.
+	Deadlines struct {
+		Exceeded int64 `json:"exceeded"` // requests answered 504
+	} `json:"deadlines"`
+
 	// Coalescing: flights started vs. requests that joined one.
 	Coalescing struct {
 		Flights   int64 `json:"flights"`

@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"splash2/internal/cli"
@@ -69,6 +70,10 @@ type Server struct {
 	drain     context.CancelFunc
 	draining  chan struct{} // closed by BeginDrain
 	markDrain func()
+
+	// deadline504 counts requests answered 504 because their deadline
+	// expired before a result existed (metrics).
+	deadline504 atomic.Int64
 }
 
 // New builds a server around engine. ctx is the daemon's base context:
@@ -194,6 +199,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Engine.FailureLog = ms.FailureLog
 	m.Engine.FailuresLost = ms.FailuresLost
 
+	m.Lease.Acquired = c.LeaseAcquired
+	m.Lease.Shared = c.LeaseShared
+	m.Lease.Takeovers = c.LeaseTakeovers
+	if j := s.engine.Journal(); j != nil {
+		m.Journal.Enabled = true
+		m.Journal.RunID = j.RunID()
+		m.Journal.Appended = j.Appended()
+	}
+	m.Deadlines.Exceeded = s.deadline504.Load()
+
 	started, coalesced, rejected, active, executing := s.co.counts()
 	m.Coalescing.Flights = started
 	m.Coalescing.Coalesced = coalesced
@@ -218,7 +233,29 @@ const (
 	// headerDegraded carries the failure count of a keep-going response
 	// whose body includes a failure manifest.
 	headerDegraded = "X-Splashd-Degraded"
+	// headerDeadline carries the client's request deadline as a Go
+	// duration ("30s", "2m"); equivalent to the timeoutMs body field or
+	// the deadline query parameter. The deadline does not change the
+	// request's content address, so impatient and patient clients still
+	// coalesce onto one flight.
+	headerDeadline = "X-Splashd-Deadline"
 )
+
+// errorBody is the JSON error envelope for experiment errors that carry
+// CLI exit-taxonomy context (deadline expiry, cancellation).
+type errorBody struct {
+	Error string `json:"error"`
+	// Exit is the code the equivalent CLI run would exit with
+	// (internal/cli taxonomy: 0 ok, 1 usage, 2 degraded, 3 runtime).
+	Exit int `json:"exit"`
+}
+
+// writeError renders err as a JSON error envelope with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: "splashd: " + err.Error(), Exit: cli.ExitCode(err)})
+}
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
@@ -276,8 +313,23 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A request deadline bounds this client's wait, not just the
+	// execution: a joiner whose deadline expires while the flight is
+	// still queued or executing gets the documented 504 immediately (the
+	// flight itself continues for more patient subscribers).
+	var doomed <-chan time.Time
+	if d := creq.Deadline(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		doomed = t.C
+	}
 	select {
 	case <-f.done:
+	case <-doomed:
+		s.deadline504.Add(1)
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("deadline %v exceeded before the experiment finished: %w", creq.Deadline(), context.DeadlineExceeded))
+		return
 	case <-r.Context().Done():
 		// Client gone. The flight keeps running for its other
 		// subscribers (and for the cache); nothing to write.
@@ -289,11 +341,18 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 // writeResult renders a finished flight as the non-streaming response.
 func (s *Server) writeResult(w http.ResponseWriter, f *flight) {
 	if f.err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
-			status = http.StatusServiceUnavailable
+		switch {
+		case errors.Is(f.err, context.DeadlineExceeded):
+			// The flight's own deadline expired (request deadline mapped
+			// onto the flight context): doomed work was cancelled, not
+			// left to wedge an execution slot.
+			s.deadline504.Add(1)
+			writeError(w, http.StatusGatewayTimeout, f.err)
+		case errors.Is(f.err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, f.err)
+		default:
+			http.Error(w, "splashd: "+f.err.Error(), http.StatusInternalServerError)
 		}
-		http.Error(w, "splashd: "+f.err.Error(), status)
 		return
 	}
 	if f.degraded > 0 {
@@ -385,7 +444,7 @@ func parseRequest(r *http.Request) (core.Request, error) {
 		if err := dec.Decode(&req); err != nil {
 			return req, fmt.Errorf("bad request body: %v", err)
 		}
-		return req, nil
+		return req, applyDeadlineHeader(r, &req)
 	}
 	q := r.URL.Query()
 	req.Kind = q.Get("kind")
@@ -413,5 +472,29 @@ func parseRequest(r *http.Request) (core.Request, error) {
 	if v := q.Get("keepGoing"); v == "1" || v == "true" {
 		req.KeepGoing = true
 	}
-	return req, nil
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return req, fmt.Errorf("bad deadline %q", v)
+		}
+		req.TimeoutMillis = d.Milliseconds()
+	}
+	return req, applyDeadlineHeader(r, &req)
+}
+
+// applyDeadlineHeader folds the X-Splashd-Deadline header into the
+// request. The header wins over a body/query deadline: it is the
+// transport-level knob a proxy or impatient client sets without
+// rewriting the experiment spec.
+func applyDeadlineHeader(r *http.Request, req *core.Request) error {
+	v := r.Header.Get(headerDeadline)
+	if v == "" {
+		return nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return fmt.Errorf("bad %s %q", headerDeadline, v)
+	}
+	req.TimeoutMillis = d.Milliseconds()
+	return nil
 }

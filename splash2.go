@@ -28,6 +28,7 @@ package splash2
 
 import (
 	"io"
+	"time"
 
 	"splash2/internal/apps"
 	_ "splash2/internal/apps/all"
@@ -35,6 +36,7 @@ import (
 	"splash2/internal/fault"
 	"splash2/internal/mach"
 	"splash2/internal/memsys"
+	"splash2/internal/runner"
 )
 
 // Machine configuration and state. Zero-valued cache fields take the
@@ -224,6 +226,33 @@ func DefaultCacheDir() (string, error) { return core.DefaultCacheDir() }
 // DefaultLineSizes returns the paper's 8 B–256 B sweep points.
 func DefaultLineSizes() []int { return core.DefaultLineSizes() }
 
+// Crash consistency and multi-process sharing. Runs with a cache
+// directory hold cross-process work leases (so concurrent processes
+// coalesce expensive jobs instead of duplicating them) and append a
+// durable run journal under <cache-dir>/journal. After a crash, Resume
+// reports what the dead run had finished and reclaims its leases and
+// temp artifacts; the result cache then supplies everything it
+// completed.
+type (
+	// ResumeReport describes what a resume pass found and reclaimed.
+	ResumeReport = core.ResumeReport
+	// RunSummary condenses one run journal (crash forensics).
+	RunSummary = runner.RunSummary
+)
+
+// DefaultLeaseTTL is the default cross-process work-lease expiry
+// (ReportOptions.LeaseTTL = 0); a crashed lease holder delays
+// contenders on its key by at most this long.
+const DefaultLeaseTTL = runner.DefaultLeaseTTL
+
+// Resume scans a cache directory for crashed runs: dead journals are
+// reported and marked resumed, and orphaned leases/temp/spill files are
+// swept. Run the characterization normally afterwards — cache hits are
+// the resume.
+func Resume(cacheDir string, leaseTTL time.Duration) (*ResumeReport, error) {
+	return core.Resume(cacheDir, leaseTTL)
+}
+
 // Fault tolerance and failure semantics. A characterization run in
 // keep-going mode (ReportOptions.KeepGoing) completes past failed
 // experiments: lost rows render as FAILED(...) placeholders, and the
@@ -234,9 +263,11 @@ type (
 	// (ReportOptions.Fault). Chaos tests and the -fault CLI flags use it.
 	FaultInjector = fault.Injector
 	// FaultRule describes one injection: a wildcard pattern over
-	// operation names ("job:<label>", "cache.get:<key>", "trace.read",
-	// "trace.read.footer", "trace.read.block:<i>"), an action (error,
-	// panic, delay, short read) and an occurrence.
+	// operation names ("job:<label>", "cache.get:<key>",
+	// "cache.put:<key>", "trace.read", "trace.read.footer",
+	// "trace.read.block:<i>", "lease.acquire:<key>", "journal.append"),
+	// an action (error, panic, delay, short read, crash) and an
+	// occurrence.
 	FaultRule = fault.Rule
 	// FailureRecord is one lost experiment in a failure manifest.
 	FailureRecord = core.FailureRecord
