@@ -197,12 +197,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "characterize:", err)
 			return exitRuntime
 		}
-		defer f.Close()
+		// Stop the profiler before closing so the profile's trailing
+		// bytes are flushed, and surface the close error: a silently
+		// truncated profile misleads whoever reads it.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "characterize: closing cpu profile:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(stderr, "characterize:", err)
 			return exitRuntime
 		}
-		defer pprof.StopCPUProfile()
 	}
 	if *memProfile != "" {
 		defer func() {
@@ -211,10 +218,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "characterize:", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC() // materialize the final live set
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(stderr, "characterize:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "characterize: closing heap profile:", err)
 			}
 		}()
 	}

@@ -1,0 +1,163 @@
+// The result cache: a full-checks run is stored keyed by a digest of
+// every module source file, so consecutive invocations over an
+// unchanged tree — the CI -checks matrix, a SARIF re-render after a
+// text run — skip the expensive part (the from-source go/types load)
+// entirely. Only full runs are cached; a -checks subset is served by
+// projecting the cached full run (see filterCachedDiags), which keeps
+// the cache single-entry-per-tree and the subset semantics identical
+// to an uncached subset run.
+//
+// The key covers go.mod, every non-test .go file under the module
+// (the analyzer's own sources live there too, so changing a check
+// invalidates the cache automatically), and the patterns. Entries are
+// written atomically (temp + rename) so a crashed run cannot leave a
+// truncated entry behind; an unreadable or undecodable entry is
+// treated as a miss, never an error.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"splash2/internal/analysis"
+)
+
+// cacheEntry is one stored full run. Diagnostic file paths are kept
+// module-root-relative (forward slashes) so an entry is valid across
+// checkouts of the same tree.
+type cacheEntry struct {
+	Packages int                   `json:"packages"`
+	Diags    []analysis.Diagnostic `json:"diags"`
+}
+
+// cachedRun returns the full-run diagnostics for the tree, from the
+// cache when the module's sources are unchanged, running all checks
+// and storing the result otherwise. Returned paths are absolute.
+func cachedRun(loader *analysis.Loader, dir string, patterns []string) ([]analysis.Diagnostic, int, error) {
+	key, err := cacheKey(loader.ModRoot, patterns)
+	if err != nil {
+		return nil, 0, err
+	}
+	path := filepath.Join(dir, "splashlint-"+key+".json")
+
+	if data, err := os.ReadFile(path); err == nil {
+		var e cacheEntry
+		if json.Unmarshal(data, &e) == nil {
+			for i := range e.Diags {
+				e.Diags[i].File = filepath.Join(loader.ModRoot, filepath.FromSlash(e.Diags[i].File))
+			}
+			return e.Diags, e.Packages, nil
+		}
+	}
+
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, 0, err
+	}
+	diags := analysis.Run(loader.Fset(), pkgs, analysis.Options{})
+
+	e := cacheEntry{Packages: len(pkgs), Diags: append([]analysis.Diagnostic(nil), diags...)}
+	for i := range e.Diags {
+		if rel, rerr := filepath.Rel(loader.ModRoot, e.Diags[i].File); rerr == nil && !strings.HasPrefix(rel, "..") {
+			e.Diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+	if err := storeEntry(dir, path, e); err != nil {
+		// A read-only cache directory degrades to an uncached run; the
+		// findings themselves are unaffected.
+		fmt.Fprintf(os.Stderr, "splashlint: result cache not written: %v\n", err)
+	}
+	return diags, len(pkgs), nil
+}
+
+func storeEntry(dir, path string, e cacheEntry) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "splashlint-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close() //splash:allow durability cleanup close on an already-failing path; the Write error is what the caller sees and the temp file is removed
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// cacheKey digests the analyzable surface of the module: go.mod plus
+// the path and content of every non-test .go file (testdata included —
+// fixture packages are loadable by name), and the patterns. _test.go
+// files are never loaded by the analyzer, so they do not invalidate.
+func cacheKey(modRoot string, patterns []string) (string, error) {
+	var files []string
+	err := filepath.WalkDir(modRoot, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != modRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if name == "go.mod" && filepath.Dir(p) == modRoot {
+			files = append(files, p)
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+
+	h := sha256.New()
+	fmt.Fprintf(h, "splashlint-cache-v1\npatterns %s\n", strings.Join(patterns, " "))
+	for _, p := range files {
+		rel, err := filepath.Rel(modRoot, p)
+		if err != nil {
+			return "", err
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s\n", filepath.ToSlash(rel))
+		_, err = io.Copy(h, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,16 +1,26 @@
 // Command splashlint is the repository's static analyzer: it enforces
 // the invariants the characterization rests on — reference-stream
-// accounting, processor ownership, determinism of result paths, and
-// the fault-injection label taxonomy. Pure standard library: packages
-// are parsed and type-checked from source, no go/packages, no go list.
+// accounting, processor ownership, determinism of result paths, the
+// fault-injection label taxonomy, and the flow-sensitive lockset /
+// context / durability / epoch / time-taint contracts. Pure standard
+// library: packages are parsed and type-checked from source, no
+// go/packages, no go list.
 //
 // Usage:
 //
 //	splashlint ./...                  # whole repository
 //	splashlint ./internal/apps/...    # one subtree
 //	splashlint -checks accounting,procflow ./...
-//	splashlint -json ./...            # machine-readable findings
+//	splashlint -checks dataflow ./...  # a check group
+//	splashlint -format json ./...     # machine-readable findings
+//	splashlint -format sarif ./...    # SARIF 2.1.0 (CI annotations)
 //	splashlint -list                  # describe the checks
+//
+// The -checks flag accepts check names and the two group aliases:
+// "syntactic" (the per-node checks) and "dataflow" (the CFG-based
+// flow-sensitive checks). -result-cache DIR caches a full run keyed by
+// the module's source bytes, so a -checks matrix re-uses one
+// type-checked run instead of loading the tree per matrix job.
 //
 // A finding is suppressed by a directive on its line or the line above:
 //
@@ -19,17 +29,20 @@
 // The reason is mandatory, and unused directives are themselves
 // findings, so suppressions cannot rot.
 //
-// Exit status: 0 — clean; 1 — usage error; 2 — findings reported;
-// 3 — internal error (parse or type-check failure).
+// Exit status: 0 — clean; 1 — usage error (including a pattern that
+// matches no packages); 2 — findings reported; 3 — internal error
+// (parse or type-check failure).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"splash2/internal/analysis"
@@ -44,6 +57,16 @@ const (
 	exitInternal = 3
 )
 
+// checkGroups are the -checks aliases the CI matrix splits on. The
+// syntactic checks walk the AST per node; the dataflow checks solve
+// per-function fixed points over the CFG. TestCheckGroupsCoverAllChecks
+// pins the union to the full registry so a new check cannot silently
+// fall out of the matrix.
+var checkGroups = map[string][]string{
+	"syntactic": {"accounting", "procflow", "determinism", "faultpoints", "tracecapture"},
+	"dataflow":  {"ctxflow", "durability", "epochs", "locks", "timetaint"},
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -52,15 +75,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("splashlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
-		checkList = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		jsonOut   = fs.Bool("json", false, "shorthand for -format json")
+		format    = fs.String("format", "", `output format: "text" (default), "json", or "sarif"`)
+		checkList = fs.String("checks", "", "comma-separated checks or groups to run (default: all; groups: syntactic, dataflow)")
 		list      = fs.Bool("list", false, "list the available checks and exit")
+		cacheDir  = fs.String("result-cache", "", "directory caching full-run results keyed by module source (shares one type-checked run across -checks invocations)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: splashlint [-json] [-checks c1,c2] packages...\n")
+		fmt.Fprintf(stderr, "usage: splashlint [-format text|json|sarif] [-checks c1,c2] [-result-cache dir] packages...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	switch *format {
+	case "":
+		if *jsonOut {
+			*format = "json"
+		} else {
+			*format = "text"
+		}
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "splashlint: unknown format %q (want text, json, or sarif)\n", *format)
 		return exitUsage
 	}
 
@@ -74,20 +112,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	checks := all
 	subset := *checkList != ""
+	selected := make(map[string]bool)
 	if subset {
 		byName := make(map[string]*analysis.Check, len(all))
+		names := make([]string, 0, len(all))
 		for _, c := range all {
 			byName[c.Name] = c
+			names = append(names, c.Name)
 		}
+		sort.Strings(names)
 		checks = nil
 		for _, name := range strings.Split(*checkList, ",") {
 			name = strings.TrimSpace(name)
-			c, ok := byName[name]
-			if !ok {
-				fmt.Fprintf(stderr, "splashlint: unknown check %q\n", name)
-				return exitUsage
+			expanded := []string{name}
+			if group, ok := checkGroups[name]; ok {
+				expanded = group
 			}
-			checks = append(checks, c)
+			for _, n := range expanded {
+				c, ok := byName[n]
+				if !ok {
+					fmt.Fprintf(stderr, "splashlint: unknown check %q; available: %s; groups: dataflow, syntactic\n",
+						n, strings.Join(names, ", "))
+					return exitUsage
+				}
+				if !selected[n] {
+					selected[n] = true
+					checks = append(checks, c)
+				}
+			}
 		}
 	}
 
@@ -107,18 +159,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "splashlint: %v\n", err)
 		return exitInternal
 	}
-	pkgs, err := loader.Load(patterns...)
+
+	var (
+		diags    []analysis.Diagnostic
+		pkgCount int
+	)
+	if *cacheDir != "" {
+		diags, pkgCount, err = cachedRun(loader, *cacheDir, patterns)
+		if err == nil && subset {
+			diags = filterCachedDiags(diags, selected)
+		}
+	} else {
+		var pkgs []*analysis.Package
+		pkgs, err = loader.Load(patterns...)
+		if err == nil {
+			diags = analysis.Run(loader.Fset(), pkgs, analysis.Options{
+				Checks: checks,
+				// With a check subset, directives for the skipped checks
+				// are trivially unused; only a full run can judge them.
+				KeepUnusedAllows: subset,
+			})
+			pkgCount = len(pkgs)
+		}
+	}
 	if err != nil {
+		var noPkgs *analysis.NoPackagesError
+		if errors.As(err, &noPkgs) {
+			fmt.Fprintf(stderr, "splashlint: %v\n", err)
+			fmt.Fprintf(stderr, "splashlint: patterns are directories (\"./internal/mach\"), import paths, or recursive forms of either (\"./...\"), resolved relative to %s\n", wd)
+			return exitUsage
+		}
 		fmt.Fprintf(stderr, "splashlint: %v\n", err)
 		return exitInternal
 	}
-
-	diags := analysis.Run(loader.Fset(), pkgs, analysis.Options{
-		Checks: checks,
-		// With a check subset, directives for the skipped checks are
-		// trivially unused; only a full run can judge them.
-		KeepUnusedAllows: subset,
-	})
 
 	// Report paths relative to the working directory (clickable, stable
 	// across checkouts).
@@ -128,21 +201,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
 			fmt.Fprintf(stderr, "splashlint: %v\n", err)
 			return exitInternal
 		}
-	} else {
+	case "sarif":
+		if err := writeSARIF(stdout, all, diags); err != nil {
+			fmt.Fprintf(stderr, "splashlint: %v\n", err)
+			return exitInternal
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d.String())
 		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "splashlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(stderr, "splashlint: %d finding(s) in %d package(s)\n", len(diags), pkgCount)
 		return exitFindings
 	}
 	return exitOK
+}
+
+// filterCachedDiags projects a cached full run onto a -checks subset:
+// findings of the selected checks survive, and so do malformed- and
+// duplicate-directive findings (they are properties of the source, not
+// of which checks ran). Unused-directive findings are dropped — with a
+// subset, a directive for a skipped check is trivially unused, matching
+// the uncached KeepUnusedAllows behavior.
+func filterCachedDiags(diags []analysis.Diagnostic, selected map[string]bool) []analysis.Diagnostic {
+	out := diags[:0:0]
+	for _, d := range diags {
+		switch {
+		case selected[d.Check]:
+			out = append(out, d)
+		case d.Check == "directive" && !strings.HasPrefix(d.Message, "unused splash:allow"):
+			out = append(out, d)
+		}
+	}
+	return out
 }

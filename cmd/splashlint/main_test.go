@@ -3,8 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+
+	"splash2/internal/analysis"
 )
 
 // fixture is a seeded-violation package (analyzer testdata), relative
@@ -71,8 +76,8 @@ func TestJSONOutput(t *testing.T) {
 
 func TestExitUsage(t *testing.T) {
 	cases := [][]string{
-		{},                          // no packages
-		{"-nonsense-flag", "./..."}, // unknown flag
+		{},                             // no packages
+		{"-nonsense-flag", "./..."},    // unknown flag
 		{"-checks", "bogus", cleanPkg}, // unknown check
 	}
 	for _, args := range cases {
@@ -86,6 +91,187 @@ func TestExitInternalOnBadPackage(t *testing.T) {
 	code, _, stderr := runLint(t, "./does/not/exist")
 	if code != exitInternal {
 		t.Fatalf("exit = %d, want %d (stderr=%q)", code, exitInternal, stderr)
+	}
+}
+
+// TestZeroMatchPatternExitsUsage: a recursive pattern matching no
+// packages is a usage error with a diagnostic naming the pattern, not
+// an internal failure — and not a silent success.
+func TestZeroMatchPatternExitsUsage(t *testing.T) {
+	for _, args := range [][]string{
+		{"./nonexistent/..."},
+		{cleanPkg, "./nonexistent/..."}, // mixed with a matching pattern
+	} {
+		code, _, stderr := runLint(t, args...)
+		if code != exitUsage {
+			t.Errorf("args %v: exit = %d, want %d (stderr=%q)", args, code, exitUsage, stderr)
+		}
+		if !strings.Contains(stderr, "no packages match") || !strings.Contains(stderr, "./nonexistent/...") {
+			t.Errorf("args %v: stderr does not name the failing pattern: %q", args, stderr)
+		}
+	}
+}
+
+// TestUnknownCheckListsAvailable: the error must teach the valid names.
+func TestUnknownCheckListsAvailable(t *testing.T) {
+	code, _, stderr := runLint(t, "-checks", "bogus", cleanPkg)
+	if code != exitUsage {
+		t.Fatalf("exit = %d, want %d", code, exitUsage)
+	}
+	for _, want := range []string{"unknown check \"bogus\"", "available:", "accounting", "locks", "timetaint", "dataflow", "syntactic"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestCheckGroupsCoverAllChecks pins the -checks group aliases to the
+// full registry: a new check must be placed in exactly one group, or
+// the CI matrix would silently stop running it.
+func TestCheckGroupsCoverAllChecks(t *testing.T) {
+	grouped := make(map[string]string)
+	for group, names := range checkGroups {
+		for _, n := range names {
+			if prev, dup := grouped[n]; dup {
+				t.Errorf("check %q is in groups %q and %q", n, prev, group)
+			}
+			grouped[n] = group
+		}
+	}
+	var all, inGroups []string
+	for _, c := range analysis.DefaultChecks() {
+		all = append(all, c.Name)
+	}
+	for n := range grouped {
+		inGroups = append(inGroups, n)
+	}
+	sort.Strings(all)
+	sort.Strings(inGroups)
+	if strings.Join(all, ",") != strings.Join(inGroups, ",") {
+		t.Fatalf("groups cover %v, registry has %v", inGroups, all)
+	}
+}
+
+// TestCheckGroupAlias: "-checks dataflow" must expand to the
+// flow-sensitive checks (and exit clean over a package with only
+// syntactic seeds and no dataflow ones).
+func TestCheckGroupAlias(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-checks", "dataflow", cleanPkg)
+	if code != exitOK {
+		t.Fatalf("exit = %d, want %d (stdout=%q stderr=%q)", code, exitOK, stdout, stderr)
+	}
+	code, stdout, _ = runLint(t, "-checks", "syntactic", fixture)
+	if code != exitFindings || !strings.Contains(stdout, "accounting:") {
+		t.Fatalf("syntactic group over the accounting fixture: exit=%d stdout=%q", code, stdout)
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	code, _, stderr := runLint(t, "-format", "xml", cleanPkg)
+	if code != exitUsage || !strings.Contains(stderr, "unknown format") {
+		t.Fatalf("exit=%d stderr=%q, want usage error naming the format", code, stderr)
+	}
+}
+
+// TestSARIFOutput: -format sarif must produce a valid SARIF 2.1.0 log
+// with one result per finding, positioned for PR annotation.
+func TestSARIFOutput(t *testing.T) {
+	code, stdout, _ := runLint(t, "-format", "sarif", fixture)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d", code, exitFindings)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("not a single-run SARIF 2.1.0 log: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "splashlint" || len(run.Tool.Driver.Rules) == 0 {
+		t.Fatalf("driver = %+v", run.Tool.Driver)
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for a fixture with seeded findings")
+	}
+	for _, r := range run.Results {
+		if r.RuleID == "" || r.Level != "error" || r.Message.Text == "" || len(r.Locations) != 1 {
+			t.Fatalf("incomplete result: %+v", r)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || strings.Contains(loc.ArtifactLocation.URI, "\\") || loc.Region.StartLine <= 0 {
+			t.Fatalf("unusable location: %+v", loc)
+		}
+	}
+}
+
+// TestResultCache: the second run over an unchanged tree must serve
+// from the cache (one entry on disk) and report identical findings;
+// a subset run against the same cache projects the full run.
+func TestResultCache(t *testing.T) {
+	dir := t.TempDir()
+	code1, out1, _ := runLint(t, "-result-cache", dir, fixture)
+	if code1 != exitFindings {
+		t.Fatalf("first run: exit = %d, want %d", code1, exitFindings)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "splashlint-*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v (err %v), want exactly 1", entries, err)
+	}
+	// Poison the cached entry's mtime-independence by re-running: same
+	// tree, same key, so the stored diagnostics must be replayed as-is.
+	code2, out2, _ := runLint(t, "-result-cache", dir, fixture)
+	if code2 != exitFindings || out2 != out1 {
+		t.Fatalf("cached replay diverged: exit=%d\nfirst:\n%s\nsecond:\n%s", code2, out1, out2)
+	}
+	// The accounting fixture has no procflow findings; the projection
+	// must also drop the unused-allow judgments, like an uncached subset.
+	code3, out3, stderr3 := runLint(t, "-result-cache", dir, "-checks", "procflow", fixture)
+	if code3 != exitOK || out3 != "" {
+		t.Fatalf("cached subset: exit=%d stdout=%q stderr=%q", code3, out3, stderr3)
+	}
+	// An uncached subset over the same package must agree with the
+	// cached projection.
+	code4, out4, _ := runLint(t, "-checks", "procflow", fixture)
+	if code4 != code3 || out4 != out3 {
+		t.Fatalf("cached and uncached subset disagree: %d/%q vs %d/%q", code3, out3, code4, out4)
+	}
+	// A corrupt entry is a miss, not a failure.
+	if err := os.WriteFile(entries[0], []byte("not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	code5, out5, _ := runLint(t, "-result-cache", dir, fixture)
+	if code5 != exitFindings || out5 != out1 {
+		t.Fatalf("run after corrupting the cache: exit=%d, findings diverged", code5)
 	}
 }
 

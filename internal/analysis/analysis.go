@@ -93,8 +93,10 @@ type allowDirective struct {
 const directiveCheckName = "directive"
 
 // collectAllows parses the //splash:allow directives of a package.
-// Malformed directives (no check name, no reason, unknown check) are
-// reported immediately.
+// Malformed directives (no check name, no reason, unknown check) and
+// duplicates (two directives for the same check whose one-line coverage
+// windows overlap — the pair stays "used" forever, so neither can rot
+// into an unused-directive finding on its own) are reported immediately.
 func collectAllows(fset *token.FileSet, pkgs []*Package, known map[string]bool, report func(Diagnostic)) []*allowDirective {
 	var allows []*allowDirective
 	bad := func(pos token.Pos, format string, args ...any) {
@@ -102,6 +104,13 @@ func collectAllows(fset *token.FileSet, pkgs []*Package, known map[string]bool, 
 		report(Diagnostic{File: p.Filename, Line: p.Line, Col: p.Column,
 			Check: directiveCheckName, Message: fmt.Sprintf(format, args...)})
 	}
+	// prev tracks, per file, the last directive line seen for each check;
+	// comments arrive in source order, so one look-back suffices.
+	type fileCheck struct {
+		file  string
+		check string
+	}
+	prev := make(map[fileCheck]int)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -124,6 +133,11 @@ func collectAllows(fset *token.FileSet, pkgs []*Package, known map[string]bool, 
 						continue
 					}
 					p := fset.Position(c.Slash)
+					if last, seen := prev[fileCheck{p.Filename, fields[0]}]; seen && p.Line-last <= 1 {
+						bad(c.Slash, "duplicate splash:allow %s directive (line %d already covers this line)", fields[0], last)
+						continue
+					}
+					prev[fileCheck{p.Filename, fields[0]}] = p.Line
 					allows = append(allows, &allowDirective{
 						file: p.Filename, line: p.Line,
 						check:  fields[0],

@@ -13,16 +13,25 @@ import (
 )
 
 // fixturePkgs are the seeded-violation packages under testdata/src.
-var fixturePkgs = []string{"accounting", "procflow", "determ", "faultpts", "tracecap", "directive"}
+var fixturePkgs = []string{
+	"accounting", "procflow", "determ", "faultpts", "tracecap", "directive",
+	"locks", "ctxflow", "durability", "epochs", "timetaint", "buildtag",
+}
 
 const fixturePrefix = "splash2/internal/analysis/testdata/src"
 
-// fixtureConfig scopes the determinism check onto the fixture tree (its
-// default scope is the real result-producing packages).
+// fixtureConfig points each scoped check at its own fixture package (the
+// default scopes name the real packages). Per-directory scoping keeps
+// the fixtures independent: the timetaint fixture may read the wall
+// clock without tripping determinism, and so on.
 func fixtureConfig() analysis.Config {
 	cfg := analysis.DefaultConfig()
-	cfg.DeterminismScope = []string{fixturePrefix}
-	cfg.RandScope = []string{fixturePrefix}
+	cfg.DeterminismScope = []string{fixturePrefix + "/determ"}
+	cfg.RandScope = []string{fixturePrefix + "/determ"}
+	cfg.CtxScope = []string{fixturePrefix + "/ctxflow"}
+	cfg.EpochScope = []string{fixturePrefix + "/epochs"}
+	cfg.TaintScope = []string{fixturePrefix + "/timetaint"}
+	cfg.TaintResultScope = []string{fixturePrefix + "/timetaint"}
 	return cfg
 }
 

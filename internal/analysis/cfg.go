@@ -1,0 +1,514 @@
+package analysis
+
+// Per-function control-flow graphs for the flow-sensitive checks. The
+// builder lowers one function body (FuncDecl or FuncLit) into basic
+// blocks of "atoms" — simple statements and the condition/tag
+// expressions of the control statements that branch on them — connected
+// by successor edges. Compound statements never appear as atoms: an
+// IfStmt contributes its condition to the current block and its
+// branches become separate blocks, so a transfer function only ever
+// sees straight-line nodes.
+//
+// Accuracy choices, in the direction of fewer false positives:
+//
+//   - panic(...) and the recognized no-return calls (os.Exit,
+//     log.Fatal*, runtime.Goexit) terminate their path: code after them
+//     is modeled as unreachable, and a path that panics instead of
+//     unlocking or checking an error is not reported.
+//   - defer bodies are not part of the statement flow (they run at
+//     function exit); the DeferStmt atom marks the registration point
+//     and CFG.Defers collects them in registration order for checks
+//     that reason about exit-time actions.
+//   - function literals are not inlined; each literal gets its own CFG
+//     (FuncCFGs returns both), and transfer functions skip FuncLit
+//     subtrees inside atoms.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: a maximal straight-line atom sequence.
+type Block struct {
+	Index int
+	Nodes []ast.Node // simple statements and branch condition expressions
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Fn     ast.Node // *ast.FuncDecl or *ast.FuncLit
+	Blocks []*Block // in creation order; Blocks[0] is Entry
+	Entry  *Block
+	Exit   *Block // every normal return (and body fall-off) edges here
+	Defers []*ast.DeferStmt
+}
+
+// cfgBuilder carries the under-construction graph and the break /
+// continue / label context of the statement being lowered.
+type cfgBuilder struct {
+	cfg  *CFG
+	info *types.Info
+	cur  *Block // nil after a terminating statement (dead code follows)
+
+	breaks    []breakFrame
+	continues []continueFrame
+	labels    map[string]*Block // goto targets, created on demand
+}
+
+type breakFrame struct {
+	label  string
+	target *Block
+}
+
+type continueFrame struct {
+	label  string
+	target *Block
+}
+
+// BuildCFG lowers fn (a *ast.FuncDecl or *ast.FuncLit) into a CFG.
+// Functions without a body (external declarations) yield a graph whose
+// entry falls straight through to the exit.
+func BuildCFG(fn ast.Node, info *types.Info) *CFG {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	default:
+		panic("analysis: BuildCFG on a non-function node")
+	}
+	b := &cfgBuilder{
+		cfg:    &CFG{Fn: fn},
+		info:   info,
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.cfg.Exit) // fall off the end of the body
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump edges the current block to target and kills the current path.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+	}
+	b.cur = nil
+}
+
+// startBlock begins a new current block (used for join points and for
+// statically dead code, which gets an unreachable block so lowering can
+// continue without nil checks).
+func (b *cfgBuilder) startBlock(blk *Block) { b.cur = blk }
+
+// add appends one atom to the current block, materializing an
+// unreachable block when the path is dead.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// stmt lowers one statement.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.noReturnCall(call) {
+			b.cur = nil
+		}
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt:
+		b.add(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.LabeledStmt:
+		b.labeled(s)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	default:
+		// Anything unrecognized is treated as a straight-line atom.
+		b.add(s)
+	}
+}
+
+// labeled lowers `L: stmt`, wiring the label for goto and for labeled
+// break/continue on the labeled loop or switch.
+func (b *cfgBuilder) labeled(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	target := b.labels[name]
+	if target == nil {
+		target = b.newBlock()
+		b.labels[name] = target
+	}
+	b.jump(target)
+	b.startBlock(target)
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+// branch lowers break/continue/goto; fallthrough is handled by the
+// switch lowering and ignored here (its effect is the clause edge).
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.breaks) - 1; i >= 0; i-- {
+			if label == "" || b.breaks[i].label == label {
+				b.jump(b.breaks[i].target)
+				return
+			}
+		}
+		b.cur = nil // break outside any frame: malformed, kill the path
+	case token.CONTINUE:
+		for i := len(b.continues) - 1; i >= 0; i-- {
+			if label == "" || b.continues[i].label == label {
+				b.jump(b.continues[i].target)
+				return
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		target := b.labels[label]
+		if target == nil {
+			target = b.newBlock()
+			b.labels[label] = target
+		}
+		b.jump(target)
+	case token.FALLTHROUGH:
+		// The enclosing switch lowering adds the clause→clause edge.
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	condBlock := b.cur
+	done := b.newBlock()
+
+	thenBlock := b.newBlock()
+	condBlock.Succs = append(condBlock.Succs, thenBlock)
+	b.startBlock(thenBlock)
+	b.stmtList(s.Body.List)
+	b.jump(done)
+
+	if s.Else != nil {
+		elseBlock := b.newBlock()
+		condBlock.Succs = append(condBlock.Succs, elseBlock)
+		b.startBlock(elseBlock)
+		b.stmt(s.Else)
+		b.jump(done)
+	} else {
+		condBlock.Succs = append(condBlock.Succs, done)
+	}
+	b.startBlock(done)
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	done := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+	b.jump(head)
+	b.startBlock(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.cur.Succs = append(b.cur.Succs, done)
+	}
+	body := b.newBlock()
+	b.cur.Succs = append(b.cur.Succs, body)
+	b.cur = nil
+
+	b.breaks = append(b.breaks, breakFrame{label, done})
+	b.continues = append(b.continues, continueFrame{label, post})
+	b.startBlock(body)
+	b.stmtList(s.Body.List)
+	if s.Post != nil {
+		b.jump(post)
+		b.startBlock(post)
+		b.stmt(s.Post)
+		b.jump(head)
+	} else {
+		b.jump(head)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.startBlock(done)
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	done := b.newBlock()
+	b.jump(head)
+	b.startBlock(head)
+	b.add(s) // the RangeStmt atom stands for the iteration step (X eval + key/value assignment)
+	headBlock := b.cur
+	headBlock.Succs = append(headBlock.Succs, done)
+	body := b.newBlock()
+	headBlock.Succs = append(headBlock.Succs, body)
+	b.cur = nil
+
+	b.breaks = append(b.breaks, breakFrame{label, done})
+	b.continues = append(b.continues, continueFrame{label, head})
+	b.startBlock(body)
+	b.stmtList(s.Body.List)
+	b.jump(head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.startBlock(done)
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.startBlock(head)
+	}
+	done := b.newBlock()
+	b.lowerClauses(head, done, label, s.Body.List, func(clause ast.Stmt) (exprs []ast.Expr, body []ast.Stmt, isDefault bool) {
+		cc := clause.(*ast.CaseClause)
+		return cc.List, cc.Body, cc.List == nil
+	})
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.cur
+	done := b.newBlock()
+	b.lowerClauses(head, done, label, s.Body.List, func(clause ast.Stmt) ([]ast.Expr, []ast.Stmt, bool) {
+		cc := clause.(*ast.CaseClause)
+		return nil, cc.Body, cc.List == nil
+	})
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+	}
+	b.cur = nil
+	done := b.newBlock()
+	b.breaks = append(b.breaks, breakFrame{label, done})
+	reached := len(s.Body.List) == 0
+	for _, clause := range s.Body.List {
+		cc := clause.(*ast.CommClause)
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, blk)
+		b.startBlock(blk)
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+		reached = true
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !reached {
+		head.Succs = append(head.Succs, done)
+	}
+	b.startBlock(done)
+}
+
+// lowerClauses wires switch-shaped clause lists: every clause is entered
+// from the head (conservatively — clause order and guard evaluation are
+// not modeled), fallthrough edges to the next clause, and a missing
+// default adds a head→done edge.
+func (b *cfgBuilder) lowerClauses(head, done *Block, label string, clauses []ast.Stmt,
+	split func(ast.Stmt) ([]ast.Expr, []ast.Stmt, bool)) {
+
+	b.cur = nil
+	b.breaks = append(b.breaks, breakFrame{label, done})
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		head.Succs = append(head.Succs, blocks[i])
+	}
+	hasDefault := false
+	for i, clause := range clauses {
+		exprs, body, isDefault := split(clause)
+		if isDefault {
+			hasDefault = true
+		}
+		b.startBlock(blocks[i])
+		for _, e := range exprs {
+			b.add(e)
+		}
+		// A fallthrough must be the clause's final statement; lower the
+		// body and, if it ends in fallthrough, edge to the next clause.
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(body)
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(done)
+		}
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, done)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.startBlock(done)
+}
+
+// noReturnCall recognizes calls that never return control to the caller.
+func (b *cfgBuilder) noReturnCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := b.info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := b.info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		case "log":
+			return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln" ||
+				fn.Name() == "Panic" || fn.Name() == "Panicf" || fn.Name() == "Panicln"
+		}
+	}
+	return false
+}
+
+// FuncCFGs builds (and memoizes on the package) the CFG of every
+// function declaration and function literal in file. The checks share
+// these: five flow-sensitive checks over one package lower each
+// function once, not five times.
+func (pkg *Package) FuncCFGs(file *ast.File) []*CFG {
+	if pkg.cfgs == nil {
+		pkg.cfgs = make(map[*ast.File][]*CFG)
+	}
+	if got, ok := pkg.cfgs[file]; ok {
+		return got
+	}
+	var out []*CFG
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, BuildCFG(n, pkg.Info))
+			}
+		case *ast.FuncLit:
+			out = append(out, BuildCFG(n, pkg.Info))
+		}
+		return true
+	})
+	pkg.cfgs[file] = out
+	return out
+}
+
+// FuncName names a CFG's function for diagnostics: the declared name,
+// or "func literal" for anonymous functions.
+func (g *CFG) FuncName() string {
+	if fd, ok := g.Fn.(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return "func literal"
+}
+
+// FuncType returns the function's type expression (parameter access).
+func (g *CFG) FuncType() *ast.FuncType {
+	switch fn := g.Fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Type
+	case *ast.FuncLit:
+		return fn.Type
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package analysis
+
+// The ctxflow check: request-context propagation through the serving
+// and execution layers. Deadlines, cancellation and fault evaluation
+// all ride the context.Context threaded from splashd/characterize down
+// to cache I/O, journal appends and coalesced flights (PR 6/PR 8); a
+// path that swaps in context.Background()/TODO() silently detaches that
+// machinery — the request "completes" but can no longer be cancelled,
+// deadlined, or fault-scoped.
+//
+// Flow-sensitively, in the scoped packages, the check tracks which
+// local variables hold a FRESH context (one created by
+// context.Background()/context.TODO(), or derived from one via
+// context.With*) and reports any module-internal call whose
+// context.Context argument is fresh on some path. One shape is
+// exempted, because it is the documented nil-tolerance idiom of this
+// repository's APIs and the caller's context is provably absent there:
+//
+//	if ctx == nil {
+//		ctx = context.Background()
+//	}
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxObjKey gives a flow-fact identity to a context-typed variable.
+func ctxObjKey(obj types.Object) string {
+	return obj.Name() + "@" + strconv.Itoa(int(obj.Pos()))
+}
+
+// freshCtxCall reports whether call is context.Background() or
+// context.TODO().
+func freshCtxCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
+// deriveCtxCall returns the parent-context argument of a context.With*
+// call (WithCancel, WithTimeout, WithDeadline, WithValue, ...), or nil.
+func deriveCtxCall(info *types.Info, call *ast.CallExpr) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" ||
+		!strings.HasPrefix(fn.Name(), "With") || len(call.Args) == 0 {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// nilGuardedFresh collects the positions of Background()/TODO() calls
+// justified by the nil-tolerance idiom: inside `if x == nil { x = ... }`
+// where x is a context-typed variable assigned the fresh context.
+func nilGuardedFresh(info *types.Info, f *ast.File) map[token.Pos]bool {
+	justified := make(map[token.Pos]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		bin, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			return true
+		}
+		var guarded *ast.Ident
+		for _, pair := range [][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+			id, okID := pair[0].(*ast.Ident)
+			nilID, okNil := pair[1].(*ast.Ident)
+			if !okID || !okNil {
+				continue
+			}
+			if _, isNil := info.Uses[nilID].(*types.Nil); !isNil {
+				continue
+			}
+			if obj := info.Uses[id]; obj != nil && isContextType(obj.Type()) {
+				guarded = id
+			}
+		}
+		if guarded == nil {
+			return true
+		}
+		guardObj := info.Uses[guarded]
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || info.Uses[id] != guardObj || i >= len(as.Rhs) {
+					continue
+				}
+				if call, ok := as.Rhs[i].(*ast.CallExpr); ok && freshCtxCall(info, call) {
+					justified[call.Pos()] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return justified
+}
+
+// runCtxflow applies the analysis to the configured packages.
+func (cfg Config) runCtxflow(pass *Pass) {
+	if !hasAnyPrefix(pass.Pkg.Types.Path(), cfg.CtxScope) {
+		return
+	}
+	modPrefix, _, _ := strings.Cut(pass.Pkg.Path, "/")
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		justified := nilGuardedFresh(info, f)
+		for _, g := range pass.Pkg.FuncCFGs(f) {
+			runCtxflowFunc(pass, info, g, justified, modPrefix)
+		}
+	}
+}
+
+func runCtxflowFunc(pass *Pass, info *types.Info, g *CFG, justified map[token.Pos]bool, modPrefix string) {
+	// exprFresh decides, under fact `fresh`, whether e evaluates to a
+	// fresh (caller-detached) context.
+	var exprFresh func(e ast.Expr, fresh stringSet) bool
+	exprFresh = func(e ast.Expr, fresh stringSet) bool {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return exprFresh(e.X, fresh)
+		case *ast.CallExpr:
+			if freshCtxCall(info, e) {
+				return !justified[e.Pos()]
+			}
+			if parent := deriveCtxCall(info, e); parent != nil {
+				return exprFresh(parent, fresh)
+			}
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return fresh[ctxObjKey(obj)]
+			}
+		}
+		return false
+	}
+
+	// assign applies one assignment or declaration to the fact.
+	assign := func(lhs []ast.Expr, rhs []ast.Expr, fresh stringSet) stringSet {
+		out := fresh
+		for i, l := range lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil || !isContextType(obj.Type()) {
+				continue
+			}
+			var r ast.Expr
+			switch {
+			case len(rhs) == len(lhs):
+				r = rhs[i]
+			case len(rhs) == 1:
+				r = rhs[0] // multi-value: ctx, cancel := context.WithX(...)
+			}
+			if r != nil && exprFresh(r, out) {
+				out = out.with(ctxObjKey(obj))
+			} else {
+				out = out.without(ctxObjKey(obj))
+			}
+		}
+		return out
+	}
+
+	step := func(n ast.Node, in stringSet) stringSet {
+		out := in
+		inspectAtom(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				out = assign(m.Lhs, m.Rhs, out)
+			case *ast.ValueSpec:
+				lhs := make([]ast.Expr, len(m.Names))
+				for i, name := range m.Names {
+					lhs[i] = name
+				}
+				out = assign(lhs, m.Values, out)
+			}
+			return true
+		})
+		return out
+	}
+
+	facts := solve(g, stringSet{}, flowFuncs[stringSet]{
+		step:  step,
+		join:  stringSet.union,
+		equal: stringSet.equal,
+	})
+
+	// Report pass: flag module-internal calls receiving a fresh context.
+	for _, b := range g.Blocks {
+		in, reachable := facts[b]
+		if !reachable {
+			continue
+		}
+		cur := in
+		for _, n := range b.Nodes {
+			inspectAtom(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee, sig := calleeOf(info, call)
+				if callee == nil || sig == nil || callee.Pkg() == nil {
+					return true
+				}
+				path := callee.Pkg().Path()
+				if path != modPrefix && !strings.HasPrefix(path, modPrefix+"/") {
+					return true
+				}
+				params := sig.Params()
+				for i := 0; i < params.Len() && i < len(call.Args); i++ {
+					if !isContextType(params.At(i).Type()) {
+						continue
+					}
+					if exprFresh(call.Args[i], cur) {
+						pass.Reportf(call.Args[i].Pos(),
+							"%s receives a context.Background/TODO on this path, detaching it from request cancellation, deadlines and fault scoping; thread the caller's ctx (or guard with `if ctx == nil`)",
+							callee.Name())
+					}
+				}
+				return true
+			})
+			cur = step(n, cur)
+		}
+	}
+}
+
+// calleeOf resolves a call's target function object and signature
+// (methods through Selections, package functions through Uses).
+func calleeOf(info *types.Info, call *ast.CallExpr) (*types.Func, *types.Signature) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if s := info.Selections[fun]; s != nil {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				return fn, s.Type().(*types.Signature)
+			}
+			return nil, nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn, fn.Type().(*types.Signature)
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn, fn.Type().(*types.Signature)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,218 @@
+package analysis
+
+// The locks check: a flow-sensitive lockset analysis over mach.Lock
+// critical sections. For every function it tracks, per CFG point, the
+// set of locks that MAY be held (union at joins) and the set that MUST
+// be held (intersection at joins), and reports:
+//
+//   - Release of a lock that is not must-held: on at least one path to
+//     this point the lock was never acquired (or already released) —
+//     under PRAM serialization an unpaired Release corrupts the
+//     release-time/epoch publication the next acquirer joins.
+//   - Acquire of a lock that is already may-held: a double acquire
+//     self-deadlocks mach.Lock (it is not reentrant) on that path.
+//   - A blocking synchronization call (Barrier.Wait, Flag.Wait,
+//     TaskQueues.PopOrSteal, Machine.Epoch) or a phase boundary
+//     (ResetStats, FinishRecording) while a lock is may-held: every
+//     other participant must reach the same rendezvous, which they
+//     cannot if one of them needs the held lock — and the paper's sync
+//     accounting would fold lock wait into barrier wait even when it
+//     does not deadlock outright.
+//
+// Locks are identified by the canonical source text of the receiver
+// expression (types.ExprString), scoped to the enclosing function: `lk`,
+// `s.mu` and `locks[i]` are distinct locks; two syntactically identical
+// expressions are conservatively the same lock.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lockFact is the pair lockset fact. must ⊆ may on every consistent path.
+type lockFact struct {
+	may  stringSet
+	must stringSet
+}
+
+func lockJoin(a, b lockFact) lockFact {
+	return lockFact{may: a.may.union(b.may), must: a.must.intersect(b.must)}
+}
+
+func lockEqual(a, b lockFact) bool {
+	return a.may.equal(b.may) && a.must.equal(b.must)
+}
+
+// barrierLikeMethods are the mach entry points a held lock must not
+// cross: all-participant rendezvous and measurement-phase boundaries.
+var barrierLikeMethods = map[string]string{
+	"Wait":            "a Barrier/Flag wait",
+	"PopOrSteal":      "a task-queue wait",
+	"Epoch":           "a measurement-phase boundary (Machine.Epoch)",
+	"ResetStats":      "a measurement-phase boundary (ResetStats)",
+	"FinishRecording": "the end of recording (FinishRecording)",
+}
+
+// lockEvent classifies one call atom for the lockset transfer.
+type lockEvent int
+
+const (
+	lockNone lockEvent = iota
+	lockAcquire
+	lockRelease
+	lockBarrier
+)
+
+// classifyLockCall recognizes mach.Lock Acquire/Release and the
+// barrier-like calls. id is the lock identity for acquire/release and
+// the human description for barrier-like calls.
+func classifyLockCall(info *types.Info, call *ast.CallExpr) (ev lockEvent, id string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNone, ""
+	}
+	s := info.Selections[sel]
+	if s == nil {
+		return lockNone, ""
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || !isMachPackage(fn.Pkg()) {
+		return lockNone, ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return lockNone, ""
+	}
+	switch named.Obj().Name() {
+	case "Lock":
+		switch fn.Name() {
+		case "Acquire":
+			return lockAcquire, types.ExprString(sel.X)
+		case "Release":
+			return lockRelease, types.ExprString(sel.X)
+		}
+	case "Barrier", "Flag", "TaskQueues", "Machine":
+		if desc, ok := barrierLikeMethods[fn.Name()]; ok {
+			// Flag.Set and IsSet do not block; only the waits count.
+			if named.Obj().Name() == "Flag" && fn.Name() != "Wait" {
+				return lockNone, ""
+			}
+			return lockBarrier, desc
+		}
+	}
+	return lockNone, ""
+}
+
+// runLocks applies the lockset analysis to every function of the
+// package. The mach package itself is exempt: it implements the
+// primitives the invariant is stated over.
+func runLocks(pass *Pass) {
+	if isMachPackage(pass.Pkg.Types) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, g := range pass.Pkg.FuncCFGs(f) {
+			runLocksFunc(pass, info, g)
+		}
+	}
+}
+
+func runLocksFunc(pass *Pass, info *types.Info, g *CFG) {
+	// Fast pre-scan: skip functions that never touch a mach.Lock (the
+	// overwhelming majority) without solving anything.
+	touches := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			inspectAtom(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if ev, _ := classifyLockCall(info, call); ev == lockAcquire || ev == lockRelease {
+						touches = true
+					}
+				}
+				return !touches
+			})
+		}
+	}
+	if !touches {
+		return
+	}
+
+	step := func(n ast.Node, in lockFact) lockFact {
+		out := in
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			// Deferred releases run at function exit, not here; the
+			// registration point does not change the lockset.
+			return out
+		}
+		inspectAtom(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch ev, id := classifyLockCall(info, call); ev {
+			case lockAcquire:
+				out = lockFact{may: out.may.with(id), must: out.must.with(id)}
+			case lockRelease:
+				out = lockFact{may: out.may.without(id), must: out.must.without(id)}
+			}
+			return true
+		})
+		return out
+	}
+	facts := solve(g, lockFact{may: stringSet{}, must: stringSet{}}, flowFuncs[lockFact]{
+		step: step, join: lockJoin, equal: lockEqual,
+	})
+
+	// Report pass: re-step through each reachable block and diagnose at
+	// the offending call sites with the fact in flight.
+	for _, b := range g.Blocks {
+		in, reachable := facts[b]
+		if !reachable {
+			continue
+		}
+		cur := in
+		for _, n := range b.Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			inspectAtom(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ev, id := classifyLockCall(info, call)
+				switch ev {
+				case lockAcquire:
+					if cur.may[id] {
+						pass.Reportf(call.Pos(),
+							"second Acquire of %s while it may already be held (mach.Lock is not reentrant; this path self-deadlocks)", id)
+					}
+				case lockRelease:
+					if !cur.must[id] {
+						if cur.may[id] {
+							pass.Reportf(call.Pos(),
+								"Release of %s which is not held on every path to this point", id)
+						} else {
+							pass.Reportf(call.Pos(),
+								"Release of %s without a matching Acquire on this path", id)
+						}
+					}
+				case lockBarrier:
+					if len(cur.may) > 0 {
+						pass.Reportf(call.Pos(),
+							"lock %s may be held across %s; all participants must reach the rendezvous, and sync accounting folds the lock wait into it — release before synchronizing",
+							strings.Join(cur.may.sorted(), ", "), id)
+					}
+				}
+				return true
+			})
+			cur = step(n, cur)
+		}
+	}
+}

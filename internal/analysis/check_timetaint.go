@@ -1,0 +1,250 @@
+package analysis
+
+// The timetaint check: wall-clock and duration values must not flow
+// into exported results or cache keys. The content-addressed cache and
+// the 304/coalescing machinery all assume a request's identity and its
+// result are pure functions of the experiment inputs; a time-derived
+// value folded into runner.KeyOf (every rerun misses), a Request
+// Key/ETag/Canonical (revalidation breaks), a Cache.Put value (two
+// byte-different entries for one key) or an exported result returned
+// from internal/core (reruns stop being byte-identical) silently
+// destroys those contracts. The serving layer legitimately measures
+// time (latency metrics, heartbeats, deadlines), so an import-level ban
+// is wrong there — the check instead runs an intraprocedural taint
+// analysis over the CFG: time.Now/Since/Until seed the taint, it
+// propagates through arithmetic, method calls on tainted receivers and
+// assignments, and only the sink uses above are reported.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// timeTaintSources are the time package functions whose results carry
+// wall-clock taint.
+var timeTaintSources = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// taintSinkMethods are method names whose arguments must be
+// wall-clock-free when defined on module types.
+var taintSinkMethods = map[string]bool{"Key": true, "ETag": true, "Canonical": true}
+
+// runTimetaint applies the taint analysis to the configured packages.
+func (cfg Config) runTimetaint(pass *Pass) {
+	path := pass.Pkg.Types.Path()
+	if !hasAnyPrefix(path, cfg.TaintScope) {
+		return
+	}
+	resultScope := hasAnyPrefix(path, cfg.TaintResultScope)
+	modPrefix, _, _ := strings.Cut(pass.Pkg.Path, "/")
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, g := range pass.Pkg.FuncCFGs(f) {
+			runTimetaintFunc(pass, info, g, modPrefix, resultScope)
+		}
+	}
+}
+
+// timeSourceCall matches time.Now/Since/Until.
+func timeSourceCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && timeTaintSources[fn.Name()]
+}
+
+func runTimetaintFunc(pass *Pass, info *types.Info, g *CFG, modPrefix string, resultScope bool) {
+	// Pre-scan: functions that never touch a taint source are clean.
+	touches := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			inspectAtom(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && timeSourceCall(info, call) {
+					touches = true
+				}
+				return !touches
+			})
+		}
+	}
+	if !touches {
+		return
+	}
+
+	// exprTaint decides, under fact `tainted`, whether e carries
+	// wall-clock taint.
+	var exprTaint func(e ast.Expr, tainted stringSet) bool
+	exprTaint = func(e ast.Expr, tainted stringSet) bool {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return exprTaint(e.X, tainted)
+		case *ast.UnaryExpr:
+			return exprTaint(e.X, tainted)
+		case *ast.StarExpr:
+			return exprTaint(e.X, tainted)
+		case *ast.BinaryExpr:
+			return exprTaint(e.X, tainted) || exprTaint(e.Y, tainted)
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return tainted[objKey(obj)]
+			}
+		case *ast.CallExpr:
+			if timeSourceCall(info, e) {
+				return true
+			}
+			// Conversions and method calls propagate the taint of their
+			// operands: int64(d), d.Seconds(), t.Sub(u), t.Format(...).
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if s := info.Selections[sel]; s != nil && exprTaint(sel.X, tainted) {
+					return true
+				}
+			}
+			for _, a := range e.Args {
+				if exprTaint(a, tainted) {
+					return true
+				}
+			}
+		case *ast.SelectorExpr:
+			// Field read off a tainted value stays tainted.
+			return exprTaint(e.X, tainted)
+		case *ast.IndexExpr:
+			return exprTaint(e.X, tainted)
+		}
+		return false
+	}
+
+	step := func(n ast.Node, in stringSet) stringSet {
+		out := in
+		inspectAtom(n, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, l := range as.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				var r ast.Expr
+				switch {
+				case len(as.Rhs) == len(as.Lhs):
+					r = as.Rhs[i]
+				case len(as.Rhs) == 1:
+					r = as.Rhs[0]
+				}
+				k := objKey(obj)
+				if r != nil && exprTaint(r, out) {
+					out = out.with(k)
+				} else {
+					out = out.without(k)
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	facts := solve(g, stringSet{}, flowFuncs[stringSet]{
+		step:  step,
+		join:  stringSet.union,
+		equal: stringSet.equal,
+	})
+
+	exported := false
+	if fd, ok := g.Fn.(*ast.FuncDecl); ok {
+		exported = fd.Name.IsExported()
+	}
+
+	for _, b := range g.Blocks {
+		in, reachable := facts[b]
+		if !reachable {
+			continue
+		}
+		cur := in
+		for _, n := range b.Nodes {
+			inspectAtom(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.CallExpr:
+					reportTaintSink(pass, info, m, cur, exprTaint, modPrefix)
+				case *ast.ReturnStmt:
+					if resultScope && exported {
+						for _, r := range m.Results {
+							// A returned module-internal call is the callee's
+							// responsibility: its arguments hit the sink rules
+							// above and its own returns are analyzed in turn —
+							// flagging it here would double-report.
+							if call, okc := r.(*ast.CallExpr); okc {
+								if fn, _ := calleeOf(info, call); fn != nil && fn.Pkg() != nil {
+									p := fn.Pkg().Path()
+									if p == modPrefix || strings.HasPrefix(p, modPrefix+"/") {
+										continue
+									}
+								}
+							}
+							if exprTaint(r, cur) {
+								pass.Reportf(r.Pos(),
+									"wall-clock-derived value returned from exported %s; results must be byte-identical across reruns — derive reported values from logical clocks/inputs only", g.FuncName())
+							}
+						}
+					}
+				}
+				return true
+			})
+			cur = step(n, cur)
+		}
+	}
+}
+
+// reportTaintSink flags tainted arguments reaching key/result sinks.
+func reportTaintSink(pass *Pass, info *types.Info, call *ast.CallExpr, cur stringSet,
+	exprTaint func(ast.Expr, stringSet) bool, modPrefix string) {
+
+	fn, sig := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || sig == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != modPrefix && !strings.HasPrefix(path, modPrefix+"/") {
+		return
+	}
+	switch {
+	case fn.Name() == "KeyOf" && strings.HasSuffix(path, "internal/runner"):
+		for _, a := range call.Args {
+			if exprTaint(a, cur) {
+				pass.Reportf(a.Pos(),
+					"wall-clock-derived value flows into runner.KeyOf; cache keys must be pure functions of the experiment inputs (every rerun would miss)")
+			}
+		}
+	case taintSinkMethods[fn.Name()] && sig.Recv() != nil:
+		for _, a := range call.Args {
+			if exprTaint(a, cur) {
+				pass.Reportf(a.Pos(),
+					"wall-clock-derived value flows into %s.%s; request identity must not depend on when it was computed", recvTypeName(sig), fn.Name())
+			}
+		}
+	case fn.Name() == "Put" && strings.HasSuffix(path, "internal/runner") && len(call.Args) >= 3:
+		if exprTaint(call.Args[2], cur) {
+			pass.Reportf(call.Args[2].Pos(),
+				"wall-clock-derived bytes flow into Cache.Put; cached results must be byte-identical across reruns")
+		}
+	}
+}
+
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "receiver"
+}

@@ -18,6 +18,21 @@ type Config struct {
 	// RandScope lists import-path prefixes where importing math/rand is
 	// forbidden (these must use internal/workload's deterministic RNG).
 	RandScope []string
+	// CtxScope lists import-path prefixes where detaching from the
+	// request context (context.Background/TODO flowing into module
+	// calls) is forbidden — the serving/execution request paths.
+	CtxScope []string
+	// EpochScope lists import-path prefixes whose synchronization edges
+	// must publish a recorder epoch before releasing waiters.
+	EpochScope []string
+	// TaintScope lists import-path prefixes where wall-clock-derived
+	// values must not reach cache keys, request identities, or cached
+	// bytes.
+	TaintScope []string
+	// TaintResultScope lists import-path prefixes (a subset of
+	// TaintScope) where, additionally, exported functions must not
+	// return wall-clock-derived values.
+	TaintResultScope []string
 }
 
 // DefaultConfig scopes determinism to the result-producing packages.
@@ -34,6 +49,22 @@ func DefaultConfig() Config {
 			"splash2/internal/core",
 			"splash2/internal/workload",
 		},
+		CtxScope: []string{
+			"splash2/internal/serve",
+			"splash2/internal/runner",
+			"splash2/internal/core",
+		},
+		EpochScope: []string{
+			"splash2/internal/mach",
+		},
+		TaintScope: []string{
+			"splash2/internal/runner",
+			"splash2/internal/serve",
+			"splash2/internal/core",
+		},
+		TaintResultScope: []string{
+			"splash2/internal/core",
+		},
 	}
 }
 
@@ -48,6 +79,11 @@ func ChecksWith(cfg Config) []*Check {
 		{Name: "determinism", Doc: "no wall-clock reads, global math/rand, or map-order iteration in result-producing packages", Run: cfg.runDeterminism},
 		{Name: "faultpoints", Doc: "fault injection labels must be literals from the job:/cache.get:/cache.put:/trace.read[.footer|.block:]/lease.acquire:/journal.append taxonomy", Run: runFaultpoints},
 		{Name: "tracecapture", Doc: "per-reference memsys entry points (Recorder.Record*, System.Access*) are reserved for internal/mach's batched capture path", Run: runTracecapture},
+		{Name: "locks", Doc: "flow-sensitive lockset analysis over mach.Lock: unpaired Release, double Acquire, and locks held across barrier-like rendezvous", Run: runLocks},
+		{Name: "ctxflow", Doc: "request paths must thread the caller's context.Context; context.Background/TODO on any path detaches cancellation, deadlines and fault scoping", Run: cfg.runCtxflow},
+		{Name: "durability", Doc: "error results of journal/lease/cache/rename/Close-on-writable-file operations must be checked on every path", Run: runDurability},
+		{Name: "epochs", Doc: "every sync edge in internal/mach must publish a recorder epoch before releasing waiters", Run: cfg.runEpochs},
+		{Name: "timetaint", Doc: "wall-clock-derived values must not flow into cache keys, request identities, cached bytes, or exported results", Run: cfg.runTimetaint},
 	}
 }
 

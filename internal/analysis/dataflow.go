@@ -1,0 +1,182 @@
+package analysis
+
+// A small forward dataflow framework over the cfg.go graphs: facts
+// propagate from a function's entry along successor edges, joined at
+// merge points, to a fixpoint (classic worklist iteration). The checks
+// define the fact type and three operations; the framework owns the
+// iteration order and termination.
+//
+// A flowFuncs instance must be monotone (step may only move facts up
+// the lattice induced by join) and the fact space per function must be
+// finite — every check here satisfies both by construction (sets over
+// the function's identifiers). As a defense against a non-monotone
+// transfer looping forever, Solve gives up after a generous bound and
+// returns the facts computed so far; a check then under-reports rather
+// than hanging the analyzer.
+
+import "go/ast"
+
+// flowFuncs defines one dataflow problem over facts of type F.
+type flowFuncs[F any] struct {
+	// step advances a fact across one straight-line atom. It must not
+	// mutate in; return a new fact (or in itself when unchanged).
+	step func(n ast.Node, in F) F
+	// join merges two incoming path facts.
+	join func(a, b F) F
+	// equal reports fact equivalence (fixpoint detection).
+	equal func(a, b F) bool
+}
+
+// blockStep folds step over every atom of a block.
+func (fns *flowFuncs[F]) blockStep(b *Block, in F) F {
+	out := in
+	for _, n := range b.Nodes {
+		out = fns.step(n, out)
+	}
+	return out
+}
+
+// Solve runs the worklist iteration and returns the fact at entry of
+// every reachable block. Unreachable blocks are absent from the map.
+func solve[F any](g *CFG, entry F, fns flowFuncs[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = entry
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	// Bound: |blocks|² × a constant covers every chain the set-valued
+	// lattices used here can build; hitting it means a transfer bug.
+	budget := (len(g.Blocks)*len(g.Blocks) + 64) * 8
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := fns.blockStep(b, in[b])
+		for _, s := range b.Succs {
+			old, seen := in[s]
+			var merged F
+			if seen {
+				merged = fns.join(old, out)
+			} else {
+				merged = out
+			}
+			if !seen || !fns.equal(old, merged) {
+				in[s] = merged
+				if !queued[s] {
+					work = append(work, s)
+					queued[s] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// inspectAtom walks one CFG atom, skipping nested function literals
+// (each literal is its own CFG — its body is not part of this flow).
+// A RangeStmt atom stands for the iteration step only: its body is
+// lowered into its own blocks, so walking it here would double-count
+// every body statement with the loop head's entry fact.
+func inspectAtom(n ast.Node, f func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if rs.Key != nil {
+			inspectAtom(rs.Key, f)
+		}
+		if rs.Value != nil {
+			inspectAtom(rs.Value, f)
+		}
+		inspectAtom(rs.X, f)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Shared set-of-strings fact helpers (locksets, taint sets).
+
+// stringSet is an immutable-by-convention set fact.
+type stringSet map[string]bool
+
+func (s stringSet) with(k string) stringSet {
+	if s[k] {
+		return s
+	}
+	out := make(stringSet, len(s)+1)
+	for k2 := range s {
+		out[k2] = true
+	}
+	out[k] = true
+	return out
+}
+
+func (s stringSet) without(k string) stringSet {
+	if !s[k] {
+		return s
+	}
+	out := make(stringSet, len(s))
+	for k2 := range s {
+		if k2 != k {
+			out[k2] = true
+		}
+	}
+	return out
+}
+
+func (s stringSet) union(t stringSet) stringSet {
+	if len(t) == 0 {
+		return s
+	}
+	if len(s) == 0 {
+		return t
+	}
+	out := make(stringSet, len(s)+len(t))
+	for k := range s {
+		out[k] = true
+	}
+	for k := range t {
+		out[k] = true
+	}
+	return out
+}
+
+func (s stringSet) intersect(t stringSet) stringSet {
+	out := make(stringSet)
+	for k := range s {
+		if t[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (s stringSet) equal(t stringSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s stringSet) sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	// insertion sort: sets here are tiny (a handful of locks/vars)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// In-package tests for the //splash:allow directive parser: a fuzz
+// harness over the text after the marker, plus deterministic coverage
+// of the duplicate-directive rule. The parser sits on the trust
+// boundary of the suppression mechanism — a directive that parses
+// differently than the oracle predicts either silences a finding it
+// should not, or rots silently — so every input must land in exactly
+// one bucket: one well-formed directive, or one "directive" finding.
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// fuzzKnown is the check registry the fuzz harness resolves against.
+var fuzzKnown = map[string]bool{"accounting": true, "determinism": true}
+
+func parseDirectiveFile(src string) (*token.FileSet, *Package, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fset, &Package{Path: "p", Files: []*ast.File{f}}, nil
+}
+
+func FuzzAllowDirective(f *testing.F) {
+	f.Add(" accounting deliberate read for verification")
+	f.Add(" accounting")
+	f.Add("")
+	f.Add("   ")
+	f.Add(" bogus some reason")
+	f.Add("\taccounting\ttabbed reason")
+	f.Add(" determinism fixture: reason with //splash:allow accounting embedded")
+	f.Add("x accounting glued to the marker")
+	f.Add(" accounting   non-breaking space")
+	f.Add(" accounting reason with trailing spaces   ")
+
+	f.Fuzz(func(t *testing.T, rest string) {
+		if strings.ContainsAny(rest, "\n\r") {
+			t.Skip("a line directive cannot span lines")
+		}
+		src := "package p\n\n//splash:allow" + rest + "\nvar X = 1\n"
+		fset, pkg, err := parseDirectiveFile(src)
+		if err != nil {
+			t.Skip("input breaks the surrounding file")
+		}
+
+		var diags []Diagnostic
+		allows := collectAllows(fset, []*Package{pkg}, fuzzKnown,
+			func(d Diagnostic) { diags = append(diags, d) })
+
+		// Exactly one outcome per directive: parsed or reported.
+		if len(allows)+len(diags) != 1 {
+			t.Fatalf("input %q: %d allows + %d diags, want exactly 1 outcome", rest, len(allows), len(diags))
+		}
+		for _, d := range diags {
+			if d.Check != directiveCheckName {
+				t.Fatalf("input %q: malformed directive reported as check %q", rest, d.Check)
+			}
+			if d.Line != 3 || d.Col <= 0 {
+				t.Fatalf("input %q: diagnostic at %d:%d, want line 3", rest, d.Line, d.Col)
+			}
+		}
+
+		// Oracle: the documented grammar is "check name, then a reason".
+		fields := strings.Fields(rest)
+		wellFormed := len(fields) >= 2 && fuzzKnown[fields[0]]
+		if wellFormed != (len(allows) == 1) {
+			t.Fatalf("input %q: oracle says wellFormed=%v, parser returned %d directives", rest, wellFormed, len(allows))
+		}
+		if wellFormed {
+			a := allows[0]
+			if a.check != fields[0] {
+				t.Fatalf("input %q: parsed check %q, want %q", rest, a.check, fields[0])
+			}
+			if strings.TrimSpace(a.reason) == "" {
+				t.Fatalf("input %q: well-formed directive with empty reason", rest)
+			}
+			if a.line != 3 {
+				t.Fatalf("input %q: directive line %d, want 3", rest, a.line)
+			}
+		}
+	})
+}
+
+// TestDuplicateDirective: two directives for the same check on adjacent
+// lines overlap (each covers the other's line); the second is reported
+// and does not enter the suppression set.
+func TestDuplicateDirective(t *testing.T) {
+	src := `package p
+
+//splash:allow accounting first reason
+//splash:allow accounting second reason
+var X = 1
+`
+	fset, pkg, err := parseDirectiveFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	allows := collectAllows(fset, []*Package{pkg}, fuzzKnown,
+		func(d Diagnostic) { diags = append(diags, d) })
+	if len(allows) != 1 || allows[0].line != 3 {
+		t.Fatalf("allows = %+v, want only the line-3 directive", allows)
+	}
+	if len(diags) != 1 || diags[0].Line != 4 || !strings.Contains(diags[0].Message, "duplicate") {
+		t.Fatalf("diags = %+v, want one duplicate finding at line 4", diags)
+	}
+}
+
+// TestNonAdjacentSameCheckDirectives: a one-line gap means disjoint
+// coverage; both directives stand.
+func TestNonAdjacentSameCheckDirectives(t *testing.T) {
+	src := `package p
+
+//splash:allow accounting covers lines 3 and 4
+var X = 1
+//splash:allow accounting covers lines 5 and 6
+var Y = 2
+`
+	fset, pkg, err := parseDirectiveFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	allows := collectAllows(fset, []*Package{pkg}, fuzzKnown,
+		func(d Diagnostic) { diags = append(diags, d) })
+	if len(allows) != 2 || len(diags) != 0 {
+		t.Fatalf("allows = %d, diags = %+v; want 2 directives and no findings", len(allows), diags)
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -34,6 +35,19 @@ func sharedStdImporter() types.ImporterFrom {
 	return stdImporter
 }
 
+// NoPackagesError reports a package pattern that matched nothing on
+// disk. It is a usage error, not an internal one: the tree was never
+// loaded, so there is nothing to diagnose beyond the pattern itself.
+// cmd/splashlint maps it to its usage exit status.
+type NoPackagesError struct {
+	// Pattern is the pattern as the caller wrote it.
+	Pattern string
+}
+
+func (e *NoPackagesError) Error() string {
+	return fmt.Sprintf("analysis: no packages match %q", e.Pattern)
+}
+
 // Package is one type-checked module package: the parsed syntax, the
 // type information, and enough position context to report diagnostics.
 type Package struct {
@@ -47,6 +61,10 @@ type Package struct {
 	Types *types.Package
 	// Info holds the type-checker's resolution maps for Files.
 	Info *types.Info
+
+	// cfgs memoizes per-file control-flow graphs (see cfg.go) so the
+	// flow-sensitive checks lower each function once per package.
+	cfgs map[*ast.File][]*CFG
 }
 
 // Loader loads and type-checks module packages from source, in
@@ -220,17 +238,25 @@ func (l *Loader) load(path string) (*Package, error) {
 }
 
 // parseDir parses the non-test Go files of one directory, with comments
-// (the suppression directives live in them).
+// (the suppression directives live in them). Build constraints are
+// honored via go/build's MatchFile, so a file gated to another platform
+// or behind an inactive tag is excluded exactly as `go build` would —
+// type-checking it alongside the active files would produce spurious
+// redeclaration errors.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	bctx := build.Default
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if match, err := bctx.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		names = append(names, name)
@@ -263,7 +289,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 	}
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("analysis: no packages matched %s", strings.Join(patterns, " "))
+		return nil, &NoPackagesError{Pattern: strings.Join(patterns, " ")}
 	}
 	sorted := make([]string, 0, len(paths))
 	for p := range paths {
@@ -281,8 +307,13 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
-// expand resolves one pattern to a list of import paths.
+// expand resolves one pattern to a list of import paths. A recursive
+// pattern that matches nothing — the root does not exist, or no package
+// lives under it — is a NoPackagesError: when it arrives alongside
+// matching patterns it must not be swallowed into their union, because
+// a silently ignored pattern reads as "that subtree is clean".
 func (l *Loader) expand(pat string) ([]string, error) {
+	orig := pat
 	recursive := false
 	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
 		recursive = true
@@ -311,7 +342,17 @@ func (l *Loader) expand(pat string) ([]string, error) {
 		}
 		return []string{path}, nil
 	}
-	return l.walk(dir)
+	if _, err := os.Stat(dir); err != nil {
+		return nil, &NoPackagesError{Pattern: orig}
+	}
+	paths, err := l.walk(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, &NoPackagesError{Pattern: orig}
+	}
+	return paths, nil
 }
 
 // walk finds every package directory under root, skipping testdata,
@@ -332,6 +373,12 @@ func (l *Loader) walk(root string) ([]string, error) {
 			return nil
 		}
 		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		// A directory whose every file is excluded by build constraints
+		// is not a package on this platform; discovering it would only
+		// make load fail on an empty file list.
+		if match, merr := build.Default.MatchFile(filepath.Dir(p), d.Name()); merr != nil || !match {
 			return nil
 		}
 		path, err := l.pathFor(filepath.Dir(p))

@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"splash2/internal/analysis"
+)
+
+// TestLoaderHonorsBuildConstraints: the buildtag fixture redeclares a
+// symbol in a file gated behind a tag that is never set; loading
+// succeeds only if parseDir excludes that file the way `go build` does.
+func TestLoaderHonorsBuildConstraints(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(fixturePrefix + "/buildtag")
+	if err != nil {
+		t.Fatalf("loading the buildtag fixture: %v (the constrained file leaked into the package?)", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types.Scope().Lookup("Active") == nil {
+		t.Fatal("Active not found in the loaded package")
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (excluded.go must not be parsed)", len(pkg.Files))
+	}
+}
+
+// TestLoadZeroMatchPattern: a recursive pattern matching nothing is a
+// typed NoPackagesError naming the pattern — including when it arrives
+// alongside patterns that do match, so a misspelled subtree cannot be
+// silently skipped and read as clean.
+func TestLoadZeroMatchPattern(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, patterns := range [][]string{
+		{"./definitely/not/here/..."},
+		{fixturePrefix + "/accounting", "./definitely/not/here/..."},
+	} {
+		_, err := loader.Load(patterns...)
+		var noPkgs *analysis.NoPackagesError
+		if !errors.As(err, &noPkgs) {
+			t.Fatalf("Load(%v) = %v, want NoPackagesError", patterns, err)
+		}
+		if !strings.Contains(noPkgs.Pattern, "./definitely/not/here/...") {
+			t.Fatalf("NoPackagesError.Pattern = %q, want the failing pattern", noPkgs.Pattern)
+		}
+	}
+}
+
+// TestLoadEmptySubtreePattern: a recursive pattern over an existing
+// directory containing no packages is also a zero match.
+func TestLoadEmptySubtreePattern(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() // exists, holds no Go files — but lives outside the module
+	_, err = loader.Load(dir + "/...")
+	var noPkgs *analysis.NoPackagesError
+	if !errors.As(err, &noPkgs) {
+		t.Fatalf("Load(%s/...) = %v, want NoPackagesError", dir, err)
+	}
+}

@@ -1,0 +1,7 @@
+// Package buildtag exercises the loader's build-constraint handling:
+// excluded.go redeclares Active behind a tag that is never set, so this
+// package only type-checks if the loader honors the constraint exactly
+// as `go build` would.
+package buildtag
+
+func Active() int { return 1 }

@@ -1,0 +1,7 @@
+//go:build splashlint_never_tag
+
+// Redeclares Active: type-checking fails if the loader parses this
+// file despite its inactive build constraint.
+package buildtag
+
+func Active() int { return 2 }

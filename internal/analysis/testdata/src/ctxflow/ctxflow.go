@@ -1,0 +1,64 @@
+// Package ctxflow seeds request-context violations: paths on which a
+// module-internal call receives a context created by
+// context.Background/TODO instead of the caller's context.
+package ctxflow
+
+import "context"
+
+func work(ctx context.Context, n int) error {
+	_ = ctx
+	return nil
+}
+
+func detachedVar(n int) {
+	ctx := context.Background()
+	work(ctx, n) // want ctxflow
+}
+
+func detachedDirect() {
+	work(context.TODO(), 1) // want ctxflow
+}
+
+func detachedDerived() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	work(ctx, 2) // want ctxflow
+}
+
+func detachedOnOnePath(ctx context.Context, cold bool) {
+	if cold {
+		ctx = context.Background()
+	}
+	work(ctx, 3) // want ctxflow
+}
+
+func threaded(ctx context.Context) {
+	work(ctx, 4)
+}
+
+func derivedThreaded(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	work(c, 5)
+}
+
+// The documented nil-tolerance idiom: the caller's context is provably
+// absent, so substituting Background is the API's contract, not a leak.
+func nilGuarded(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	work(ctx, 6)
+}
+
+// Reassignment from the caller's context washes the freshness.
+func rethreaded(ctx context.Context) {
+	c := context.Background()
+	c = ctx
+	work(c, 7)
+}
+
+func suppressed() {
+	//splash:allow ctxflow fixture: lifecycle event outside any request
+	work(context.Background(), 8)
+}

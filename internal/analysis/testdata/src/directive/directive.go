@@ -14,3 +14,10 @@ package directive
 
 // want+1 directive
 //splash:allow determinism fixture: nothing on the next line triggers, so this is unused
+
+// Two directives for the same check on adjacent lines overlap: each
+// covers the other's line, so the pair would mark itself used forever.
+// The first is reported as unused (nothing real to suppress), the
+// second as a duplicate.
+//splash:allow faultpoints fixture: first of an overlapping pair // want directive
+//splash:allow faultpoints fixture: second of an overlapping pair // want directive

@@ -1,0 +1,105 @@
+// Package durability seeds unchecked-error violations on the crash
+// safety surface: atomic renames, closes of writable files, and the
+// runner cache/journal/lease operations.
+package durability
+
+import (
+	"context"
+	"os"
+
+	"splash2/internal/runner"
+)
+
+func renameDiscarded(dir string) {
+	os.Rename(dir+"/a", dir+"/b") // want durability
+}
+
+func renameBlank(dir string) {
+	_ = os.Rename(dir+"/a", dir+"/b") // want durability
+}
+
+func renameChecked(dir string) error {
+	return os.Rename(dir+"/a", dir+"/b")
+}
+
+// The first rename's error is clobbered by the second before anything
+// reads it; `_ =` discards rather than consults, so the second error is
+// never consulted either.
+func renameOverwritten(dir string) {
+	err := os.Rename(dir+"/a", dir+"/b") // want durability
+	err = os.Rename(dir+"/b", dir+"/c")  // want durability
+	_ = err
+}
+
+func deferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want durability
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// The close-twice idiom: checked Close on the success path, deferred
+// Close as cleanup for the error paths. Not flagged.
+func closeTwice(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Close on a read-only file cannot lose buffered writes.
+func readOnlyClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+func goClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	go f.Close() // want durability
+	return nil
+}
+
+func putDiscarded(ctx context.Context, c *runner.Cache, k runner.Key, v []byte) {
+	c.Put(ctx, k, v) // want durability
+}
+
+func putChecked(ctx context.Context, c *runner.Cache, k runner.Key, v []byte) error {
+	return c.Put(ctx, k, v)
+}
+
+// The standard conditional-propagation idiom: the close error is
+// deliberately superseded when an earlier error is already being
+// returned. Not flagged.
+func closePropagated(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func suppressed(dir string) {
+	//splash:allow durability fixture: scratch-space rename, both names are temp artifacts
+	os.Rename(dir+"/a", dir+"/b")
+}

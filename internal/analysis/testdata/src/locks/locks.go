@@ -1,0 +1,93 @@
+// Package locks seeds lockset violations over mach.Lock critical
+// sections: double acquires, releases without a matching acquire, and
+// locks held across barrier-like rendezvous.
+package locks
+
+import "splash2/internal/mach"
+
+type shared struct {
+	mu    mach.Lock
+	other mach.Lock
+	bar   *mach.Barrier
+}
+
+func doubleAcquire(p *mach.Proc, s *shared) {
+	s.mu.Acquire(p)
+	s.mu.Acquire(p) // want locks
+	s.mu.Release(p)
+}
+
+func releaseUnheld(p *mach.Proc, s *shared) {
+	s.other.Release(p) // want locks
+}
+
+func releaseNotOnEveryPath(p *mach.Proc, s *shared, cond bool) {
+	if cond {
+		s.mu.Acquire(p)
+	}
+	s.mu.Release(p) // want locks
+}
+
+func heldAcrossBarrier(p *mach.Proc, s *shared) {
+	s.mu.Acquire(p)
+	s.bar.Wait(p) // want locks
+	s.mu.Release(p)
+}
+
+func heldOnOnePathAcrossBarrier(p *mach.Proc, s *shared, fast bool) {
+	if !fast {
+		s.mu.Acquire(p)
+	}
+	s.bar.Wait(p) // want locks
+	if !fast {
+		s.mu.Release(p) // want locks
+	}
+}
+
+func clean(p *mach.Proc, s *shared) {
+	s.mu.Acquire(p)
+	s.mu.Release(p)
+	s.bar.Wait(p)
+}
+
+func cleanEarlyReturn(p *mach.Proc, s *shared, n int) int {
+	s.mu.Acquire(p)
+	if n > 0 {
+		s.mu.Release(p)
+		return n
+	}
+	s.mu.Release(p)
+	return 0
+}
+
+func cleanLoop(p *mach.Proc, s *shared, xs []int) {
+	for range xs {
+		s.mu.Acquire(p)
+		s.mu.Release(p)
+	}
+	s.bar.Wait(p)
+}
+
+func cleanNested(p *mach.Proc, s *shared) {
+	s.mu.Acquire(p)
+	s.other.Acquire(p)
+	s.other.Release(p)
+	s.mu.Release(p)
+}
+
+// A panic path never reaches the release; the terminated path is not a
+// leak the next statement can observe.
+func cleanPanics(p *mach.Proc, s *shared, ok bool) {
+	s.mu.Acquire(p)
+	if !ok {
+		panic("bad state")
+	}
+	s.mu.Release(p)
+}
+
+func suppressed(p *mach.Proc, s *shared) {
+	s.mu.Acquire(p)
+	//splash:allow locks fixture: the rendezvous partners never contend for this lock
+	s.bar.Wait(p)
+	s.mu.Release(p)
+}

@@ -1,0 +1,89 @@
+// Package timetaint seeds wall-clock taint violations: time-derived
+// values flowing into cache keys, request identities, cached bytes, and
+// exported results.
+package timetaint
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"splash2/internal/runner"
+)
+
+type ticket struct{ id string }
+
+func (t *ticket) ETag(v string) string { return t.id + ":" + v }
+
+func busy(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func KeyFromTime(name string) runner.Key {
+	stamp := time.Now().UnixNano()
+	return runner.KeyOf("bench", name, fmt.Sprint(stamp)) // want timetaint
+}
+
+func KeyFromInputs(name string, n int) runner.Key {
+	return runner.KeyOf("bench", name, strconv.Itoa(n))
+}
+
+func StampedETag(t *ticket) string {
+	return t.ETag(time.Now().String()) // want timetaint
+}
+
+func InputETag(t *ticket, n int) string {
+	return t.ETag(strconv.Itoa(n))
+}
+
+// Exported result derived from the wall clock: reruns stop being
+// byte-identical.
+func MeasureBad(n int) float64 {
+	t0 := time.Now()
+	busy(n)
+	return time.Since(t0).Seconds() // want timetaint
+}
+
+// Unexported helpers may measure; only exported results are the
+// reproducibility surface.
+func measureInternal(n int) float64 {
+	t0 := time.Now()
+	busy(n)
+	return time.Since(t0).Seconds()
+}
+
+// Arithmetic and method calls propagate the taint.
+func MeasureDerived(n int) int64 {
+	t0 := time.Now()
+	busy(n)
+	d := time.Since(t0)
+	return d.Nanoseconds() / int64(n+1) // want timetaint
+}
+
+// Wall-clock bytes cached under a pure key: two runs produce two
+// different "identical" entries.
+func PutStamped(ctx context.Context, c *runner.Cache, k runner.Key) error {
+	v := []byte(time.Now().String())
+	return c.Put(ctx, k, v) // want timetaint
+}
+
+func PutPure(ctx context.Context, c *runner.Cache, k runner.Key, n int) error {
+	return c.Put(ctx, k, []byte(strconv.Itoa(n)))
+}
+
+// Overwriting the variable with an input-derived value kills the taint.
+func Washed(name string) runner.Key {
+	s := time.Now().String()
+	s = name
+	return runner.KeyOf("bench", s)
+}
+
+func SuppressedETag(t *ticket) string {
+	//splash:allow timetaint fixture: diagnostic etag, never used as a cache identity
+	return t.ETag(time.Now().String())
+}

@@ -269,7 +269,7 @@ func (c *Cache) Put(ctx context.Context, k Key, value []byte) (err error) {
 		return err
 	}
 	if _, err := tmp.Write(env); err != nil {
-		tmp.Close()
+		tmp.Close() //splash:allow durability cleanup close on an already-failing path; the Write error is what the caller sees and the temp file is removed
 		os.Remove(tmp.Name())
 		return err
 	}

@@ -104,7 +104,7 @@ func OpenJournal(dir string) (*Journal, error) {
 	}
 	j := &Journal{f: f, path: path, runID: runID}
 	host, _ := os.Hostname()
-	j.append(JournalEvent{Event: "run.start", PID: os.Getpid(), Host: host})
+	j.append(nil, JournalEvent{Event: "run.start", PID: os.Getpid(), Host: host})
 	return j, nil
 }
 
@@ -143,10 +143,15 @@ func (j *Journal) Appended() int64 {
 }
 
 // append writes one event as a single JSONL line. Best-effort: a failed
-// append (full disk, injected fault) loses forensics, never results.
-func (j *Journal) append(ev JournalEvent) {
+// append (full disk, injected fault) loses forensics, never results. The
+// context scopes the injection point to the request that caused the
+// event; lifecycle events (run.start, run.end) pass nil.
+func (j *Journal) append(ctx context.Context, ev JournalEvent) {
 	if j == nil {
 		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	ev.Time = time.Now().UTC()
 	data, err := json.Marshal(ev)
@@ -162,7 +167,7 @@ func (j *Journal) append(ev JournalEvent) {
 	// The append is a crash injection point: dying between a job's
 	// completion and its journal line is exactly the window the reader's
 	// truncated-tail tolerance exists for.
-	if err := j.inj.Do(context.Background(), "journal.append"); err != nil {
+	if err := j.inj.Do(ctx, "journal.append"); err != nil {
 		return
 	}
 	if _, err := j.f.Write(data); err != nil {
@@ -172,18 +177,18 @@ func (j *Journal) append(ev JournalEvent) {
 }
 
 // JobStart records that a job's attempt loop began.
-func (j *Journal) JobStart(label, key string) {
-	j.append(JournalEvent{Event: "job.start", Label: label, Key: key})
+func (j *Journal) JobStart(ctx context.Context, label, key string) {
+	j.append(ctx, JournalEvent{Event: "job.start", Label: label, Key: key})
 }
 
 // JobDone records a job that completed successfully.
-func (j *Journal) JobDone(label, key string, attempts int) {
-	j.append(JournalEvent{Event: "job.done", Label: label, Key: key, Attempts: attempts})
+func (j *Journal) JobDone(ctx context.Context, label, key string, attempts int) {
+	j.append(ctx, JournalEvent{Event: "job.done", Label: label, Key: key, Attempts: attempts})
 }
 
 // JobFail records a job that exhausted its attempts. When the cause was
 // an injected fault the fault operation is recorded too.
-func (j *Journal) JobFail(je *JobError) {
+func (j *Journal) JobFail(ctx context.Context, je *JobError) {
 	if j == nil || je == nil {
 		return
 	}
@@ -195,18 +200,18 @@ func (j *Journal) JobFail(je *JobError) {
 	if errors.As(je.Err, &inj) {
 		ev.FaultOp = inj.Op
 	}
-	j.append(ev)
+	j.append(ctx, ev)
 }
 
 // JobShared records a job whose result was obtained by waiting on
 // another process's lease instead of executing locally.
-func (j *Journal) JobShared(label, key string) {
-	j.append(JournalEvent{Event: "job.shared", Label: label, Key: key})
+func (j *Journal) JobShared(ctx context.Context, label, key string) {
+	j.append(ctx, JournalEvent{Event: "job.shared", Label: label, Key: key})
 }
 
 // LeaseTakeover records the reclamation of a dead process's lease.
-func (j *Journal) LeaseTakeover(key string) {
-	j.append(JournalEvent{Event: "lease.takeover", Key: key})
+func (j *Journal) LeaseTakeover(ctx context.Context, key string) {
+	j.append(ctx, JournalEvent{Event: "lease.takeover", Key: key})
 }
 
 // Close appends the run.end event (with final counters) and closes the
@@ -215,7 +220,7 @@ func (j *Journal) Close(counts Counts) error {
 	if j == nil {
 		return nil
 	}
-	j.append(JournalEvent{Event: "run.end", Counts: &counts})
+	j.append(nil, JournalEvent{Event: "run.end", Counts: &counts})
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -361,19 +366,23 @@ func ScanJournals(dir string) []RunSummary {
 // repeated resumes report each crash once. Append-only, honouring the
 // journal discipline: the dead run's history is never rewritten.
 func MarkResumed(path, by string) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	host, _ := os.Hostname()
 	ev := JournalEvent{Time: time.Now().UTC(), Event: "run.resumed", By: by, PID: os.Getpid(), Host: host}
 	data, err := json.Marshal(ev)
 	if err != nil {
 		return err
 	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
 	// The dead journal may end in a torn line with no newline; lead with
 	// one so this event always starts a fresh line. Readers skip blanks.
 	_, err = f.Write(append([]byte{'\n'}, append(data, '\n')...))
+	// A failed close can swallow the flush of the resumed marker, and a
+	// lost marker makes every later resume re-report this crash.
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }

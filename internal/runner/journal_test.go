@@ -21,14 +21,14 @@ func TestJournalRoundTrip(t *testing.T) {
 	if j.RunID() == "" || j.Path() == "" {
 		t.Fatal("journal has empty identity")
 	}
-	j.JobStart("fft", "aa11")
-	j.JobDone("fft", "aa11", 1)
-	j.JobStart("lu", "bb22")
-	j.JobFail(&JobError{Label: "lu", Key: "bb22", Attempts: 3, Err: errors.New("boom")})
-	j.JobStart("radix", "cc33")
-	j.JobShared("radix", "cc33")
-	j.LeaseTakeover("dd44")
-	j.JobStart("ocean", "ee55") // never finishes: in flight at "crash"
+	j.JobStart(nil, "fft", "aa11")
+	j.JobDone(nil, "fft", "aa11", 1)
+	j.JobStart(nil, "lu", "bb22")
+	j.JobFail(nil, &JobError{Label: "lu", Key: "bb22", Attempts: 3, Err: errors.New("boom")})
+	j.JobStart(nil, "radix", "cc33")
+	j.JobShared(nil, "radix", "cc33")
+	j.LeaseTakeover(nil, "dd44")
+	j.JobStart(nil, "ocean", "ee55") // never finishes: in flight at "crash"
 	if err := j.Close(Counts{Executed: 2}); err != nil {
 		t.Fatal(err)
 	}
@@ -70,9 +70,9 @@ func TestJournalFailEventDetail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.JobFail(&JobError{Label: "fft", Key: "aa", Attempts: 1,
+	j.JobFail(nil, &JobError{Label: "fft", Key: "aa", Attempts: 1,
 		Err: &fault.InjectedError{Op: "cache.put:aa"}})
-	j.JobFail(&JobError{Label: "lu", Skipped: true, Err: errors.New("dependency fft: boom")})
+	j.JobFail(nil, &JobError{Label: "lu", Skipped: true, Err: errors.New("dependency fft: boom")})
 	j.Close(Counts{})
 
 	events, err := ReadJournal(j.Path())
@@ -209,8 +209,8 @@ func TestJournalAppendFaultIsBestEffort(t *testing.T) {
 	}
 	j.SetFault(fault.New(1, rules...))
 	before := j.Appended()
-	j.JobStart("fft", "aa")
-	j.JobDone("fft", "aa", 1)
+	j.JobStart(nil, "fft", "aa")
+	j.JobDone(nil, "fft", "aa", 1)
 	if got := j.Appended(); got != before {
 		t.Errorf("Appended grew to %d despite injected append faults", got)
 	}
@@ -233,11 +233,11 @@ func TestJournalAppendFaultIsBestEffort(t *testing.T) {
 func TestJournalNilSafety(t *testing.T) {
 	var j *Journal
 	j.SetFault(nil)
-	j.JobStart("x", "y")
-	j.JobDone("x", "y", 1)
-	j.JobFail(&JobError{Label: "x"})
-	j.JobShared("x", "y")
-	j.LeaseTakeover("y")
+	j.JobStart(nil, "x", "y")
+	j.JobDone(nil, "x", "y", 1)
+	j.JobFail(nil, &JobError{Label: "x"})
+	j.JobShared(nil, "x", "y")
+	j.LeaseTakeover(nil, "y")
 	if j.RunID() != "" || j.Path() != "" || j.Appended() != 0 {
 		t.Error("nil journal has identity")
 	}

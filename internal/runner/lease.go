@@ -83,8 +83,9 @@ type leases struct {
 	inj   *fault.Injector
 
 	// takeovers observes reclaimed stale leases (runner counter +
-	// journal); the argument is the reclaimed key's hex string.
-	takeovers func(key string)
+	// journal); the context is the request whose contention discovered
+	// the stale lease, the argument the reclaimed key's hex string.
+	takeovers func(ctx context.Context, key string)
 }
 
 // newLeases builds a lease manager rooted at the cache directory.
@@ -125,7 +126,7 @@ func (l *leases) tryAcquire(ctx context.Context, k Key) (leaseState, func()) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		if os.IsExist(err) {
-			if l.reapIfStale(path) {
+			if l.reapIfStale(ctx, path) {
 				// The stale holder is gone and we removed its lease;
 				// immediately re-contend. Another process may win the
 				// re-race — that's fine, they're live.
@@ -207,7 +208,7 @@ func (l *leases) release(path string) {
 // performed the removal: contenders race os.Rename to a unique reap
 // name, and rename's atomicity guarantees a single winner — the losers
 // keep waiting and re-probe.
-func (l *leases) reapIfStale(path string) bool {
+func (l *leases) reapIfStale(ctx context.Context, path string) bool {
 	st, err := os.Stat(path)
 	if err != nil {
 		return false // gone already — treat as "someone else reaped"
@@ -226,7 +227,7 @@ func (l *leases) reapIfStale(path string) bool {
 		// Reassemble the key from the sharded lease path:
 		// <dir>/<key[:2]>/<key[2:]>.lease.
 		base := strings.TrimSuffix(filepath.Base(path), ".lease")
-		l.takeovers(filepath.Base(filepath.Dir(path)) + base)
+		l.takeovers(ctx, filepath.Base(filepath.Dir(path))+base)
 	}
 	return true
 }
@@ -276,7 +277,7 @@ func (l *leases) wait(ctx context.Context, c *Cache, k Key, decode func([]byte) 
 			return nil, false, nil
 		}
 		if time.Since(st.ModTime()) > l.ttl {
-			if l.reapIfStale(path) {
+			if l.reapIfStale(ctx, path) {
 				return nil, false, nil
 			}
 			// Lost the reap race; the reaper is live and about to

@@ -117,7 +117,7 @@ func TestLeaseTakeoverRace(t *testing.T) {
 	mgrs := make([]*leases, contenders)
 	for i := range mgrs {
 		mgrs[i] = newLeases(dir, 100*time.Millisecond)
-		mgrs[i].takeovers = func(string) { takeovers.Add(1) }
+		mgrs[i].takeovers = func(context.Context, string) { takeovers.Add(1) }
 	}
 	writeStaleLease(t, mgrs[0], k, time.Minute)
 
@@ -173,7 +173,7 @@ func TestLeaseHeartbeatKeepsLeaseFresh(t *testing.T) {
 	if age := time.Since(st.ModTime()); age > l.ttl {
 		t.Errorf("held lease looks stale (age %v > ttl %v); heartbeat not running", age, l.ttl)
 	}
-	if l.reapIfStale(l.path(k)) {
+	if l.reapIfStale(context.Background(), l.path(k)) {
 		t.Error("contender reaped a heartbeating lease")
 	}
 }

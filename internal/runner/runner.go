@@ -151,9 +151,9 @@ func New(opts Options) *Runner {
 		memo: map[Key]any{},
 	}
 	if ls := opts.Cache.leaseManager(); ls != nil {
-		ls.takeovers = func(key string) {
+		ls.takeovers = func(ctx context.Context, key string) {
 			r.leaseTakeovers.Add(1)
-			r.opts.Journal.LeaseTakeover(key)
+			r.opts.Journal.LeaseTakeover(ctx, key)
 		}
 	}
 	return r
@@ -557,7 +557,7 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 						g.r.skipped.Add(1)
 						skipped.Add(1)
 						g.r.recordFailure(g, je)
-						g.r.opts.Journal.JobFail(je)
+						g.r.opts.Journal.JobFail(ctx, je)
 						prog.jobSkipped(j.label, d.label)
 						j.complete(nil, je)
 						return
@@ -578,7 +578,7 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				j.complete(nil, ctx.Err())
 				return
 			}
-			g.r.opts.Journal.JobStart(j.label, keyStr(j.key))
+			g.r.opts.Journal.JobStart(ctx, j.label, keyStr(j.key))
 			v, shared, err := g.runLeased(ctx, j)
 			g.r.executed.Add(1)
 			executed.Add(1)
@@ -593,7 +593,7 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				g.r.failed.Add(1)
 				failed.Add(1)
 				g.r.recordFailure(g, je)
-				g.r.opts.Journal.JobFail(je)
+				g.r.opts.Journal.JobFail(ctx, je)
 				prog.jobFailed(j.label, je.Cause())
 				j.complete(nil, je)
 				if !keep {
@@ -606,9 +606,9 @@ func (g *Graph) execute(parent context.Context, need []*job) error {
 				g.r.memoPut(j.key, v)
 			}
 			if shared {
-				g.r.opts.Journal.JobShared(j.label, keyStr(j.key))
+				g.r.opts.Journal.JobShared(ctx, j.label, keyStr(j.key))
 			} else {
-				g.r.opts.Journal.JobDone(j.label, keyStr(j.key), j.attempts)
+				g.r.opts.Journal.JobDone(ctx, j.label, keyStr(j.key), j.attempts)
 			}
 			prog.jobDone(j.label)
 		}(j)
@@ -674,7 +674,9 @@ func (g *Graph) runStored(ctx context.Context, j *job) (any, error) {
 	v, err := g.attempt(ctx, j)
 	if err == nil && !j.key.IsZero() && !j.noStore && g.r.opts.Cache != nil {
 		if data, merr := json.Marshal(v); merr == nil {
-			g.r.opts.Cache.Put(ctx, j.key, data) // best-effort
+			// A failed Put must not fail the job: lease waiters detect the
+			// missing store ("winner vanished without storing") and re-run.
+			g.r.opts.Cache.Put(ctx, j.key, data) //splash:allow durability best-effort store; waiters re-contend on a missing cache entry, so a lost Put costs a re-run, not correctness
 		}
 	}
 	return v, err
