@@ -1,0 +1,195 @@
+// Sampled reuse-distance benchmarks: the SHARDS-sampled estimator
+// against the exact passes it replaces, on a recorded suite trace.
+//
+// Two comparisons matter and both are recorded in BENCH_sampling.json:
+//
+//   - The working-set sweep (the acceptance headline): what a cold
+//     kind=workingsets job runs — a fused multi-configuration replay
+//     over every default cache size — against what the cold
+//     kind=working-set-sampled job runs, one sampled stack-distance
+//     pass answering the same sizes. The 1% sampled sweep must be
+//     ≥ 5x faster.
+//   - The single fully-associative pass: exact Mattson stack
+//     distances against the sampled pass on the same trace, the
+//     like-for-like estimator cost.
+//
+// In both cases the estimated miss ratio must stay within 0.02
+// absolute at every default cache size (enforced suite-wide by
+// TestSampledErrorEnvelopeSuite).
+package splash2_test
+
+import (
+	"math"
+	"testing"
+
+	"splash2"
+)
+
+// samplingBench holds one recorded suite trace plus the exact profile
+// the estimates are judged against, built once per process.
+type samplingBench struct {
+	tr    *splash2.Trace
+	exact *splash2.StackProfile
+}
+
+var samplingState *samplingBench
+
+const samplingMaxCache = 1 << 20
+
+func benchSampling(b *testing.B) *samplingBench {
+	b.Helper()
+	if samplingState != nil {
+		return samplingState
+	}
+	tr, _, err := splash2.RecordTrace("fft", 8, map[string]int{"n": 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exact, err := splash2.StackDistances(tr, 64, samplingMaxCache)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samplingState = &samplingBench{tr: tr, exact: exact}
+	return samplingState
+}
+
+// BenchmarkStackDistancesExact is the pass-level baseline: the exact
+// one-pass Mattson profile the sampled estimator is measured against.
+func BenchmarkStackDistancesExact(b *testing.B) {
+	s := benchSampling(b)
+	refs := s.tr.Len()
+	b.SetBytes(int64(refs) * 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := splash2.StackDistances(s.tr, 64, samplingMaxCache); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// BenchmarkSampledStackDistances measures the sampled pass at several
+// rates and reports the headline accuracy metric alongside the timing:
+// the worst absolute miss-ratio error across the default cache sizes.
+func BenchmarkSampledStackDistances(b *testing.B) {
+	s := benchSampling(b)
+	refs := s.tr.Len()
+	for _, rate := range []float64{0.01, 0.05, 0.3} {
+		b.Run(rateName(rate), func(b *testing.B) {
+			b.SetBytes(int64(refs) * 8)
+			var sp *splash2.SampledProfile
+			for i := 0; i < b.N; i++ {
+				var err error
+				sp, err = splash2.SampledStackDistances(s.tr, 64, samplingMaxCache,
+					splash2.SampledOptions{Rate: rate, Seed: 1, ExactLines: splash2.DefaultExactLines})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+			maxErr := 0.0
+			for cs := 1 << 10; cs <= samplingMaxCache; cs <<= 1 {
+				want, err := s.exact.MissRate(cs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := sp.EstMissRate(cs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d := math.Abs(got - want); d > maxErr {
+					maxErr = d
+				}
+			}
+			b.ReportMetric(maxErr, "max-abs-err")
+		})
+	}
+}
+
+// sweepConfigs builds what a cold kind=workingsets job replays: one
+// 4-way, 64-byte-line configuration per default cache size, all driven
+// off a single fused decode.
+func sweepConfigs(procs int) []splash2.MemConfig {
+	sizes := splash2.DefaultCacheSizes()
+	cfgs := make([]splash2.MemConfig, len(sizes))
+	for i, cs := range sizes {
+		cfgs[i] = splash2.MemConfig{Procs: procs, CacheSize: cs, Assoc: 4, LineSize: 64}
+	}
+	return cfgs
+}
+
+// BenchmarkWorkingSetSweepExact is the cold cost of the exact
+// working-set sweep job: the fused multi-configuration replay a
+// kind=workingsets request runs per application, answering every
+// default cache size in one pass over the trace.
+func BenchmarkWorkingSetSweepExact(b *testing.B) {
+	s := benchSampling(b)
+	cfgs := sweepConfigs(8)
+	refs := s.tr.Len()
+	b.SetBytes(int64(refs) * 8)
+	for i := 0; i < b.N; i++ {
+		stats, err := splash2.ReplayTraceMulti(s.tr, cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stats) != len(cfgs) {
+			b.Fatalf("stats = %d, want %d", len(stats), len(cfgs))
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// BenchmarkWorkingSetSweepSampled is the cold cost of the sampled
+// working-set sweep job at the production 1% rate: one sampled
+// stack-distance pass, then every default cache size answered from the
+// estimated histogram with its confidence band. This against
+// BenchmarkWorkingSetSweepExact is the acceptance ratio in
+// BENCH_sampling.json.
+func BenchmarkWorkingSetSweepSampled(b *testing.B) {
+	s := benchSampling(b)
+	sizes := splash2.DefaultCacheSizes()
+	refs := s.tr.Len()
+	b.SetBytes(int64(refs) * 8)
+	var sp *splash2.SampledProfile
+	for i := 0; i < b.N; i++ {
+		var err error
+		sp, err = splash2.SampledStackDistances(s.tr, 64, sizes[len(sizes)-1],
+			splash2.SampledOptions{Rate: 0.01, Seed: 1, ExactLines: splash2.DefaultExactLines})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cs := range sizes {
+			if _, err := sp.EstMissRate(cs); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := sp.Band(cs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+	maxErr := 0.0
+	for _, cs := range sizes {
+		want, err := s.exact.MissRate(cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := sp.EstMissRate(cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := math.Abs(got - want); d > maxErr {
+			maxErr = d
+		}
+	}
+	b.ReportMetric(maxErr, "max-abs-err")
+}
+
+func rateName(rate float64) string {
+	switch rate {
+	case 0.01:
+		return "rate1pct"
+	case 0.05:
+		return "rate5pct"
+	}
+	return "rate30pct"
+}

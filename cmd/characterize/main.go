@@ -10,6 +10,8 @@
 //	characterize -apps fft,lu -p 16
 //	characterize -mode record-replay  # trace each program once, replay per config
 //	characterize -all-assocs          # Figure 3 with 1/2/4-way and full
+//	characterize -sample-rate 0.01    # add the SHARDS-sampled working-set estimate
+//	characterize -sample-seed 7       # … with a different spatial-hash seed
 //	characterize -plot                # ASCII charts alongside the tables
 //	characterize -format json|csv     # machine-readable results
 //	characterize -j 8                 # run experiments on 8 workers
@@ -94,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		modeName   = fs.String("mode", "live", `full-memory execution: "live" (inline simulation) or "record-replay" (trace once, replay per configuration)`)
 		spill      = fs.Bool("spill-traces", false, "stream recorded traces to on-disk v2 containers and replay out of core")
 		allAssocs  = fs.Bool("all-assocs", false, "Figure 3 with all associativities")
+		sampleRate = fs.Float64("sample-rate", 0, "add the SHARDS-sampled working-set estimate at this rate, (0, 1] (0 = off)")
+		sampleSeed = fs.Uint64("sample-seed", 1, "spatial-hash seed of the sampled estimator")
 		plot       = fs.Bool("plot", false, "render ASCII charts alongside the tables")
 		format     = fs.String("format", "text", `output format: "text", "json" or "csv"`)
 		workers    = fs.Int("j", 0, "experiment-level parallelism (0 = GOMAXPROCS)")
@@ -123,6 +127,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Procs: *procs, AllAssocs: *allAssocs, Plot: *plot, Workers: *workers,
 		KeepGoing: *keepGoing, Timeout: *timeout, Retries: *retries, RetryBackoff: *retryBackoff,
 		SpillTraces: *spill, Deadline: *deadline, NoJournal: *noJournal,
+		SampleRate: *sampleRate, SampleSeed: *sampleSeed,
+	}
+	if *sampleRate < 0 || *sampleRate > 1 {
+		fmt.Fprintf(stderr, "characterize: -sample-rate %v out of range (0, 1]\n", *sampleRate)
+		return exitUsage
 	}
 	if *leaseTTL <= 0 {
 		o.LeaseTTL = -1 // user asked for no leases

@@ -25,6 +25,12 @@
 //	POST /v1/experiments             # same, JSON body (core.Request schema)
 //	GET  /metrics                    # queue depth, cache hit ratio, coalescing
 //
+// The kind=working-set-sampled experiment serves the SHARDS-sampled
+// working-set estimate; the sampleRate and sampleSeed query parameters
+// (or JSON fields) select the sampling configuration and are part of
+// the request's content address, so estimates at different rates cache
+// and coalesce independently.
+//
 // Responses carry a deterministic ETag (the request's content address):
 // repeat a request with If-None-Match to get 304 without any execution.
 // Identical concurrent requests coalesce onto one execution; saturation

@@ -11,6 +11,7 @@
 //	trace replay -i fft.sp2t -cache 65536 -assoc 2 -line 64
 //	trace replay -i fft.sp2t -sweep          # full Figure-3 cache sweep
 //	trace replay -i fft.sp2t -sweep -stream  # out-of-core: blocks stream from disk
+//	trace replay -i fft.sp2t -stream -window 1:2  # epochs 1-2 only; other blocks never decoded
 //	trace info -i fft.sp2t                   # counts, bytes/reference, block shape
 //	trace convert -i fft.trace -o fft.sp2t   # v1 → v2 (and -to v1 for the reverse)
 //	trace verify -i fft.sp2t                 # decode every block, check the sidecar hash
@@ -191,6 +192,7 @@ func replay(args []string, stdout, stderr io.Writer) int {
 	procs := fs.Int("p", 0, "replay processors (default: trace's max + 1)")
 	sweep := fs.Bool("sweep", false, "replay the full 1K-1M cache-size sweep")
 	stream := fs.Bool("stream", false, "stream a v2 container from disk instead of decoding it into memory")
+	window := fs.String("window", "", `replay only epochs [start, start+len) as "start:len" (streaming skips out-of-range blocks)`)
 	workers := fs.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
 	faultSpec := fs.String("fault", "", `inject read faults: "action[(arg)][@nth]=trace.read;..."`)
 	faultSeed := fs.Int64("fault-seed", 1, "seed choosing the occurrence of @-nth fault rules")
@@ -216,10 +218,20 @@ func replay(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, err)
 	}
 	defer closer.Close()
+	if *window != "" {
+		lo, n, err := parseWindow(*window)
+		if err != nil {
+			fmt.Fprintln(stderr, "trace replay:", err)
+			return cli.ExitUsage
+		}
+		if src, err = memsys.EpochWindow(src, lo, lo+n-1); err != nil {
+			return fail(stderr, err)
+		}
+	}
 	meta := src.Meta()
 	p := *procs
 	if p == 0 {
-		p = meta.MaxProc + 1
+		p = meta.MinProcs // every referencing proc and every home node
 	}
 
 	if *sweep {
@@ -253,6 +265,17 @@ func replay(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "traffic    local %d B, remote %d B (overhead %d B)\n",
 		st.Traffic.LocalData, st.Traffic.Remote(), st.Traffic.RemoteOverhead)
 	return cli.ExitOK
+}
+
+// parseWindow parses the -window epoch range "start:len".
+func parseWindow(s string) (start, n uint64, err error) {
+	if _, err := fmt.Sscanf(s, "%d:%d", &start, &n); err != nil {
+		return 0, 0, fmt.Errorf("-window %q: want \"start:len\" (two non-negative integers)", s)
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("-window %q: length must be positive", s)
+	}
+	return start, n, nil
 }
 
 // sniffFormat reads the magic of a trace file: "v1", "v2", or an error.

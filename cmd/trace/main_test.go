@@ -98,6 +98,39 @@ func TestStreamReplayMatchesInMemory(t *testing.T) {
 	}
 }
 
+// TestReplayWindow: -window restricts replay to an epoch range, agrees
+// between in-memory and streaming paths, differs from the full replay,
+// and rejects malformed ranges.
+func TestReplayWindow(t *testing.T) {
+	v2 := recordTo(t, t.TempDir(), "v2")
+
+	args := []string{"replay", "-i", v2, "-cache", "16384", "-assoc", "2", "-window", "0:1"}
+	code, memOut, stderr := runCLI(t, args...)
+	if code != cli.ExitOK {
+		t.Fatalf("windowed replay exited %d: %s", code, stderr)
+	}
+	code, strOut, stderr := runCLI(t, append(args, "-stream")...)
+	if code != cli.ExitOK {
+		t.Fatalf("windowed streaming replay exited %d: %s", code, stderr)
+	}
+	if memOut != strOut {
+		t.Errorf("windowed streaming replay diverges:\n got %s\nwant %s", strOut, memOut)
+	}
+	code, fullOut, stderr := runCLI(t, "replay", "-i", v2, "-cache", "16384", "-assoc", "2")
+	if code != cli.ExitOK {
+		t.Fatalf("full replay exited %d: %s", code, stderr)
+	}
+	if fullOut == memOut {
+		t.Errorf("epoch window 0:1 replayed the same references as the full trace:\n%s", memOut)
+	}
+
+	for _, bad := range []string{"nope", "1", "1:0", "-2:3", ":"} {
+		if code, _, _ := runCLI(t, "replay", "-i", v2, "-window", bad); code != cli.ExitUsage {
+			t.Errorf("-window %q exited %d, want %d", bad, code, cli.ExitUsage)
+		}
+	}
+}
+
 // TestStreamReplayRejectsV1 gives the v1-specific guidance rather than
 // a generic magic error.
 func TestStreamReplayRejectsV1(t *testing.T) {

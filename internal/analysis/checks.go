@@ -77,7 +77,7 @@ func ChecksWith(cfg Config) []*Check {
 		{Name: "accounting", Doc: "Peek/Init/Raw on mach arrays bypass the reference stream; allowed only in init/verify code", Run: runAccounting},
 		{Name: "procflow", Doc: "*mach.Proc must not be stored in globals/structs or captured across goroutine spawns", Run: runProcflow},
 		{Name: "determinism", Doc: "no wall-clock reads, global math/rand, or map-order iteration in result-producing packages", Run: cfg.runDeterminism},
-		{Name: "faultpoints", Doc: "fault injection labels must be literals from the job:/cache.get:/cache.put:/trace.read[.footer|.block:]/lease.acquire:/journal.append taxonomy", Run: runFaultpoints},
+		{Name: "faultpoints", Doc: "fault injection labels must be literals from the job:/cache.get:/cache.put:/trace.read[.footer|.block:]/lease.acquire:/journal.append/sample.estimate: taxonomy", Run: runFaultpoints},
 		{Name: "tracecapture", Doc: "per-reference memsys entry points (Recorder.Record*, System.Access*) are reserved for internal/mach's batched capture path", Run: runTracecapture},
 		{Name: "locks", Doc: "flow-sensitive lockset analysis over mach.Lock: unpaired Release, double Acquire, and locks held across barrier-like rendezvous", Run: runLocks},
 		{Name: "ctxflow", Doc: "request paths must thread the caller's context.Context; context.Background/TODO on any path detaches cancellation, deadlines and fault scoping", Run: cfg.runCtxflow},
@@ -419,7 +419,7 @@ var faultLabelArg = map[string]int{"Do": 1, "Data": 0, "Reader": 0}
 var faultTaxonomy = []string{
 	"job:", "cache.get:", "cache.put:",
 	"trace.read", "trace.read.footer", "trace.read.block:",
-	"lease.acquire:", "journal.append",
+	"lease.acquire:", "journal.append", "sample.estimate:",
 }
 
 // validFaultLabel reports whether a label (or its known literal prefix)

@@ -38,6 +38,10 @@ func goodV2Blocks(inj *fault.Injector, i int) error {
 	return nil
 }
 
+func goodSampled(inj *fault.Injector, app string) error {
+	return inj.Do(context.Background(), "sample.estimate:"+app)
+}
+
 func bad(inj *fault.Injector, r io.Reader, label string) {
 	_ = inj.Do(context.Background(), "disk.write:x") // want faultpoints
 	_ = inj.Reader(label, r)                         // want faultpoints

@@ -20,6 +20,7 @@ type Results struct {
 	Speedups    []SpeedupCurve    `json:"speedups,omitempty"`
 	Sync        []SyncProfile     `json:"sync,omitempty"`
 	MissCurves  []MissCurve       `json:"missCurves,omitempty"`
+	Sampled     []SampledCurve    `json:"sampled,omitempty"`
 	Table2      []Table2Row       `json:"table2,omitempty"`
 	Traffic     [][]TrafficPoint  `json:"traffic,omitempty"`
 	Table3      []Table3Row       `json:"table3,omitempty"`
@@ -58,6 +59,15 @@ func (e *Engine) CollectResults(o ReportOptions) (*Results, error) {
 	}
 	if res.MissCurves, err = e.WorkingSets(o.Apps, o.Procs, o.CacheSizes, []int{4}, o.Scale); err != nil {
 		return nil, err
+	}
+	if o.SampleRate > 0 {
+		seed := o.SampleSeed
+		if seed == 0 {
+			seed = 1
+		}
+		if res.Sampled, err = e.WorkingSetsSampled(o.Apps, o.Procs, o.CacheSizes, o.SampleRate, seed, o.Scale); err != nil {
+			return nil, err
+		}
 	}
 	res.Table2 = Table2(res.MissCurves)
 	for _, c := range res.MissCurves {
@@ -164,6 +174,22 @@ func (r *Results) WriteCSV(w io.Writer) error {
 		for i, cs := range c.CacheSizes {
 			if err := cw.Write([]string{c.App, d(c.Assoc), d(cs), f(c.MissRate[i])}); err != nil {
 				return err
+			}
+		}
+	}
+
+	if len(r.Sampled) > 0 {
+		if err := section("sampled", []string{"app", "cacheSize", "rate", "effRate", "seed", "exactLines", "missRatePct", "bandLoPct", "bandHiPct"}); err != nil {
+			return err
+		}
+		for _, c := range r.Sampled {
+			if c.Failed != "" {
+				continue
+			}
+			for i, cs := range c.CacheSizes {
+				if err := cw.Write([]string{c.App, d(cs), f(c.Rate), f(c.EffRate), u(c.SampleSeed), d(c.ExactLines), f(c.MissRate[i]), f(c.BandLo[i]), f(c.BandHi[i])}); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -49,6 +49,13 @@ type ReportOptions struct {
 	// keep-going run that lost experiments; nil skips writing it.
 	ManifestOut io.Writer
 
+	// SampleRate, when positive, adds the SHARDS-sampled working-set
+	// estimate (with confidence bands) alongside the exact Figure-3 sweep
+	// (cmd/characterize's -sample-rate flag); range (0, 1].
+	SampleRate float64
+	// SampleSeed seeds the estimator's spatial hash (0 selects 1).
+	SampleSeed uint64
+
 	// ExecMode selects live simulation or record-then-replay for
 	// full-memory experiments (cmd/characterize's -mode flag).
 	ExecMode ExecMode
@@ -187,6 +194,19 @@ func (e *Engine) Report(w io.Writer, o ReportOptions) error {
 		}
 		fmt.Fprintln(w)
 		textplot.LineChart(w, "miss rate (%) vs cache size, 4-way", xs, series, 64, 16)
+	}
+
+	if o.SampleRate > 0 {
+		seed := o.SampleSeed
+		if seed == 0 {
+			seed = 1
+		}
+		fmt.Fprintf(w, "\n== Sampled working sets (SHARDS estimate, rate %g, fully associative) ==\n", o.SampleRate)
+		sw, err := e.WorkingSetsSampled(o.Apps, o.Procs, o.CacheSizes, o.SampleRate, seed, o.Scale)
+		if err != nil {
+			return err
+		}
+		RenderSampledCurves(w, sw)
 	}
 
 	fmt.Fprintln(w, "\n== Table 2: important working sets ==")

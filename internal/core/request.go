@@ -51,6 +51,11 @@ type Request struct {
 	// Opts are per-program option overrides applied on top of the scale's
 	// defaults (single-app requests only; ignored otherwise).
 	Opts map[string]int `json:"opts,omitempty"`
+	// SampleRate is the spatial sampling rate of the sampled working-set
+	// estimator (working-set-sampled only); default 0.01, range (0, 1].
+	SampleRate float64 `json:"sampleRate,omitempty"`
+	// SampleSeed seeds the estimator's spatial hash (default 1).
+	SampleSeed uint64 `json:"sampleSeed,omitempty"`
 	// KeepGoing completes the experiment past failures: lost rows carry
 	// FAILED placeholders and the response includes a failure manifest.
 	KeepGoing bool `json:"keepGoing,omitempty"`
@@ -68,7 +73,8 @@ type Request struct {
 func Kinds() []string {
 	return []string{
 		KindTable1, KindSpeedups, KindSync, KindWorkingSets,
-		KindTraffic, KindLineSize, KindTable3, KindResults,
+		KindWorkingSetsSampled, KindTraffic, KindLineSize, KindTable3,
+		KindResults,
 	}
 }
 
@@ -82,6 +88,11 @@ const (
 	KindLineSize    = "linesize"    // Figures 7–8: line-size sweeps
 	KindTable3      = "table3"      // Table 3: comm-to-comp growth
 	KindResults     = "results"     // the full characterization bundle
+
+	// KindWorkingSetsSampled is Figure 3's fully-associative curve by
+	// SHARDS-sampled reuse-distance estimation with confidence bands — a
+	// cheap preview of KindWorkingSets.
+	KindWorkingSetsSampled = "working-set-sampled"
 )
 
 // ParseScale resolves a scale name ("" selects sweep, the multi-point
@@ -151,7 +162,8 @@ func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
 func (r Request) Canonical() (Request, error) {
 	switch r.Kind {
 	case KindTable1, KindSpeedups, KindSync, KindWorkingSets,
-		KindTraffic, KindLineSize, KindTable3, KindResults:
+		KindWorkingSetsSampled, KindTraffic, KindLineSize, KindTable3,
+		KindResults:
 	case "":
 		return r, fmt.Errorf("core: request missing kind (want one of %s)", strings.Join(Kinds(), ", "))
 	default:
@@ -254,6 +266,15 @@ func (r Request) Canonical() (Request, error) {
 			return r, fmt.Errorf("core: line size %d not a power of two in [8, %d]", ls, maxReqLineBytes)
 		}
 	}
+	if r.SampleRate == 0 {
+		r.SampleRate = 0.01
+	}
+	if r.SampleRate < 0 || r.SampleRate > 1 {
+		return r, fmt.Errorf("core: sample rate %v out of range (0, 1]", r.SampleRate)
+	}
+	if r.SampleSeed == 0 {
+		r.SampleSeed = 1
+	}
 	if r.TimeoutMillis < 0 {
 		return r, fmt.Errorf("core: negative timeoutMs %d", r.TimeoutMillis)
 	}
@@ -303,6 +324,9 @@ func (r Request) reportOptions() ReportOptions {
 		LineSizes:  r.LineSizes,
 		KeepGoing:  r.KeepGoing,
 		ExecMode:   mode,
+		// SampleRate/SampleSeed deliberately stay zero — "results" reports
+		// the exact curves; the sampled estimator is its own kind (or
+		// characterize -sample-rate).
 	}
 }
 
@@ -366,6 +390,8 @@ func (e *Engine) Do(ctx context.Context, req Request, onProgress runner.Progress
 				}
 			}
 		}
+	case KindWorkingSetsSampled:
+		res.Sampled, err = sc.WorkingSetsSampled(cr.Apps, cr.Procs, cr.CacheSizes, cr.SampleRate, cr.SampleSeed, scale)
 	case KindTraffic:
 		if len(cr.Apps) == 1 {
 			var pts []TrafficPoint

@@ -7,7 +7,8 @@
 // An Injector holds an ordered list of Rules. Code under test calls it at
 // named injection points ("job:<label>", "cache.get:<key>",
 // "cache.put:<key>", "trace.read", "trace.read.footer",
-// "trace.read.block:<i>", "lease.acquire:<key>", "journal.append"):
+// "trace.read.block:<i>", "lease.acquire:<key>", "journal.append",
+// "sample.estimate:<app>"):
 // Do evaluates the error/panic/delay rules for an operation, Data and
 // Reader apply short-read truncation to bytes and streams. Every firing
 // is logged, so tests can assert that a run's failure manifest lists

@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -336,5 +337,88 @@ func TestStreamingReplayPeakAllocation(t *testing.T) {
 	traceBytes := uint64(events * 8)
 	if allocated > traceBytes/4 {
 		t.Fatalf("streaming replay allocated %d bytes for a %d-byte trace; not O(block buffer)", allocated, traceBytes)
+	}
+
+	// The decode-ahead pipeline must not change the scaling: replaying a
+	// trace twice as long (same address range, same machine) allocates
+	// essentially the same amount — the buffer pool is bounded by the
+	// decode-ahead depth, not by trace length.
+	rec2 := NewRecorder(64)
+	for e := 0; e < epochs; e++ {
+		if e > 0 {
+			rec2.RecordResetAt(uint64(e))
+		}
+		for p := 0; p < procs; p++ {
+			batch := make([]uint64, 0, 2*perProc)
+			for i := 0; i < 2*perProc; i++ {
+				addr := uint64(p)<<16 | uint64(rng.Intn(1<<16))&^7
+				batch = append(batch, addr<<8|uint64(p)<<1|uint64(rng.Intn(2)))
+			}
+			rec2.RecordBatch(p, uint64(e), batch)
+		}
+	}
+	tf2 := openV2(t, writeV2Bytes(t, rec2.Finish(make([]int32, 64))))
+	if _, err := ReplayMulti(tf2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := ReplayMulti(tf2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	allocated2 := after.TotalAlloc - before.TotalAlloc
+	if allocated2 > allocated+allocated/2 {
+		t.Fatalf("doubling the trace grew replay allocation %d -> %d bytes; decode buffers not bounded by depth", allocated, allocated2)
+	}
+}
+
+// TestStreamingDecodeAheadByteIdentical: the decode-ahead pipeline
+// behind TraceFile.blocks must deliver the exact event sequence of a
+// serial block-by-block decode — same events, same order, markers
+// included — and propagate an early consumer exit without deadlock.
+func TestStreamingDecodeAheadByteIdentical(t *testing.T) {
+	tr := buildSharingTrace(11, 4, 50000, true)
+	tf := openV2(t, writeV2Bytes(t, tr))
+	if len(tf.index) <= decodeAhead {
+		t.Fatalf("trace has %d blocks; need more than the decode-ahead depth %d", len(tf.index), decodeAhead)
+	}
+	var want []uint64
+	for i := range tf.index {
+		evs, err := tf.DecodeBlock(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, evs...)
+	}
+	var got []uint64
+	if err := tf.blocks(func(events []uint64) error {
+		got = append(got, events...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pipeline delivered %d events, serial decode %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: pipeline %#x != serial %#x", i, got[i], want[i])
+		}
+	}
+
+	// Early exit: a yield error must surface unchanged, leaving no
+	// goroutine blocked (the race detector and -timeout would catch a
+	// stuck decoder in CI).
+	sentinel := errors.New("stop after first block")
+	calls := 0
+	if err := tf.blocks(func([]uint64) error {
+		calls++
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("yield error %v surfaced as %v", sentinel, err)
+	}
+	if calls != 1 {
+		t.Fatalf("yield called %d times after erroring on the first", calls)
 	}
 }

@@ -357,22 +357,78 @@ func (tf *TraceFile) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// blocks streams the whole file in index order, reusing one decode
-// buffer per block — the TraceSource contract ReplayMulti and
-// StackDistances consume. Peak memory is one encoded block plus one
-// decoded block, independent of trace length.
+// decodeAhead is the depth of the streaming decode pipeline: how many
+// decoded blocks may sit between the decoder and the consumer. Peak
+// memory stays bounded by (decodeAhead+1) decoded blocks plus one
+// encoded block, independent of trace length.
+const decodeAhead = 4
+
+// decodedBlock carries one decoded block (or the error that stopped
+// the decoder) from the decode goroutine to the consumer.
+type decodedBlock struct {
+	events []uint64
+	err    error
+}
+
+// blocks streams the whole file in index order — the TraceSource
+// contract ReplayMulti, StackDistances and the sampled pass consume.
+// Decoding runs one block ahead of the consumer on a separate
+// goroutine (bounded by decodeAhead), overlapping DecodeBlock work
+// with simulation; blocks are delivered in index order from a fixed
+// pool of reused buffers, so the consumer observes the exact event
+// sequence of a serial decode loop and peak memory stays independent
+// of trace length.
 func (tf *TraceFile) blocks(yield func(events []uint64) error) error {
-	var raw []byte
-	var events []uint64
+	if len(tf.index) == 0 {
+		return nil
+	}
+	// Size the buffer pool to the largest block in the index so decode
+	// appends never reallocate mid-stream.
+	maxEvents := 1
 	for i := range tf.index {
-		var err error
-		events, raw, err = tf.decodeBlockInto(i, raw, events[:0])
-		if err != nil {
+		if n := int(tf.index[i].Events); n > maxEvents {
+			maxEvents = n
+		}
+	}
+	out := make(chan decodedBlock, decodeAhead)
+	free := make(chan []uint64, decodeAhead+1)
+	for i := 0; i < decodeAhead+1; i++ {
+		free <- make([]uint64, 0, maxEvents)
+	}
+	// stop tells the decoder an early consumer exit (yield error)
+	// abandoned the stream; closing it unblocks any pending send.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		defer close(out)
+		var raw []byte
+		for i := range tf.index {
+			var buf []uint64
+			select {
+			case buf = <-free:
+			case <-stop:
+				return
+			}
+			events, r, err := tf.decodeBlockInto(i, raw, buf[:0])
+			raw = r
+			select {
+			case out <- decodedBlock{events: events, err: err}:
+			case <-stop:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for db := range out {
+		if db.err != nil {
+			return db.err
+		}
+		if err := yield(db.events); err != nil {
 			return err
 		}
-		if err := yield(events); err != nil {
-			return err
-		}
+		free <- db.events
 	}
 	return nil
 }

@@ -620,3 +620,68 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Errorf("%d requests failed with unexpected statuses", n)
 	}
 }
+
+// TestSampledExperiment drills the working-set-sampled kind end to end:
+// the GET query parameters select the sampling configuration, the body
+// carries curves with confidence bands, and the rate is part of the
+// request's content address so different rates neither share an ETag
+// nor coalesce.
+func TestSampledExperiment(t *testing.T) {
+	_, ts := newTestServer(t, core.EngineOptions{}, Options{})
+	get := func(q string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/experiments?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	base := "kind=working-set-sampled&apps=fft&procs=2&scale=default"
+	resp, body := get(base + "&sampleRate=0.5&sampleSeed=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res core.Results
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("body not Results JSON: %v", err)
+	}
+	if len(res.Sampled) != 1 {
+		t.Fatalf("Sampled curves = %d, want 1", len(res.Sampled))
+	}
+	c := res.Sampled[0]
+	if c.App != "fft" || c.Rate != 0.5 || c.SampleSeed != 3 {
+		t.Errorf("curve identity = %q rate %v seed %d", c.App, c.Rate, c.SampleSeed)
+	}
+	if len(c.MissRate) != len(c.CacheSizes) || len(c.BandLo) != len(c.CacheSizes) || len(c.BandHi) != len(c.CacheSizes) {
+		t.Fatalf("curve shape: %d sizes, %d est, %d lo, %d hi",
+			len(c.CacheSizes), len(c.MissRate), len(c.BandLo), len(c.BandHi))
+	}
+	for i := range c.CacheSizes {
+		if c.BandLo[i] > c.MissRate[i] || c.MissRate[i] > c.BandHi[i] {
+			t.Errorf("size %d: band [%v, %v] does not contain estimate %v",
+				c.CacheSizes[i], c.BandLo[i], c.BandHi[i], c.MissRate[i])
+		}
+	}
+
+	// A different rate is a different experiment: distinct ETag.
+	resp2, body2 := get(base + "&sampleRate=0.25&sampleSeed=3")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if resp.Header.Get("ETag") == resp2.Header.Get("ETag") {
+		t.Errorf("rates 0.5 and 0.25 share ETag %q", resp.Header.Get("ETag"))
+	}
+
+	// Malformed and out-of-range sampling parameters are rejected.
+	for _, bad := range []string{"sampleRate=nope", "sampleRate=1.5", "sampleRate=-0.1", "sampleSeed=-1"} {
+		if resp, _ := get(base + "&" + bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

@@ -469,6 +469,16 @@ func parseRequest(r *http.Request) (core.Request, error) {
 			return req, fmt.Errorf("bad cacheSize %q", v)
 		}
 	}
+	if v := q.Get("sampleRate"); v != "" {
+		if req.SampleRate, err = strconv.ParseFloat(v, 64); err != nil {
+			return req, fmt.Errorf("bad sampleRate %q", v)
+		}
+	}
+	if v := q.Get("sampleSeed"); v != "" {
+		if req.SampleSeed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return req, fmt.Errorf("bad sampleSeed %q", v)
+		}
+	}
 	if v := q.Get("keepGoing"); v == "1" || v == "true" {
 		req.KeepGoing = true
 	}

@@ -143,7 +143,22 @@ type (
 	// it answers the exact miss count of a fully-associative cache of any
 	// profiled size without further replays (see StackDistances).
 	StackProfile = memsys.StackProfile
+	// SampledProfile is a SHARDS-sampled stack-distance profile: the
+	// estimated twin of StackProfile, with confidence bands (see
+	// SampledStackDistances).
+	SampledProfile = memsys.SampledProfile
+	// SampledOptions configures the sampled estimator (rate, seed,
+	// adaptive budget, exact-window width).
+	SampledOptions = memsys.SampledOptions
+	// SampledCurve is one program's estimated working-set curve with
+	// bands (see WorkingSetsSampled).
+	SampledCurve = core.SampledCurve
 )
+
+// DefaultExactLines is the default exact-window width of the sampled
+// estimator: capacities up to DefaultExactLines cache lines are answered
+// exactly rather than estimated.
+const DefaultExactLines = memsys.DefaultExactLines
 
 // Scales.
 const (
@@ -265,9 +280,9 @@ type (
 	// FaultRule describes one injection: a wildcard pattern over
 	// operation names ("job:<label>", "cache.get:<key>",
 	// "cache.put:<key>", "trace.read", "trace.read.footer",
-	// "trace.read.block:<i>", "lease.acquire:<key>", "journal.append"),
-	// an action (error, panic, delay, short read, crash) and an
-	// occurrence.
+	// "trace.read.block:<i>", "lease.acquire:<key>", "journal.append",
+	// "sample.estimate:<app>"), an action (error, panic, delay, short
+	// read, crash) and an occurrence.
 	FaultRule = fault.Rule
 	// FailureRecord is one lost experiment in a failure manifest.
 	FailureRecord = core.FailureRecord
@@ -332,6 +347,30 @@ func ReplayTraceMulti(src TraceSource, cfgs []MemConfig) ([]MemStats, error) {
 // maxCacheSize, coherence invalidations included.
 func StackDistances(src TraceSource, lineSize, maxCacheSize int) (*StackProfile, error) {
 	return memsys.StackDistances(src, lineSize, maxCacheSize)
+}
+
+// SampledStackDistances estimates the stack-distance profile from a
+// spatially-hashed sample of the stream (SHARDS): miss counts for every
+// fully-associative size up to maxCacheSize, with 95% confidence bands,
+// at a fraction of the exact pass's cost. At rate 1 the estimate is
+// bit-identical to StackDistances.
+func SampledStackDistances(src TraceSource, lineSize, maxCacheSize int, opt SampledOptions) (*SampledProfile, error) {
+	return memsys.SampledStackDistances(src, lineSize, maxCacheSize, opt)
+}
+
+// EpochWindow restricts a recorded stream to an epoch range [lo, hi]:
+// the returned view replays only those epochs' references. A TraceFile
+// view selects blocks through the index, so out-of-range blocks are
+// never read from disk.
+func EpochWindow(src TraceSource, lo, hi uint64) (TraceSource, error) {
+	return memsys.EpochWindow(src, lo, hi)
+}
+
+// WorkingSetsSampled estimates each program's fully-associative
+// working-set curve by sampled reuse-distance analysis — the cheap,
+// banded preview of WorkingSets' exact sweep.
+func WorkingSetsSampled(appNames []string, procs int, cacheSizes []int, rate float64, seed uint64, scale Scale) ([]SampledCurve, error) {
+	return core.WorkingSetsSampled(appNames, procs, cacheSizes, rate, seed, scale)
 }
 
 // OpenTraceFile opens an on-disk v2 trace for out-of-core streaming:
